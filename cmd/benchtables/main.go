@@ -1,0 +1,60 @@
+// Command benchtables regenerates the experimental tables of the FPART
+// paper (Krupnova & Saucier, DATE 1999) on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	benchtables              # all tables (1-6)
+//	benchtables -table 2     # one table
+//
+// Tables 2-5 print the paper's published competitor columns (marked *)
+// next to freshly measured results for the three methods implemented in
+// this repository; Table 6 reports FPART runtimes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpart/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-6); 0 = all")
+	formatName := flag.String("format", "text", "rendering for tables 2-5: text, md, csv")
+	flag.Parse()
+
+	format, err := bench.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+
+	run := func(n int) error {
+		switch n {
+		case 1:
+			bench.WriteTable1(os.Stdout)
+			return nil
+		case 2, 3, 4, 5:
+			return bench.WriteDeviceTableFormat(os.Stdout, n, format)
+		case 6:
+			return bench.WriteTable6(os.Stdout)
+		default:
+			return fmt.Errorf("no table %d (valid: 1-6)", n)
+		}
+	}
+
+	tables := []int{1, 2, 3, 4, 5, 6}
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	for i, n := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+	}
+}

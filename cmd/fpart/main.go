@@ -1,0 +1,259 @@
+// Command fpart partitions a circuit netlist onto a named FPGA device
+// using the FPART algorithm (or one of the baselines).
+//
+// Usage:
+//
+//	fpart -device XC3020 design.phg
+//	fpart -device XC3042 -format hgr -method flow design.hgr
+//	fpart -device XC3090 -format blif -arch XC3000 design.blif
+//	fpart -device XC3020 -circuit s9234            # built-in benchmark
+//	fpart -device XC3020 -circuit s9234 -stats     # quality report
+//	fpart -device XC3020 -circuit s9234 -out dir/  # per-block netlists
+//
+// BLIF inputs are technology-mapped to CLBs for the architecture selected
+// with -arch before partitioning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/flow"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+	"fpart/internal/kwayx"
+	"fpart/internal/multilevel"
+	"fpart/internal/netlist"
+	"fpart/internal/partition"
+	"fpart/internal/quality"
+	"fpart/internal/replicate"
+	"fpart/internal/techmap"
+)
+
+func main() {
+	devName := flag.String("device", "XC3020", "target device: XC3020, XC3042, XC3090, XC2064")
+	format := flag.String("format", "phg", "input format: phg, hgr, blif")
+	arch := flag.String("arch", "", "CLB architecture for BLIF mapping: XC2000 or XC3000 (default: the device's family)")
+	method := flag.String("method", "fpart", "partitioner: fpart, kwayx, flow, multilevel")
+	circuit := flag.String("circuit", "", "use a built-in synthetic MCNC benchmark instead of a file")
+	assign := flag.Bool("assign", false, "print the full node-to-block assignment")
+	stats := flag.Bool("stats", false, "print the solution-quality report")
+	plot := flag.Bool("plot", false, "render the Figure 2 feasibility scatter (blocks in (T,S) space)")
+	outDir := flag.String("out", "", "write each block as a PHG netlist into this directory")
+	saveAssign := flag.String("saveassign", "", "write the node-to-block assignment to this file (verify with cmd/verify)")
+	replicateFlag := flag.Bool("replicate", false, "after partitioning a BLIF input, run the functional replication pass (needs -format blif)")
+	fill := flag.Float64("fill", 0, "override the device filling ratio δ (0 keeps the paper's value)")
+	flag.Parse()
+
+	dev, ok := device.ByName(*devName)
+	if !ok {
+		fail("unknown device %q (valid: XC3020, XC3042, XC3090, XC2064)", *devName)
+	}
+	if *fill != 0 {
+		dev = dev.WithFill(*fill)
+	}
+
+	h, name, mapped, err := loadCircuit(*circuit, flag.Arg(0), *format, *arch, dev)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *replicateFlag && mapped == nil {
+		fail("-replicate requires -format blif (functional direction information)")
+	}
+
+	st := h.ComputeStats()
+	m := device.LowerBound(h, dev)
+	fmt.Printf("circuit %s: %d CLBs, %d pads, %d nets\n", name, st.Interior, st.Pads, st.Nets)
+	fmt.Printf("device %s: S_MAX=%d T_MAX=%d, lower bound M=%d\n", dev.Name, dev.SMax(), dev.TMax(), m)
+
+	p, k, feasible, err := runMethod(*method, h, dev)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("result: %d devices, feasible=%v\n", k, feasible)
+	if *stats {
+		quality.Analyze(p, m).Write(os.Stdout)
+	} else {
+		for b := 0; b < p.NumBlocks(); b++ {
+			id := partition.BlockID(b)
+			if p.Nodes(id) == 0 {
+				continue
+			}
+			status := "ok"
+			if !p.Feasible(id) {
+				status = "VIOLATES"
+			}
+			fmt.Printf("  block %2d: size %4d/%d  terminals %4d/%d  pads %3d  [%s]\n",
+				b, p.Size(id), dev.SMax(), p.Terminals(id), dev.TMax(), p.Pads(id), status)
+		}
+	}
+	if *plot {
+		quality.FeasibilityPlot(os.Stdout, p, 64, 18)
+	}
+	if *assign {
+		for v := 0; v < h.NumNodes(); v++ {
+			fmt.Printf("%s %d\n", h.Node(hypergraph.NodeID(v)).Name, p.Block(hypergraph.NodeID(v)))
+		}
+	}
+	if *outDir != "" {
+		if err := writeBlocks(*outDir, p); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *replicateFlag && feasible {
+		res, err := replicate.Reduce(mapped, h, p, dev)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("replication: %d copies added, total terminal reduction %d (feasible=%v)\n",
+			res.CopiesAdded, res.TotalReduction(), res.Feasible)
+		for b, before := range res.TerminalsBefore {
+			if after := res.TerminalsAfter[b]; after != before {
+				fmt.Printf("  block %d: T %d -> %d (replicas %v)\n", b, before, after, res.Replicas[b])
+			}
+		}
+	}
+	if *saveAssign != "" {
+		f, err := os.Create(*saveAssign)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := netlist.WriteAssignment(f, p); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote assignment to %s\n", *saveAssign)
+	}
+}
+
+// runMethod dispatches the chosen partitioner and returns its partition.
+func runMethod(method string, h *hypergraph.Hypergraph, dev device.Device) (*partition.Partition, int, bool, error) {
+	switch method {
+	case "fpart":
+		r, err := core.Partition(h, dev, core.Default())
+		if err != nil {
+			return nil, 0, false, err
+		}
+		fmt.Printf("FPART: %d iterations, %d passes, %d moves, %v\n",
+			r.Stats.Iterations, r.Stats.Passes, r.Stats.MovesApplied, r.Elapsed.Round(1000000))
+		return r.Partition, r.K, r.Feasible, nil
+	case "kwayx":
+		r, err := kwayx.Partition(h, dev, kwayx.Config{})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return r.Partition, r.K, r.Feasible, nil
+	case "flow":
+		r, err := flow.Partition(h, dev, flow.Config{})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return r.Partition, r.K, r.Feasible, nil
+	case "multilevel":
+		r, err := multilevel.Partition(h, dev, multilevel.Config{})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return r.Partition, r.K, r.Feasible, nil
+	default:
+		return nil, 0, false, fmt.Errorf("unknown method %q (valid: fpart, kwayx, flow, multilevel)", method)
+	}
+}
+
+// writeBlocks dumps each non-empty block as blockN.phg under dir. Cut nets
+// appear in each incident block's file with the pins that block owns.
+func writeBlocks(dir string, p *partition.Partition) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	h := p.Hypergraph()
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		sub, _ := h.Induced(p.NodesIn(id))
+		path := filepath.Join(dir, fmt.Sprintf("block%d.phg", b))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := netlist.WritePHG(f, sub); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", path, sub)
+	}
+	return nil
+}
+
+func loadCircuit(builtin, path, format, arch string, dev device.Device) (*hypergraph.Hypergraph, string, *techmap.Mapped, error) {
+	if builtin != "" {
+		spec, ok := gen.ByName(builtin)
+		if !ok {
+			return nil, "", nil, fmt.Errorf("unknown built-in circuit %q (valid: %v)", builtin, names())
+		}
+		return gen.Generate(spec, dev.Family), builtin, nil, nil
+	}
+	if path == "" {
+		return nil, "", nil, fmt.Errorf("no input file (or use -circuit <name>)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "phg":
+		h, err := netlist.ReadPHG(f)
+		return h, path, nil, err
+	case "hgr":
+		h, err := netlist.ReadHgr(f)
+		return h, path, nil, err
+	case "blif":
+		c, err := netlist.ReadBLIF(f)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		a := techmap.XC3000Arch
+		switch {
+		case arch == "XC2000" || (arch == "" && dev.Family == device.XC2000):
+			a = techmap.XC2000Arch
+		case arch == "XC3000" || arch == "":
+		default:
+			return nil, "", nil, fmt.Errorf("unknown arch %q", arch)
+		}
+		m, err := techmap.Map(c, a)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		h, err := m.Hypergraph()
+		return h, path, m, err
+	default:
+		return nil, "", nil, fmt.Errorf("unknown format %q (valid: phg, hgr, blif)", format)
+	}
+}
+
+func names() []string {
+	out := make([]string, len(gen.MCNC))
+	for i, s := range gen.MCNC {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fpart: "+format+"\n", args...)
+	os.Exit(1)
+}

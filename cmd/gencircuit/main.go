@@ -1,0 +1,97 @@
+// Command gencircuit emits the synthetic MCNC benchmark circuits (or an
+// anonymous synthetic circuit) as PHG or hMETIS .hgr files.
+//
+// Usage:
+//
+//	gencircuit -circuit s9234 -family XC3000 > s9234.phg
+//	gencircuit -circuit all -dir bench/        # write the whole suite
+//	gencircuit -nodes 2000 -pads 150 -seed 7 -format hgr > syn.hgr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+	"fpart/internal/netlist"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "benchmark name from Table 1, or 'all'")
+	family := flag.String("family", "XC3000", "mapping family: XC2000 or XC3000")
+	format := flag.String("format", "phg", "output format: phg or hgr")
+	dir := flag.String("dir", "", "with -circuit all: directory to write files into")
+	nodes := flag.Int("nodes", 0, "anonymous synthetic circuit: CLB count")
+	pads := flag.Int("pads", 0, "anonymous synthetic circuit: pad count")
+	seed := flag.Int64("seed", 1, "anonymous synthetic circuit: seed")
+	seq := flag.Bool("seq", false, "anonymous synthetic circuit: add a clock net")
+	flag.Parse()
+
+	fam := device.XC3000
+	switch *family {
+	case "XC2000":
+		fam = device.XC2000
+	case "XC3000":
+	default:
+		fail("unknown family %q", *family)
+	}
+
+	write := func(w io.Writer, h *hypergraph.Hypergraph) error {
+		if *format == "hgr" {
+			return netlist.WriteHgr(w, h)
+		}
+		if *format != "phg" {
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		return netlist.WritePHG(w, h)
+	}
+
+	switch {
+	case *circuit == "all":
+		if *dir == "" {
+			fail("-circuit all requires -dir")
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		for _, s := range gen.MCNC {
+			h := gen.Generate(s, fam)
+			path := filepath.Join(*dir, fmt.Sprintf("%s.%s.%s", s.Name, *family, *format))
+			f, err := os.Create(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := write(f, h); err != nil {
+				fail("%v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", path, h)
+		}
+	case *circuit != "":
+		s, ok := gen.ByName(*circuit)
+		if !ok {
+			fail("unknown circuit %q", *circuit)
+		}
+		if err := write(os.Stdout, gen.Generate(s, fam)); err != nil {
+			fail("%v", err)
+		}
+	case *nodes > 0:
+		if err := write(os.Stdout, gen.Synthetic(*nodes, *pads, *seed, *seq)); err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("nothing to do: pass -circuit or -nodes (see -h)")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gencircuit: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command sweep runs parameter sensitivity studies over FPART's published
+// constants and prints one series table per parameter.
+//
+// Usage:
+//
+//	sweep                          # default: s13207 on XC3020, all sweeps
+//	sweep -circuit s9234 -device XC3042 -param lambdaT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpart/internal/device"
+	"fpart/internal/sweep"
+)
+
+func main() {
+	circuit := flag.String("circuit", "s13207", "Table 1 circuit name")
+	devName := flag.String("device", "XC3020", "device name")
+	param := flag.String("param", "", "single parameter to sweep: lambdaT, lambdaR, lower2, lowerMulti, upper, stack, nsmall, fill (empty = all)")
+	flag.Parse()
+
+	dev, ok := device.ByName(*devName)
+	if !ok {
+		fail("unknown device %q", *devName)
+	}
+	r, err := sweep.NewRunner(*circuit, dev)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var series []sweep.Series
+	switch *param {
+	case "":
+		series = r.Defaults()
+	case "lambdaT":
+		series = []sweep.Series{r.LambdaT([]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0})}
+	case "lambdaR":
+		series = []sweep.Series{r.LambdaR([]float64{0, 0.05, 0.1, 0.2, 0.4})}
+	case "lower2":
+		series = []sweep.Series{r.Lower2([]float64{0.5, 0.8, 0.9, 0.95, 1.0})}
+	case "lowerMulti":
+		series = []sweep.Series{r.LowerMulti([]float64{0, 0.15, 0.3, 0.6, 0.9})}
+	case "upper":
+		series = []sweep.Series{r.Upper([]float64{1.0, 1.05, 1.15, 1.3})}
+	case "stack":
+		series = []sweep.Series{r.StackDepth([]int{0, 2, 4, 8})}
+	case "nsmall":
+		series = []sweep.Series{r.NSmall([]int{0, 5, 15, 100})}
+	case "fill":
+		series = []sweep.Series{r.Fill([]float64{0.7, 0.8, 0.9, 1.0})}
+	default:
+		fail("unknown parameter %q", *param)
+	}
+	for i, s := range series {
+		if i > 0 {
+			fmt.Println()
+		}
+		s.Write(os.Stdout)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

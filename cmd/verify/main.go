@@ -1,0 +1,100 @@
+// Command verify checks a saved partitioning result against a circuit and
+// a device: it reconstructs the partition from the assignment file,
+// validates every device constraint, and prints the quality report.
+//
+// Usage:
+//
+//	fpart -device XC3020 -circuit s9234 -saveassign run.assign
+//	verify -device XC3020 -circuit s9234 run.assign
+//	verify -device XC3042 -format phg design.phg design.assign
+//
+// Exit status 0 means every block meets the device constraints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+	"fpart/internal/netlist"
+	"fpart/internal/partition"
+	"fpart/internal/quality"
+)
+
+func main() {
+	devName := flag.String("device", "XC3020", "target device")
+	format := flag.String("format", "phg", "circuit format when reading from file: phg or hgr")
+	circuit := flag.String("circuit", "", "built-in benchmark instead of a circuit file")
+	flag.Parse()
+
+	dev, ok := device.ByName(*devName)
+	if !ok {
+		fail("unknown device %q", *devName)
+	}
+
+	var h *hypergraph.Hypergraph
+	var assignPath string
+	if *circuit != "" {
+		spec, ok := gen.ByName(*circuit)
+		if !ok {
+			fail("unknown circuit %q", *circuit)
+		}
+		h = gen.Generate(spec, dev.Family)
+		assignPath = flag.Arg(0)
+	} else {
+		if flag.NArg() < 2 {
+			fail("usage: verify [-device D] <circuit file> <assignment file>")
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail("%v", err)
+		}
+		switch *format {
+		case "phg":
+			h, err = netlist.ReadPHG(f)
+		case "hgr":
+			h, err = netlist.ReadHgr(f)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+		assignPath = flag.Arg(1)
+	}
+	if assignPath == "" {
+		fail("no assignment file given")
+	}
+	af, err := os.Open(assignPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	blocks, k, err := netlist.ReadAssignment(af)
+	af.Close()
+	if err != nil {
+		fail("%v", err)
+	}
+	p, err := partition.FromAssignment(h, dev, blocks, k)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := p.Validate(); err != nil {
+		fail("internal inconsistency: %v", err)
+	}
+	rep := quality.Analyze(p, device.LowerBound(h, dev))
+	rep.Write(os.Stdout)
+	if !rep.Feasible {
+		fmt.Fprintln(os.Stderr, "verify: INFEASIBLE")
+		os.Exit(1)
+	}
+	fmt.Println("verify: OK")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "verify: "+format+"\n", args...)
+	os.Exit(1)
+}

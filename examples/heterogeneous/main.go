@@ -1,0 +1,62 @@
+// Heterogeneous: minimize total device *cost* over a menu of priced FPGA
+// types instead of the device count for a single type — the heterogeneous
+// extension of Kuznar et al. (reference [10] of the FPART paper), layered
+// on top of FPART.
+//
+//	go run ./examples/heterogeneous              # default s13207
+//	go run ./examples/heterogeneous -circuit s38417
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hetero"
+)
+
+func main() {
+	name := flag.String("circuit", "s13207", "Table 1 circuit name")
+	flag.Parse()
+
+	spec, ok := gen.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown circuit %q", *name)
+	}
+	h := gen.Generate(spec, device.XC3000)
+	menu := hetero.XilinxMenu()
+	fmt.Printf("%s: %d CLBs, %d pads\n", spec.Name, h.TotalSize(), h.NumPads())
+	fmt.Println("menu:")
+	for _, d := range menu {
+		fmt.Printf("  %-8s S_MAX=%3d T_MAX=%3d cost=%.1f\n", d.Name, d.SMax(), d.TMax(), d.Cost)
+	}
+
+	// Single-type costs for comparison.
+	fmt.Println("\nsingle-type solutions:")
+	for _, d := range menu {
+		r, err := core.Partition(h, d.Device, core.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d × %-8s cost %.1f (feasible=%v)\n", r.K, d.Name, float64(r.K)*d.Cost, r.Feasible)
+	}
+
+	r, err := hetero.Partition(h, menu, core.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheterogeneous solution (anchored on %s): %d devices, total cost %.1f\n",
+		r.Anchor.Name, r.K, r.TotalCost)
+	used := map[string]int{}
+	for _, a := range r.Blocks {
+		used[a.Device.Name]++
+	}
+	for _, d := range menu {
+		if n := used[d.Name]; n > 0 {
+			fmt.Printf("  %d × %-8s (%.1f)\n", n, d.Name, float64(n)*d.Cost)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Multidevice: sweep one MCNC benchmark over all four devices of the
+// paper, mirroring a row of Tables 2-5 and Table 6 at once.
+//
+//	go run ./examples/multidevice            # default s9234
+//	go run ./examples/multidevice -circuit s13207
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/gen"
+)
+
+func main() {
+	name := flag.String("circuit", "s9234", "Table 1 circuit name")
+	flag.Parse()
+
+	spec, ok := gen.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown circuit %q", *name)
+	}
+	fmt.Printf("%s: %d IOBs, %d CLBs (XC2000), %d CLBs (XC3000)\n",
+		spec.Name, spec.IOBs, spec.CLBs2000, spec.CLBs3000)
+	fmt.Printf("%-8s %6s %6s %4s %8s %10s %8s\n",
+		"device", "S_MAX", "T_MAX", "M", "devices", "feasible", "time")
+
+	for _, dev := range device.Catalog {
+		h := gen.Generate(spec, dev.Family)
+		m := device.LowerBound(h, dev)
+		r, err := core.Partition(h, dev, core.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %6d %6d %4d %8d %10v %8v\n",
+			dev.Name, dev.SMax(), dev.TMax(), m, r.K, r.Feasible,
+			r.Elapsed.Round(1000000))
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a small circuit hypergraph with the library API,
+// partition it onto an XC3020 with FPART, and print the blocks.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func main() {
+	// A toy design: four 30-cell modules connected in a chain, each with a
+	// handful of external I/Os. One XC3020 holds 57 cells / 64 pins, so
+	// two devices suffice.
+	var b hypergraph.Builder
+	var modules [][]hypergraph.NodeID
+	for m := 0; m < 4; m++ {
+		var cells []hypergraph.NodeID
+		for i := 0; i < 30; i++ {
+			cells = append(cells, b.AddInterior(fmt.Sprintf("m%d_c%d", m, i), 1))
+		}
+		// Local connectivity inside the module.
+		for i := 0; i+1 < len(cells); i++ {
+			b.AddNet(fmt.Sprintf("m%d_n%d", m, i), cells[i], cells[i+1])
+			if i+3 < len(cells) {
+				b.AddNet(fmt.Sprintf("m%d_s%d", m, i), cells[i], cells[i+3])
+			}
+		}
+		// Four external pads per module.
+		for p := 0; p < 4; p++ {
+			pad := b.AddPad(fmt.Sprintf("m%d_io%d", m, p))
+			b.AddNet(fmt.Sprintf("m%d_pn%d", m, p), pad, cells[p])
+		}
+		modules = append(modules, cells)
+	}
+	// A thin bus between adjacent modules.
+	for m := 0; m+1 < 4; m++ {
+		for w := 0; w < 3; w++ {
+			b.AddNet(fmt.Sprintf("bus%d_%d", m, w), modules[m][29-w], modules[m+1][w])
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := device.XC3020
+	fmt.Printf("circuit: %v\n", h)
+	fmt.Printf("device:  %v, lower bound M=%d\n", dev, device.LowerBound(h, dev))
+
+	result, err := core.Partition(h, dev, core.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FPART found %d blocks (feasible=%v) in %v\n",
+		result.K, result.Feasible, result.Elapsed.Round(1000000))
+
+	p := result.Partition
+	for bID := 0; bID < p.NumBlocks(); bID++ {
+		id := partition.BlockID(bID)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		fmt.Printf("  block %d: %3d cells, %2d terminals (S_MAX=%d, T_MAX=%d)\n",
+			bID, p.Size(id), p.Terminals(id), dev.SMax(), dev.TMax())
+	}
+
+	// Which module went where?
+	for m, cells := range modules {
+		counts := map[partition.BlockID]int{}
+		for _, c := range cells {
+			counts[p.Block(c)]++
+		}
+		fmt.Printf("  module %d spread: %v\n", m, counts)
+	}
+}

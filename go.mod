@@ -1,0 +1,3 @@
+module fpart
+
+go 1.22

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/gen"
+)
+
+func TestPublishedTotalsMatchPaper(t *testing.T) {
+	// The paper prints column totals; verify the transcription.
+	cases := []struct {
+		table map[string]Published
+		get   func(Published) int
+		want  int
+		name  string
+	}{
+		{Table2Published, func(p Published) int { return p.KwayX }, 210, "T2 k-way.x"},
+		{Table2Published, func(p Published) int { return p.RP0 }, 210, "T2 r+p.0"},
+		{Table2Published, func(p Published) int { return p.PropOP }, 198, "T2 PROP(p,o,p)"},
+		{Table2Published, func(p Published) int { return p.PropROP }, 188, "T2 PROP(p,r,o,p)"},
+		{Table2Published, func(p Published) int { return p.FBBMW }, 183, "T2 FBB-MW"},
+		{Table2Published, func(p Published) int { return p.FPART }, 180, "T2 FPART"},
+		{Table2Published, func(p Published) int { return p.M }, 172, "T2 M"},
+		{Table3Published, func(p Published) int { return p.KwayX }, 94, "T3 k-way.x"},
+		{Table3Published, func(p Published) int { return p.RP0 }, 93, "T3 r+p.0"},
+		{Table3Published, func(p Published) int { return p.PropOP }, 87, "T3 PROP(p,o,p)"},
+		{Table3Published, func(p Published) int { return p.PropROP }, 82, "T3 PROP(p,r,o,p)"},
+		{Table3Published, func(p Published) int { return p.FBBMW }, 84, "T3 FBB-MW"},
+		{Table3Published, func(p Published) int { return p.FPART }, 84, "T3 FPART"},
+		{Table3Published, func(p Published) int { return p.M }, 81, "T3 M"},
+		{Table4Published, func(p Published) int { return p.KwayX }, 48, "T4 k-way.x"}, // 14+34
+		{Table4Published, func(p Published) int { return p.RP0 }, 40, "T4 r+p.0"},     // 14+26
+		{Table4Published, func(p Published) int { return p.SC }, 33, "T4 SC"},
+		{Table4Published, func(p Published) int { return p.WCDP }, 29, "T4 WCDP"},
+		{Table4Published, func(p Published) int { return p.FBBMW }, 27, "T4 FBB-MW"},
+		{Table4Published, func(p Published) int { return p.FPART }, 41, "T4 FPART"}, // 14+27
+		{Table4Published, func(p Published) int { return p.M }, 40, "T4 M"},         // 14+26
+		{Table5Published, func(p Published) int { return p.KwayX }, 42, "T5 k-way.x"},
+		{Table5Published, func(p Published) int { return p.SC }, 43, "T5 SC"},
+		{Table5Published, func(p Published) int { return p.WCDP }, 44, "T5 WCDP"},
+		{Table5Published, func(p Published) int { return p.FBBMW }, 40, "T5 FBB-MW"},
+		{Table5Published, func(p Published) int { return p.FPART }, 40, "T5 FPART"},
+		{Table5Published, func(p Published) int { return p.M }, 39, "T5 M"},
+	}
+	for _, c := range cases {
+		if got := Totals(c.table, c.get); got != c.want {
+			t.Errorf("%s: total = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	out, err := Run("c3540", device.XC3090, FPART)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.K != 1 || !out.Feasible || out.M != 1 {
+		t.Errorf("c3540/XC3090 FPART: %+v, want K=1", out)
+	}
+}
+
+func TestRunUnknownCircuit(t *testing.T) {
+	if _, err := Run("nope", device.XC3020, FPART); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestRunAllMethods(t *testing.T) {
+	for _, m := range []Method{FPART, KwayX, FlowMW} {
+		out, err := Run("c3540", device.XC3042, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if out.K < out.M {
+			t.Errorf("%v: K=%d < M=%d", m, out.K, out.M)
+		}
+		if !out.Feasible {
+			t.Errorf("%v: infeasible on an easy instance", m)
+		}
+	}
+}
+
+func TestSuiteSmall(t *testing.T) {
+	res, err := Suite([]string{"c3540", "s9234"}, device.XC3090, []Method{FPART, KwayX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("suite rows = %d", len(res))
+	}
+	for c, row := range res {
+		for m, out := range row {
+			if out.K == 0 {
+				t.Errorf("%s/%v: zero K", c, m)
+			}
+		}
+	}
+}
+
+func TestWriteTable1(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{"c3540", "s38584", "373", "2904", "292"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestWriteDeviceTableBadNumber(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDeviceTable(&buf, 7); err == nil {
+		t.Error("table 7 accepted")
+	}
+}
+
+func TestWriteDeviceTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full partitioner suite")
+	}
+	var buf bytes.Buffer
+	if err := WriteDeviceTable(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"XC2064", "c6288", "Total", "meas FPART"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 output missing %q", want)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if FPART.String() != "FPART" || KwayX.String() != "k-way.x" || FlowMW.String() != "flow-MW" {
+		t.Error("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method should render")
+	}
+}
+
+func TestSuiteErrorPropagation(t *testing.T) {
+	_, err := Suite([]string{"c3540", "doesnotexist"}, device.XC3090, []Method{FPART})
+	if err == nil {
+		t.Error("Suite swallowed the unknown-circuit error")
+	}
+}
+
+func TestRunOnUnknownMethod(t *testing.T) {
+	spec, _ := gen.ByName("c3540")
+	h := gen.Generate(spec, device.XC3000)
+	if _, err := RunOn(h, "c3540", device.XC3090, Method(99)); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	for _, s := range []string{"text", "md", "csv"} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Errorf("ParseFormat(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml accepted")
+	}
+}
+
+func TestTableWriterMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	tw := newTableWriter(&buf, Markdown, nil)
+	tw.header([]string{"a", "b"})
+	tw.emit([]string{"1", "2"})
+	out := buf.String()
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n"
+	if out != want {
+		t.Errorf("markdown = %q, want %q", out, want)
+	}
+}
+
+func TestTableWriterCSVQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	tw := newTableWriter(&buf, CSV, nil)
+	tw.header([]string{"name", "note"})
+	tw.emit([]string{"x,y", `say "hi"`})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[1] != `"x,y","say ""hi"""` {
+		t.Errorf("csv quoting = %q", lines[1])
+	}
+}
+
+func TestTableWriterTextAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tw := newTableWriter(&buf, Text, []int{6, 4})
+	tw.header([]string{"col", "v"})
+	tw.emit([]string{"row", "7"})
+	out := buf.String()
+	if !strings.Contains(out, "col   ") {
+		t.Errorf("left pad missing: %q", out)
+	}
+	if !strings.Contains(out, "   7") {
+		t.Errorf("right align missing: %q", out)
+	}
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"testing"
+
+	"fpart/internal/device"
+)
+
+// TestMultilevelOnSuite pins the multilevel baseline's behaviour on four
+// representative circuits: feasible, at or near the lower bound.
+func TestMultilevelOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full partitioner")
+	}
+	for _, c := range []string{"c3540", "s9234", "s13207", "s38584"} {
+		out, err := Run(c, device.XC3020, Multilevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Feasible {
+			t.Errorf("%s: multilevel infeasible", c)
+		}
+		if out.K > out.M+2 {
+			t.Errorf("%s: K=%d far above M=%d", c, out.K, out.M)
+		}
+	}
+}

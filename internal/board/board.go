@@ -1,0 +1,318 @@
+// Package board models the multi-FPGA board downstream of partitioning:
+// blocks are placed onto board slots and the cut nets become inter-FPGA
+// signals routed over the board's interconnect. This is the logic-emulation
+// context the FPGA-partitioning literature targets (Chou et al. [3]:
+// "circuit partitioning for huge logic emulation systems"): a partition
+// with few cut nets is only as good as the board's ability to route them.
+//
+// Three interconnect topologies are modeled:
+//
+//   - Crossbar: every slot pair is directly connected (full custom wiring
+//     or a programmable crossbar); routing always succeeds, cost is the
+//     number of inter-FPGA signals.
+//   - Chain: slots in a line, signals routed through intermediate slots;
+//     per-adjacent-link wire capacity limits routability.
+//   - Mesh: slots in a grid, X-then-Y deterministic routing.
+package board
+
+import (
+	"fmt"
+	"sort"
+
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// Topology enumerates interconnect styles.
+type Topology uint8
+
+const (
+	// Crossbar connects every slot pair directly.
+	Crossbar Topology = iota
+	// Chain connects slot i to slot i+1.
+	Chain
+	// Mesh arranges slots in a Cols-wide grid with 4-neighbour links.
+	Mesh
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Crossbar:
+		return "crossbar"
+	case Chain:
+		return "chain"
+	case Mesh:
+		return "mesh"
+	default:
+		return fmt.Sprintf("Topology(%d)", uint8(t))
+	}
+}
+
+// Board describes the physical carrier.
+type Board struct {
+	Slots    int
+	Topology Topology
+	// Cols is the mesh width (ignored otherwise).
+	Cols int
+	// WiresPerLink caps signals per adjacent link (Chain/Mesh); zero means
+	// unlimited.
+	WiresPerLink int
+}
+
+// Validate rejects degenerate boards.
+func (b Board) Validate() error {
+	if b.Slots < 1 {
+		return fmt.Errorf("board: %d slots", b.Slots)
+	}
+	if b.Topology == Mesh && b.Cols < 1 {
+		return fmt.Errorf("board: mesh requires Cols >= 1")
+	}
+	return nil
+}
+
+// coord returns mesh coordinates of a slot.
+func (b Board) coord(slot int) (x, y int) {
+	return slot % b.Cols, slot / b.Cols
+}
+
+// distance returns hop distance between two slots under the topology.
+func (b Board) distance(a, c int) int {
+	switch b.Topology {
+	case Crossbar:
+		if a == c {
+			return 0
+		}
+		return 1
+	case Chain:
+		d := a - c
+		if d < 0 {
+			d = -d
+		}
+		return d
+	case Mesh:
+		ax, ay := b.coord(a)
+		cx, cy := b.coord(c)
+		dx, dy := ax-cx, ay-cy
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	default:
+		return 0
+	}
+}
+
+// Placement maps non-empty partition blocks to slots.
+type Placement struct {
+	// SlotOf maps each block ID to its slot (-1 for empty blocks).
+	SlotOf []int
+	Board  Board
+}
+
+// Report summarizes board-level routing of a placed partition.
+type Report struct {
+	InterNets   int  // nets spanning >= 2 slots
+	TotalHops   int  // Σ spanning-tree hop counts over all inter nets
+	MaxLinkLoad int  // busiest adjacent link (Chain/Mesh)
+	Routable    bool // every link within WiresPerLink (always true for Crossbar)
+}
+
+// Place assigns blocks to slots. For the crossbar the identity order is
+// used; for chains and meshes a greedy connectivity placement puts strongly
+// connected blocks on adjacent slots: blocks are taken in decreasing total
+// connectivity, each placed on the free slot minimizing hop-weighted cut to
+// the already-placed blocks.
+func Place(p *partition.Partition, b Board) (*Placement, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	var blocks []partition.BlockID
+	for blk := 0; blk < p.NumBlocks(); blk++ {
+		if p.Nodes(partition.BlockID(blk)) > 0 {
+			blocks = append(blocks, partition.BlockID(blk))
+		}
+	}
+	if len(blocks) > b.Slots {
+		return nil, fmt.Errorf("board: %d blocks exceed %d slots", len(blocks), b.Slots)
+	}
+	pl := &Placement{SlotOf: make([]int, p.NumBlocks()), Board: b}
+	for i := range pl.SlotOf {
+		pl.SlotOf[i] = -1
+	}
+
+	// Block-to-block connectivity weights from cut nets.
+	conn := make(map[[2]partition.BlockID]int)
+	h := p.Hypergraph()
+	for e := 0; e < h.NumNets(); e++ {
+		ne := hypergraph.NetID(e)
+		if p.Span(ne) < 2 {
+			continue
+		}
+		bs := p.Blocks(ne, nil)
+		for i := 0; i < len(bs); i++ {
+			for j := i + 1; j < len(bs); j++ {
+				a, c := bs[i], bs[j]
+				if a > c {
+					a, c = c, a
+				}
+				conn[[2]partition.BlockID{a, c}]++
+			}
+		}
+	}
+	weight := func(a, c partition.BlockID) int {
+		if a > c {
+			a, c = c, a
+		}
+		return conn[[2]partition.BlockID{a, c}]
+	}
+
+	// Order blocks by total connectivity, heaviest first.
+	total := map[partition.BlockID]int{}
+	for pair, w := range conn {
+		total[pair[0]] += w
+		total[pair[1]] += w
+	}
+	sort.SliceStable(blocks, func(i, j int) bool {
+		if total[blocks[i]] != total[blocks[j]] {
+			return total[blocks[i]] > total[blocks[j]]
+		}
+		return blocks[i] < blocks[j]
+	})
+
+	usedSlot := make([]bool, b.Slots)
+	for _, blk := range blocks {
+		bestSlot, bestCost := -1, 1<<30
+		for s := 0; s < b.Slots; s++ {
+			if usedSlot[s] {
+				continue
+			}
+			cost := 0
+			for _, other := range blocks {
+				os := pl.SlotOf[other]
+				if os < 0 || other == blk {
+					continue
+				}
+				cost += weight(blk, other) * b.distance(s, os)
+			}
+			if cost < bestCost {
+				bestSlot, bestCost = s, cost
+			}
+		}
+		pl.SlotOf[blk] = bestSlot
+		usedSlot[bestSlot] = true
+	}
+	return pl, nil
+}
+
+// Evaluate routes every cut net over the board and reports interconnect
+// usage. Nets are routed as stars from their lowest-slot terminal along
+// shortest paths (X-then-Y on meshes); link loads accumulate per adjacent
+// slot pair.
+func (pl *Placement) Evaluate(p *partition.Partition) Report {
+	b := pl.Board
+	h := p.Hypergraph()
+	linkLoad := map[[2]int]int{}
+	addPath := func(from, to int) int {
+		hops := 0
+		switch b.Topology {
+		case Crossbar:
+			if from != to {
+				hops = 1
+				key := [2]int{min(from, to), max(from, to)}
+				linkLoad[key]++
+			}
+		case Chain:
+			step := 1
+			if to < from {
+				step = -1
+			}
+			for s := from; s != to; s += step {
+				key := [2]int{min(s, s+step), max(s, s+step)}
+				linkLoad[key]++
+				hops++
+			}
+		case Mesh:
+			fx, fy := b.coord(from)
+			tx, ty := b.coord(to)
+			x, y := fx, fy
+			for x != tx {
+				step := 1
+				if tx < x {
+					step = -1
+				}
+				a := y*b.Cols + x
+				c := y*b.Cols + x + step
+				linkLoad[[2]int{min(a, c), max(a, c)}]++
+				x += step
+				hops++
+			}
+			for y != ty {
+				step := 1
+				if ty < y {
+					step = -1
+				}
+				a := y*b.Cols + x
+				c := (y+step)*b.Cols + x
+				linkLoad[[2]int{min(a, c), max(a, c)}]++
+				y += step
+				hops++
+			}
+		}
+		return hops
+	}
+
+	var rep Report
+	for e := 0; e < h.NumNets(); e++ {
+		ne := hypergraph.NetID(e)
+		if p.Span(ne) < 2 {
+			continue
+		}
+		slots := map[int]bool{}
+		for _, blk := range p.Blocks(ne, nil) {
+			if s := pl.SlotOf[blk]; s >= 0 {
+				slots[s] = true
+			}
+		}
+		if len(slots) < 2 {
+			continue
+		}
+		rep.InterNets++
+		ordered := make([]int, 0, len(slots))
+		for s := range slots {
+			ordered = append(ordered, s)
+		}
+		sort.Ints(ordered)
+		root := ordered[0]
+		for _, s := range ordered[1:] {
+			rep.TotalHops += addPath(root, s)
+		}
+	}
+	rep.Routable = true
+	for _, load := range linkLoad {
+		if load > rep.MaxLinkLoad {
+			rep.MaxLinkLoad = load
+		}
+	}
+	if b.WiresPerLink > 0 && rep.MaxLinkLoad > b.WiresPerLink {
+		rep.Routable = false
+	}
+	return rep
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

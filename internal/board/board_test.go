@@ -1,0 +1,198 @@
+package board
+
+import (
+	"testing"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// fourBlocks builds a partition of 4 chained clusters of 4 cells, each in
+// its own block: blocks 0-1, 1-2, 2-3 connected by one net each.
+func fourBlocks(t *testing.T) *partition.Partition {
+	t.Helper()
+	var b hypergraph.Builder
+	var all [][]hypergraph.NodeID
+	for c := 0; c < 4; c++ {
+		var set []hypergraph.NodeID
+		for i := 0; i < 4; i++ {
+			set = append(set, b.AddInterior("v", 1))
+		}
+		for i := 0; i+1 < 4; i++ {
+			b.AddNet("in", set[i], set[i+1])
+		}
+		all = append(all, set)
+	}
+	for c := 0; c+1 < 4; c++ {
+		b.AddNet("x", all[c][3], all[c+1][0])
+	}
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 5, Pins: 10, Fill: 1.0}
+	p := partition.New(h, dev)
+	for c := 1; c < 4; c++ {
+		nb := p.AddBlock()
+		for _, v := range all[c] {
+			p.Move(v, nb)
+		}
+	}
+	return p
+}
+
+func TestDistance(t *testing.T) {
+	xb := Board{Slots: 4, Topology: Crossbar}
+	if xb.distance(0, 3) != 1 || xb.distance(2, 2) != 0 {
+		t.Error("crossbar distances wrong")
+	}
+	ch := Board{Slots: 4, Topology: Chain}
+	if ch.distance(0, 3) != 3 || ch.distance(3, 1) != 2 {
+		t.Error("chain distances wrong")
+	}
+	me := Board{Slots: 6, Topology: Mesh, Cols: 3}
+	if me.distance(0, 5) != 3 { // (0,0) -> (2,1)
+		t.Errorf("mesh distance = %d, want 3", me.distance(0, 5))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Board{Slots: 0}).Validate() == nil {
+		t.Error("0 slots accepted")
+	}
+	if (Board{Slots: 4, Topology: Mesh}).Validate() == nil {
+		t.Error("mesh without Cols accepted")
+	}
+	if (Board{Slots: 4, Topology: Chain}).Validate() != nil {
+		t.Error("valid chain rejected")
+	}
+}
+
+func TestPlaceChainKeepsNeighborsAdjacent(t *testing.T) {
+	p := fourBlocks(t)
+	pl, err := Place(p, Board{Slots: 4, Topology: Chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pl.Evaluate(p)
+	// The block chain placed on a slot chain: 3 inter nets, each 1 hop if
+	// the placement is perfect. Allow 4 hops of slack for greedy placement.
+	if rep.InterNets != 3 {
+		t.Errorf("InterNets = %d, want 3", rep.InterNets)
+	}
+	if rep.TotalHops > 5 {
+		t.Errorf("TotalHops = %d, want near 3 on a chain-of-chains", rep.TotalHops)
+	}
+	if !rep.Routable {
+		t.Error("unlimited wires must be routable")
+	}
+}
+
+func TestPlaceTooManyBlocks(t *testing.T) {
+	p := fourBlocks(t)
+	if _, err := Place(p, Board{Slots: 2, Topology: Chain}); err == nil {
+		t.Error("4 blocks on 2 slots accepted")
+	}
+}
+
+func TestCrossbarAlwaysRoutable(t *testing.T) {
+	p := fourBlocks(t)
+	pl, err := Place(p, Board{Slots: 4, Topology: Crossbar, WiresPerLink: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pl.Evaluate(p)
+	if rep.TotalHops != rep.InterNets {
+		t.Errorf("crossbar hops %d != nets %d", rep.TotalHops, rep.InterNets)
+	}
+}
+
+func TestWireCapacityLimits(t *testing.T) {
+	// Force all traffic through one chain link by placing on 2 slots.
+	var b hypergraph.Builder
+	var left, right []hypergraph.NodeID
+	for i := 0; i < 3; i++ {
+		left = append(left, b.AddInterior("l", 1))
+		right = append(right, b.AddInterior("r", 1))
+	}
+	for i := 0; i < 3; i++ {
+		b.AddNet("x", left[i], right[i]) // 3 cut nets
+	}
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 10, Fill: 1.0}
+	p := partition.New(h, dev)
+	nb := p.AddBlock()
+	for _, v := range right {
+		p.Move(v, nb)
+	}
+	pl, err := Place(p, Board{Slots: 2, Topology: Chain, WiresPerLink: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pl.Evaluate(p)
+	if rep.MaxLinkLoad != 3 {
+		t.Errorf("MaxLinkLoad = %d, want 3", rep.MaxLinkLoad)
+	}
+	if rep.Routable {
+		t.Error("3 signals over a 2-wire link reported routable")
+	}
+	// With capacity 3 it routes.
+	pl2, _ := Place(p, Board{Slots: 2, Topology: Chain, WiresPerLink: 3})
+	if rep2 := pl2.Evaluate(p); !rep2.Routable {
+		t.Error("3 signals over a 3-wire link reported unroutable")
+	}
+}
+
+func TestMeshRouting(t *testing.T) {
+	p := fourBlocks(t)
+	pl, err := Place(p, Board{Slots: 4, Topology: Mesh, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pl.Evaluate(p)
+	if rep.InterNets != 3 {
+		t.Errorf("InterNets = %d, want 3", rep.InterNets)
+	}
+	if rep.TotalHops < 3 {
+		t.Errorf("TotalHops = %d, want >= 3", rep.TotalHops)
+	}
+	if !rep.Routable {
+		t.Error("unlimited mesh must route")
+	}
+}
+
+func TestEndToEndWithFPART(t *testing.T) {
+	// Partition a benchmark, then place it on a mesh emulation board.
+	spec, _ := gen.ByName("s9234")
+	h := gen.Generate(spec, device.XC3000)
+	r, err := core.Partition(h, device.XC3042, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := Board{Slots: 6, Topology: Mesh, Cols: 3, WiresPerLink: 200}
+	pl, err := Place(r.Partition, board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pl.Evaluate(r.Partition)
+	if rep.InterNets == 0 {
+		t.Error("no inter-FPGA nets on a multi-device partition")
+	}
+	if !rep.Routable {
+		t.Errorf("generous board unroutable: max link load %d", rep.MaxLinkLoad)
+	}
+	// The greedy placement must beat a worst-case bound: hops <= nets ×
+	// board diameter.
+	diameter := board.distance(0, board.Slots-1)
+	if rep.TotalHops > rep.InterNets*diameter {
+		t.Errorf("hops %d exceed diameter bound %d", rep.TotalHops, rep.InterNets*diameter)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for _, tp := range []Topology{Crossbar, Chain, Mesh, Topology(9)} {
+		if tp.String() == "" {
+			t.Error("empty topology name")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+// End-to-end tests of the secondary-resource (flip-flop) constraint from
+// §2 of the paper, driven through the full FPART flow.
+
+import (
+	"errors"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// ffChain builds n unit cells in a chain, each carrying one flip-flop.
+func ffChain(t *testing.T, n int) *hypergraph.Hypergraph {
+	t.Helper()
+	var b hypergraph.Builder
+	prev := hypergraph.NodeID(-1)
+	for i := 0; i < n; i++ {
+		id := b.AddInterior("ff", 1)
+		b.SetAux(id, 1)
+		if prev >= 0 {
+			b.AddNet("n", prev, id)
+		}
+		prev = id
+	}
+	return b.MustBuild()
+}
+
+func TestAuxConstraintForcesMoreDevices(t *testing.T) {
+	h := ffChain(t, 24)
+	// Size and pins would allow one device; 8 FFs per device force >= 3.
+	dev := device.Device{Name: "ffcap", Family: device.XC3000, DatasheetCells: 100, Pins: 100, Fill: 1.0, AuxCap: 8}
+	r, err := Partition(h, dev, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatalf("infeasible: K=%d M=%d", r.K, r.M)
+	}
+	if r.M != 3 {
+		t.Fatalf("M = %d, want 3 (aux-dominated)", r.M)
+	}
+	if r.K < 3 {
+		t.Errorf("K = %d below the aux bound", r.K)
+	}
+	p := r.Partition
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) > 0 && p.Aux(id) > dev.AuxCap {
+			t.Errorf("block %d exceeds aux cap: %d > %d", b, p.Aux(id), dev.AuxCap)
+		}
+	}
+}
+
+func TestAuxUnsplittableNode(t *testing.T) {
+	var b hypergraph.Builder
+	v := b.AddInterior("megaff", 1)
+	b.SetAux(v, 10)
+	w := b.AddInterior("w", 1)
+	b.AddNet("n", v, w)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", Family: device.XC3000, DatasheetCells: 100, Pins: 100, Fill: 1.0, AuxCap: 4}
+	_, err := Partition(h, dev, Default())
+	if !errors.Is(err, ErrUnsplittable) {
+		t.Errorf("err = %v, want ErrUnsplittable for aux-oversized node", err)
+	}
+}
+
+func TestAuxUncappedDeviceIgnoresAux(t *testing.T) {
+	h := ffChain(t, 24)
+	dev := device.Device{Name: "d", Family: device.XC3000, DatasheetCells: 100, Pins: 100, Fill: 1.0}
+	r, err := Partition(h, dev, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 1 {
+		t.Errorf("K = %d, want 1 when aux is unconstrained", r.K)
+	}
+}

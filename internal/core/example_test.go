@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// ExamplePartition partitions a two-cluster circuit onto a small device.
+func ExamplePartition() {
+	var b hypergraph.Builder
+	var left, right []hypergraph.NodeID
+	for i := 0; i < 6; i++ {
+		left = append(left, b.AddInterior(fmt.Sprintf("l%d", i), 1))
+		right = append(right, b.AddInterior(fmt.Sprintf("r%d", i), 1))
+	}
+	for i := 0; i+1 < 6; i++ {
+		b.AddNet("lnet", left[i], left[i+1])
+		b.AddNet("rnet", right[i], right[i+1])
+	}
+	b.AddNet("bridge", left[5], right[0])
+	h, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := device.Device{Name: "toy", Family: device.XC3000, DatasheetCells: 8, Pins: 16, Fill: 1.0}
+	res, err := core.Partition(h, dev, core.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("devices=%d feasible=%v cut=%d\n", res.K, res.Feasible, res.Partition.Cut())
+	// Output:
+	// devices=2 feasible=true cut=1
+}

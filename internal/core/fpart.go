@@ -1,0 +1,505 @@
+// Package core implements FPART, the multi-way FPGA netlist partitioning
+// algorithm of Krupnova & Saucier (DATE 1999).
+//
+// FPART finds a feasible partition of a circuit hypergraph into the minimum
+// number k of blocks, each meeting the device constraints (S_MAX, T_MAX).
+// It follows the recursive peeling paradigm (Algorithm 1 of the paper): at
+// each iteration the remainder is bipartitioned by constructive seeding
+// (§3.2) and the solution is refined by a schedule of guided iterative
+// improvement passes (§3.1):
+//
+//	{R_k, P_k} = Bipartition(R_{k-1})
+//	Improve(R_k, P_k)                      // the two newest blocks
+//	if M <= N_small: Improve(all blocks)   // full Sanchis pass
+//	Improve(P_MIN_size, R_k)               // smallest block
+//	Improve(P_MIN_IO,   R_k)               // fewest-terminal block
+//	Improve(P_MIN_F,    R_k)               // most free space (σ1, σ2 weights)
+//	if k == M and M <= N_small:
+//	    Improve(P_i, R_k) for every i      // final all-pairs sweep
+//
+// until the remainder itself meets the device constraints.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+	"fpart/internal/sanchis"
+	"fpart/internal/seed"
+)
+
+// Config tunes FPART. The zero value selects every published parameter of
+// §4: σ1 = σ2 = 0.5, N_small = 15, λ = (0.4, 0.6, 0.1), move windows
+// (1.05, 0.95, 0.3), stack depth 4, 2-level gains.
+type Config struct {
+	// Engine configures the iterative-improvement engine (§3.3–§3.7).
+	Engine sanchis.Config
+	// Sigma1 and Sigma2 weight logic and I/O occupation in the free-space
+	// estimate F = σ1·(S_MAX−S_i)/S_MAX + σ2·(T_MAX−T_i)/T_MAX (§3.1).
+	Sigma1, Sigma2 float64
+	// NSmall separates the small-k and big-k improvement strategies (§3.1).
+	NSmall int
+	// DisableSchedule reduces the improvement schedule to the single
+	// newest-pair pass (ablation switch; approximates the k-way.x baseline
+	// strategy).
+	DisableSchedule bool
+	// MaxBlocks caps the iteration count for termination safety; zero
+	// selects 4·M+32.
+	MaxBlocks int
+	// DisableAbsorb turns off the final absorption pass that dissolves
+	// small leftover blocks into the free space of the others once a
+	// feasible solution exists. Absorption is this implementation's
+	// endgame counterpart to the paper's k = M all-pairs sweep; it can
+	// only reduce K and never breaks feasibility.
+	DisableAbsorb bool
+	// Trace, when non-nil, receives one line per algorithm event
+	// (bipartitions and improvement passes), mirroring Figure 1.
+	Trace io.Writer
+}
+
+func (c Config) normalize() Config {
+	if c.Sigma1 == 0 && c.Sigma2 == 0 {
+		c.Sigma1, c.Sigma2 = 0.5, 0.5
+	}
+	if c.NSmall == 0 {
+		c.NSmall = 15
+	}
+	if c.Engine == (sanchis.Config{}) {
+		c.Engine = sanchis.Default()
+	}
+	return c
+}
+
+// Default returns the published configuration.
+func Default() Config { return Config{}.normalize() }
+
+// Stats aggregates algorithm effort counters.
+type Stats struct {
+	Iterations   int // bipartition steps executed
+	ImproveCalls int
+	Passes       int
+	MovesApplied int
+	Restarts     int
+}
+
+// Result is the outcome of a Partition call.
+type Result struct {
+	// Partition holds the final assignment. When Feasible is true every
+	// block meets the device constraints.
+	Partition *partition.Partition
+	// K is the number of non-empty blocks in the final solution.
+	K int
+	// M is the theoretical lower bound on the block count.
+	M int
+	// Feasible reports whether a fully feasible solution was reached.
+	Feasible bool
+	Stats    Stats
+	Elapsed  time.Duration
+}
+
+// Blocks returns the node sets of the non-empty blocks.
+func (r *Result) Blocks() [][]hypergraph.NodeID {
+	var out [][]hypergraph.NodeID
+	for b := 0; b < r.Partition.NumBlocks(); b++ {
+		if r.Partition.Nodes(partition.BlockID(b)) > 0 {
+			out = append(out, r.Partition.NodesIn(partition.BlockID(b)))
+		}
+	}
+	return out
+}
+
+// ErrUnsplittable is returned when the circuit contains a node that can
+// never fit the device on its own.
+var ErrUnsplittable = errors.New("core: circuit contains a node larger than the device capacity")
+
+// Partition runs FPART on circuit h targeting device dev.
+func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	start := time.Now()
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if h.NumNodes() == 0 {
+		return nil, errors.New("core: empty circuit")
+	}
+	for _, id := range h.InteriorIDs() {
+		if h.Node(id).Size > dev.SMax() {
+			return nil, fmt.Errorf("%w: node %q has size %d > S_MAX %d",
+				ErrUnsplittable, h.Node(id).Name, h.Node(id).Size, dev.SMax())
+		}
+		if dev.AuxCap > 0 && h.Node(id).Aux > dev.AuxCap {
+			return nil, fmt.Errorf("%w: node %q needs %d secondary resources > cap %d",
+				ErrUnsplittable, h.Node(id).Name, h.Node(id).Aux, dev.AuxCap)
+		}
+	}
+	cfg = cfg.normalize()
+
+	p := partition.New(h, dev)
+	m := device.LowerBound(h, dev)
+	eng := sanchis.New(p, cfg.Engine)
+	cost := cfg.Engine.Cost
+	if cost == (partition.CostParams{}) {
+		cost = partition.DefaultCost()
+	}
+	rem := partition.BlockID(0)
+	res := &Result{Partition: p, M: m}
+	maxBlocks := cfg.MaxBlocks
+	if maxBlocks == 0 {
+		maxBlocks = 4*m + 32
+	}
+
+	trace := func(format string, args ...any) {
+		if cfg.Trace != nil {
+			fmt.Fprintf(cfg.Trace, format+"\n", args...)
+		}
+	}
+	improve := func(label string, blocks ...partition.BlockID) {
+		st := eng.Improve(blocks, rem, m)
+		res.Stats.ImproveCalls++
+		res.Stats.Passes += st.Passes
+		res.Stats.MovesApplied += st.MovesApplied
+		res.Stats.Restarts += st.Restarts
+		trace("improve %s blocks=%v improved=%v", label, blocks, st.Improved)
+	}
+
+	for !p.Feasible(rem) {
+		if p.NumBlocks() >= maxBlocks {
+			break // bail out; Feasible stays false
+		}
+		res.Stats.Iterations++
+		pk, ok := seed.Best(p, rem, dev, cost, m)
+		if !ok {
+			break
+		}
+		trace("iteration %d: bipartition R -> {R, P%d} (size=%d T=%d)",
+			res.Stats.Iterations, pk, p.Size(pk), p.Terminals(pk))
+
+		improve("pair(R,Pk)", rem, pk)
+		if !cfg.DisableSchedule {
+			if m <= cfg.NSmall {
+				improve("all", allBlocks(p)...)
+			}
+			schedule := []struct {
+				label string
+				pick  func() partition.BlockID
+			}{
+				{"pair(Pmin_size,R)", func() partition.BlockID { return minSizeBlock(p, rem) }},
+				{"pair(Pmin_IO,R)", func() partition.BlockID { return minIOBlock(p, rem) }},
+				{"pair(Pmax_F,R)", func() partition.BlockID { return maxFreeBlock(p, rem, cfg.Sigma1, cfg.Sigma2) }},
+			}
+			prev := pk
+			for _, s := range schedule {
+				b := s.pick()
+				if b == partition.NoBlock || b == prev {
+					continue
+				}
+				improve(s.label, b, rem)
+				prev = b
+			}
+			if p.NumBlocks() == m && m <= cfg.NSmall {
+				for b := 0; b < p.NumBlocks(); b++ {
+					if partition.BlockID(b) != rem {
+						improve("final-pair", partition.BlockID(b), rem)
+					}
+				}
+			}
+		}
+
+		repairNonRemainder(p, rem, &res.Stats, trace)
+
+		if p.Nodes(rem) == 0 {
+			// The remainder emptied out entirely; the partition is final.
+			break
+		}
+	}
+
+	res.Feasible = p.Classify() == partition.FeasibleSolution
+	if res.Feasible && !cfg.DisableAbsorb {
+		for absorbSmallest(p, trace) {
+		}
+	}
+	res.K = nonEmptyBlocks(p)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// absorbSmallest tries to dissolve the smallest non-empty block by moving
+// each of its nodes into the feasible block with the strongest net
+// affinity. On failure the partition is restored. Reports whether a block
+// was dissolved.
+func absorbSmallest(p *partition.Partition, trace func(string, ...any)) bool {
+	target := partition.NoBlock
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		if target == partition.NoBlock || p.Size(id) < p.Size(target) ||
+			(p.Size(id) == p.Size(target) && p.Nodes(id) < p.Nodes(target)) {
+			target = id
+		}
+	}
+	if target == partition.NoBlock || nonEmptyBlocks(p) < 2 {
+		return false
+	}
+	h := p.Hypergraph()
+	snap := p.Snapshot()
+	for p.Nodes(target) > 0 {
+		moved := false
+		// Take the node with the strongest pull toward some other block.
+		type cand struct {
+			v  hypergraph.NodeID
+			to partition.BlockID
+			w  int
+		}
+		best := cand{v: -1, to: partition.NoBlock, w: -1}
+		for _, v := range p.NodesIn(target) {
+			affinity := map[partition.BlockID]int{}
+			for _, e := range h.Nets(v) {
+				for _, b := range p.Blocks(e, nil) {
+					if b != target {
+						affinity[b]++
+					}
+				}
+			}
+			for b := 0; b < p.NumBlocks(); b++ {
+				id := partition.BlockID(b)
+				if id == target || p.Nodes(id) == 0 {
+					continue
+				}
+				if w := affinity[id]; w > best.w {
+					best = cand{v: v, to: id, w: w}
+				}
+			}
+		}
+		if best.to == partition.NoBlock {
+			p.Restore(snap)
+			return false
+		}
+		// Prefer the affinity-ranked target but accept any feasible one.
+		order := []partition.BlockID{best.to}
+		for b := 0; b < p.NumBlocks(); b++ {
+			id := partition.BlockID(b)
+			if id != target && id != best.to && p.Nodes(id) > 0 {
+				order = append(order, id)
+			}
+		}
+		for _, to := range order {
+			p.Move(best.v, to)
+			if p.Feasible(to) {
+				moved = true
+				break
+			}
+			p.Move(best.v, target)
+		}
+		if !moved {
+			p.Restore(snap)
+			return false
+		}
+	}
+	if p.Classify() != partition.FeasibleSolution {
+		p.Restore(snap)
+		return false
+	}
+	trace("absorbed block %d", target)
+	return true
+}
+
+// Portfolio runs FPART once per configuration (concurrently — the
+// hypergraph is read-only) and returns the best result: feasible beats
+// infeasible, then fewer devices, then fewer total terminals. It realizes
+// the classical "number of runs" FM parameter (§1) as a deterministic
+// strategy portfolio rather than random restarts.
+func Portfolio(h *hypergraph.Hypergraph, dev device.Device, cfgs []Config) (*Result, error) {
+	if len(cfgs) == 0 {
+		cfgs = DefaultPortfolio()
+	}
+	type slot struct {
+		res *Result
+		err error
+	}
+	out := make([]slot, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].res, out[i].err = Partition(h, dev, cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	var best *Result
+	var firstErr error
+	for _, s := range out {
+		if s.err != nil {
+			if firstErr == nil {
+				firstErr = s.err
+			}
+			continue
+		}
+		if best == nil || betterResult(s.res, best) {
+			best = s.res
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// betterResult orders portfolio outcomes.
+func betterResult(a, b *Result) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	if a.K != b.K {
+		return a.K < b.K
+	}
+	return a.Partition.TerminalSum() < b.Partition.TerminalSum()
+}
+
+// DefaultPortfolio returns the strategy mix used by Portfolio when no
+// configurations are given: the published configuration, the pin-gain
+// variant (§5 future work), a deeper-stack variant, and a no-windows
+// variant for circuits where the regions trap the search.
+func DefaultPortfolio() []Config {
+	published := Default()
+	pin := Default()
+	pin.Engine.PinGain = true
+	deep := Default()
+	deep.Engine.StackDepth = 8
+	open := Default()
+	open.Engine.DisableWindows = true
+	return []Config{published, pin, deep, open}
+}
+
+// allBlocks lists every current block.
+func allBlocks(p *partition.Partition) []partition.BlockID {
+	out := make([]partition.BlockID, p.NumBlocks())
+	for i := range out {
+		out[i] = partition.BlockID(i)
+	}
+	return out
+}
+
+// nonEmptyBlocks counts blocks holding at least one node.
+func nonEmptyBlocks(p *partition.Partition) int {
+	n := 0
+	for b := 0; b < p.NumBlocks(); b++ {
+		if p.Nodes(partition.BlockID(b)) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// minSizeBlock returns the non-remainder, non-empty block with the smallest
+// size (§3.1, P_MIN_size). NoBlock when none exists.
+func minSizeBlock(p *partition.Partition, rem partition.BlockID) partition.BlockID {
+	best := partition.NoBlock
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if id == rem || p.Nodes(id) == 0 {
+			continue
+		}
+		if best == partition.NoBlock || p.Size(id) < p.Size(best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// minIOBlock returns the non-remainder block with the fewest terminals
+// (§3.1, P_MIN_IO).
+func minIOBlock(p *partition.Partition, rem partition.BlockID) partition.BlockID {
+	best := partition.NoBlock
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if id == rem || p.Nodes(id) == 0 {
+			continue
+		}
+		if best == partition.NoBlock || p.Terminals(id) < p.Terminals(best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// maxFreeBlock returns the non-remainder block with the greatest free-space
+// estimate F = σ1·(S_MAX−S_i)/S_MAX + σ2·(T_MAX−T_i)/T_MAX (§3.1, P_MIN_F).
+func maxFreeBlock(p *partition.Partition, rem partition.BlockID, s1, s2 float64) partition.BlockID {
+	dev := p.Device()
+	smax, tmax := float64(dev.SMax()), float64(dev.TMax())
+	best := partition.NoBlock
+	bestF := 0.0
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if id == rem || p.Nodes(id) == 0 {
+			continue
+		}
+		f := s1*(smax-float64(p.Size(id)))/smax + s2*(tmax-float64(p.Terminals(id)))/tmax
+		if best == partition.NoBlock || f > bestF {
+			best, bestF = id, f
+		}
+	}
+	return best
+}
+
+// repairNonRemainder restores semi-feasibility: any non-remainder block
+// still violating the device constraints sheds its least-connected cells
+// back to the remainder until it fits. Only semi-feasible solutions are
+// accepted between Algorithm 1 steps (§3.5), and the improvement passes'
+// best-key selection almost always delivers that already; this is the
+// safety net for adversarial inputs.
+func repairNonRemainder(p *partition.Partition, rem partition.BlockID, st *Stats, trace func(string, ...any)) {
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if id == rem || p.Feasible(id) {
+			continue
+		}
+		shed := 0
+		for !p.Feasible(id) && p.Nodes(id) > 0 {
+			v := worstCell(p, id)
+			p.Move(v, rem)
+			shed++
+			st.MovesApplied++
+		}
+		trace("repair block=%d shed=%d", id, shed)
+	}
+}
+
+// worstCell returns the cell of block b with the fewest pins on nets
+// internal to b (the loosest-bound cell), preferring larger cells when the
+// block is size-infeasible.
+func worstCell(p *partition.Partition, b partition.BlockID) hypergraph.NodeID {
+	h := p.Hypergraph()
+	dev := p.Device()
+	sizeViolated := p.Size(b) > dev.SMax()
+	auxViolated := dev.AuxCap > 0 && p.Aux(b) > dev.AuxCap
+	var best hypergraph.NodeID = -1
+	bestScore := 0
+	for _, v := range p.NodesIn(b) {
+		internal := 0
+		for _, e := range h.Nets(v) {
+			if p.Span(e) == 1 {
+				internal++
+			}
+		}
+		score := -internal
+		if sizeViolated {
+			score += h.Node(v).Size * 8
+		}
+		if auxViolated {
+			score += h.Node(v).Aux * 8
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+)
+
+func TestPortfolioBeatsOrMatchesSingle(t *testing.T) {
+	spec, _ := gen.ByName("c3540")
+	h := gen.Generate(spec, device.XC3000)
+	single, err := Partition(h, device.XC3020, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Portfolio(h, device.XC3020, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible {
+		t.Fatal("portfolio infeasible")
+	}
+	if best.K > single.K {
+		t.Errorf("portfolio K=%d worse than single K=%d", best.K, single.K)
+	}
+	if err := best.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortfolioCustomConfigs(t *testing.T) {
+	h := ringOfClusters(t, 3, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	cfgs := []Config{Default(), func() Config {
+		c := Default()
+		c.DisableSchedule = true
+		return c
+	}()}
+	r, err := Portfolio(h, dev, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, h, r)
+}
+
+func TestPortfolioPropagatesErrors(t *testing.T) {
+	// Empty circuit: every member fails, the error must surface.
+	var b hypergraph.Builder
+	if _, err := Portfolio(b.MustBuild(), device.XC3020, nil); err == nil {
+		t.Error("portfolio swallowed errors")
+	}
+}
+
+func TestDefaultPortfolioShape(t *testing.T) {
+	cfgs := DefaultPortfolio()
+	if len(cfgs) < 3 {
+		t.Fatalf("portfolio too small: %d", len(cfgs))
+	}
+	// Must contain the published configuration and at least one pin-gain
+	// and one windowless variant.
+	var hasDefault, hasPin, hasOpen bool
+	for _, c := range cfgs {
+		switch {
+		case c.Engine.PinGain:
+			hasPin = true
+		case c.Engine.DisableWindows:
+			hasOpen = true
+		case c == Default():
+			hasDefault = true
+		}
+	}
+	if !hasDefault || !hasPin || !hasOpen {
+		t.Errorf("portfolio missing strategies: default=%v pin=%v open=%v", hasDefault, hasPin, hasOpen)
+	}
+}
+
+func TestBetterResultOrdering(t *testing.T) {
+	h := ringOfClusters(t, 2, 5, 2)
+	dev := device.Device{Name: "d", DatasheetCells: 20, Pins: 20, Fill: 1.0}
+	a, err := Partition(h, dev, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(h, dev, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical results: neither strictly better.
+	if betterResult(a, b) && betterResult(b, a) {
+		t.Error("betterResult is not antisymmetric")
+	}
+	// Feasibility dominates.
+	b.Feasible = false
+	if !betterResult(a, b) {
+		t.Error("feasible result should beat infeasible")
+	}
+}

@@ -1,0 +1,169 @@
+// Package device models the target FPGA devices of the FPART paper
+// (Krupnova & Saucier, DATE 1999, §2 and §4).
+//
+// A device D = (S_MAX, T_MAX) is characterized by its logic-cell capacity
+// and its terminal (IOB) count. S_MAX is derated from the datasheet cell
+// count by a user-chosen filling ratio δ (0.9 in the paper's XC3000
+// experiments, 1.0 for XC2064) to leave headroom for routing.
+package device
+
+import (
+	"fmt"
+
+	"fpart/internal/hypergraph"
+)
+
+// Family identifies a Xilinx CLB architecture generation. The MCNC
+// benchmarks of the paper are mapped once per family (Table 1).
+type Family uint8
+
+const (
+	// XC2000 CLBs have a 4-input function generator; designs map to more,
+	// smaller CLBs.
+	XC2000 Family = iota
+	// XC3000 CLBs have a 5-input function generator; designs map to fewer
+	// CLBs.
+	XC3000
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case XC2000:
+		return "XC2000"
+	case XC3000:
+		return "XC3000"
+	default:
+		return fmt.Sprintf("Family(%d)", uint8(f))
+	}
+}
+
+// Device describes one FPGA part.
+type Device struct {
+	Name string
+	// Family is the CLB architecture the part belongs to; it selects which
+	// technology-mapped variant of a benchmark the part consumes.
+	Family Family
+	// DatasheetCells is S_ds, the CLB count from the vendor datasheet.
+	DatasheetCells int
+	// Pins is T_MAX, the number of user I/O terminals (IOBs).
+	Pins int
+	// Fill is δ, the desired filling ratio applied to DatasheetCells.
+	Fill float64
+	// AuxCap bounds the device's secondary resource (flip-flops on the
+	// Xilinx parts; §2 notes such constraints are handled like the size
+	// constraint). Zero means unconstrained — the paper's experiments
+	// never hit these limits.
+	AuxCap int
+}
+
+// SMax returns S_MAX = floor(S_ds · δ), the usable logic capacity.
+func (d Device) SMax() int {
+	return int(float64(d.DatasheetCells) * d.Fill)
+}
+
+// TMax returns T_MAX, the terminal capacity.
+func (d Device) TMax() int { return d.Pins }
+
+// WithFill returns a copy of the device with filling ratio δ replaced.
+func (d Device) WithFill(delta float64) Device {
+	d.Fill = delta
+	return d
+}
+
+// String renders the device with its effective capacities.
+func (d Device) String() string {
+	return fmt.Sprintf("%s(S_MAX=%d,T_MAX=%d,δ=%.2f)", d.Name, d.SMax(), d.TMax(), d.Fill)
+}
+
+// Validate reports an error for degenerate device descriptions.
+func (d Device) Validate() error {
+	if d.DatasheetCells <= 0 {
+		return fmt.Errorf("device %s: datasheet cell count %d must be positive", d.Name, d.DatasheetCells)
+	}
+	if d.Pins <= 0 {
+		return fmt.Errorf("device %s: pin count %d must be positive", d.Name, d.Pins)
+	}
+	if d.Fill <= 0 || d.Fill > 1.0 {
+		return fmt.Errorf("device %s: fill ratio %.3f outside (0,1]", d.Name, d.Fill)
+	}
+	if d.SMax() < 1 {
+		return fmt.Errorf("device %s: effective S_MAX is zero after fill derating", d.Name)
+	}
+	return nil
+}
+
+// Fits reports whether a block with the given size and terminal count meets
+// the device constraints (the relation P ⊨ D of §2), ignoring the secondary
+// resource.
+func (d Device) Fits(size, terminals int) bool {
+	return size <= d.SMax() && terminals <= d.TMax()
+}
+
+// FitsFull additionally checks the secondary-resource demand against
+// AuxCap (unconstrained when AuxCap is zero).
+func (d Device) FitsFull(size, terminals, aux int) bool {
+	if !d.Fits(size, terminals) {
+		return false
+	}
+	return d.AuxCap == 0 || aux <= d.AuxCap
+}
+
+// The experimental devices of the paper (§4), with the fill ratios used
+// there: δ = 0.9 for the XC3000 parts, δ = 1.0 for XC2064.
+var (
+	XC2064 = Device{Name: "XC2064", Family: XC2000, DatasheetCells: 64, Pins: 58, Fill: 1.0}
+	XC3020 = Device{Name: "XC3020", Family: XC3000, DatasheetCells: 64, Pins: 64, Fill: 0.9}
+	XC3042 = Device{Name: "XC3042", Family: XC3000, DatasheetCells: 144, Pins: 96, Fill: 0.9}
+	XC3090 = Device{Name: "XC3090", Family: XC3000, DatasheetCells: 320, Pins: 144, Fill: 0.9}
+)
+
+// Catalog lists the paper's devices in the order of Tables 2-5.
+var Catalog = []Device{XC3020, XC3042, XC3090, XC2064}
+
+// ByName resolves a device from Catalog by case-sensitive name.
+func ByName(name string) (Device, bool) {
+	for _, d := range Catalog {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Device{}, false
+}
+
+// LowerBound returns M = max(⌈S0/S_MAX⌉, ⌈|Y0|/T_MAX⌉), the theoretical
+// minimum number of devices required to implement the circuit (§2).
+//
+// The size term uses the real-valued capacity S_ds·δ rather than the
+// integer-floored per-block capacity: the paper's Table 2 reports M = 16 for
+// s13207 on XC3020 (915 CLBs, capacity 64·0.9 = 57.6), which is
+// ⌈915/57.6⌉ = 16, not ⌈915/57⌉ = 17. M is therefore a slightly optimistic
+// bound — per-block feasibility still floors the capacity.
+func LowerBound(h *hypergraph.Hypergraph, d Device) int {
+	cap := float64(d.DatasheetCells) * d.Fill
+	m := int(ceil(float64(h.TotalSize()) / cap))
+	if io := ceilDiv(h.NumPads(), d.TMax()); io > m {
+		m = io
+	}
+	if d.AuxCap > 0 {
+		if aux := ceilDiv(h.TotalAux(), d.AuxCap); aux > m {
+			m = aux
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ceil avoids importing math for one call site and keeps exact behaviour on
+// integer-valued quotients.
+func ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}

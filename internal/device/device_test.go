@@ -1,0 +1,214 @@
+package device
+
+import (
+	"testing"
+
+	"fpart/internal/hypergraph"
+)
+
+func TestPaperDeviceCapacities(t *testing.T) {
+	// §4: XC3020 (S_ds=64, T=64), XC3042 (144, 96), XC3090 (320, 144) at
+	// δ=0.9; XC2064 (64, 58) at δ=1.0.
+	cases := []struct {
+		d          Device
+		smax, tmax int
+	}{
+		{XC3020, 57, 64},  // floor(64*0.9) = 57
+		{XC3042, 129, 96}, // floor(144*0.9) = 129
+		{XC3090, 288, 144},
+		{XC2064, 64, 58},
+	}
+	for _, c := range cases {
+		if c.d.SMax() != c.smax {
+			t.Errorf("%s SMax = %d, want %d", c.d.Name, c.d.SMax(), c.smax)
+		}
+		if c.d.TMax() != c.tmax {
+			t.Errorf("%s TMax = %d, want %d", c.d.Name, c.d.TMax(), c.tmax)
+		}
+		if err := c.d.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.d.Name, err)
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	if XC2064.Family != XC2000 {
+		t.Error("XC2064 should be XC2000 family")
+	}
+	for _, d := range []Device{XC3020, XC3042, XC3090} {
+		if d.Family != XC3000 {
+			t.Errorf("%s should be XC3000 family", d.Name)
+		}
+	}
+	if XC2000.String() != "XC2000" || XC3000.String() != "XC3000" {
+		t.Error("Family.String wrong")
+	}
+	if Family(9).String() == "" {
+		t.Error("unknown family should render")
+	}
+}
+
+func TestWithFill(t *testing.T) {
+	d := XC3020.WithFill(1.0)
+	if d.SMax() != 64 {
+		t.Errorf("SMax at δ=1.0 = %d, want 64", d.SMax())
+	}
+	if XC3020.SMax() != 57 {
+		t.Error("WithFill mutated the original")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Device{
+		{Name: "z", DatasheetCells: 0, Pins: 1, Fill: 1},
+		{Name: "z", DatasheetCells: 1, Pins: 0, Fill: 1},
+		{Name: "z", DatasheetCells: 1, Pins: 1, Fill: 0},
+		{Name: "z", DatasheetCells: 1, Pins: 1, Fill: 1.5},
+		{Name: "z", DatasheetCells: 10, Pins: 1, Fill: 0.05}, // SMax rounds to 0
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, d)
+		}
+	}
+}
+
+func TestFits(t *testing.T) {
+	d := XC3020 // S_MAX 57, T_MAX 64
+	if !d.Fits(57, 64) {
+		t.Error("exact capacity should fit")
+	}
+	if d.Fits(58, 64) || d.Fits(57, 65) {
+		t.Error("overflow should not fit")
+	}
+	if !d.Fits(0, 0) {
+		t.Error("empty block should fit")
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, ok := ByName("XC3042")
+	if !ok || d.Name != "XC3042" {
+		t.Errorf("ByName(XC3042) = %v,%v", d, ok)
+	}
+	if _, ok := ByName("XC9999"); ok {
+		t.Error("ByName found nonexistent device")
+	}
+}
+
+func buildCircuit(t *testing.T, interiorSizes []int, pads int) *hypergraph.Hypergraph {
+	t.Helper()
+	var b hypergraph.Builder
+	var prev hypergraph.NodeID = -1
+	for _, s := range interiorSizes {
+		id := b.AddInterior("v", s)
+		if prev >= 0 {
+			b.AddNet("e", prev, id)
+		}
+		prev = id
+	}
+	for i := 0; i < pads; i++ {
+		p := b.AddPad("p")
+		b.AddNet("pe", p, 0)
+	}
+	return b.MustBuild()
+}
+
+func TestLowerBoundSizeDominated(t *testing.T) {
+	// 200 cells onto XC3020 (S_MAX=57): ⌈200/57⌉ = 4; 10 pads: ⌈10/64⌉ = 1.
+	h := buildCircuit(t, []int{50, 50, 50, 50}, 10)
+	if m := LowerBound(h, XC3020); m != 4 {
+		t.Errorf("LowerBound = %d, want 4", m)
+	}
+}
+
+func TestLowerBoundIODominated(t *testing.T) {
+	// 10 cells, 200 pads onto XC3020 (T_MAX=64): ⌈200/64⌉ = 4.
+	h := buildCircuit(t, []int{10}, 200)
+	if m := LowerBound(h, XC3020); m != 4 {
+		t.Errorf("LowerBound = %d, want 4", m)
+	}
+}
+
+func TestLowerBoundAtLeastOne(t *testing.T) {
+	h := buildCircuit(t, []int{1}, 0)
+	if m := LowerBound(h, XC3090); m != 1 {
+		t.Errorf("LowerBound = %d, want 1", m)
+	}
+}
+
+func TestLowerBoundPaperExamples(t *testing.T) {
+	// Table 2: s38584 has 2904 CLBs (XC3000) and 292 IOBs; onto XC3020 the
+	// paper reports M = 51: max(⌈2904/57⌉, ⌈292/64⌉) = max(51, 5) = 51.
+	h := buildCircuit(t, manyOnes(2904), 292)
+	if m := LowerBound(h, XC3020); m != 51 {
+		t.Errorf("s38584/XC3020 M = %d, want 51", m)
+	}
+	// Table 4: s38584 onto XC3090: max(⌈2904/288⌉, ⌈292/144⌉) = max(11,3) = 11.
+	if m := LowerBound(h, XC3090); m != 11 {
+		t.Errorf("s38584/XC3090 M = %d, want 11", m)
+	}
+}
+
+func TestLowerBoundUsesRealValuedCapacity(t *testing.T) {
+	// s13207 on XC3020: 915 CLBs / (64·0.9 = 57.6) = 15.89 → M = 16 per
+	// Table 2, even though the integer per-block capacity is 57 and
+	// ⌈915/57⌉ would be 17.
+	h := buildCircuit(t, manyOnes(915), 154)
+	if m := LowerBound(h, XC3020); m != 16 {
+		t.Errorf("s13207/XC3020 M = %d, want 16", m)
+	}
+}
+
+func TestAllPaperLowerBounds(t *testing.T) {
+	// Every M column entry from Tables 2-5 cross-checked against Table 1.
+	type row struct {
+		iobs, clbs2000, clbs3000 int
+		m3020, m3042, m3090      int // XC3000-mapped
+		m2064                    int // XC2000-mapped; 0 = not in Table 5
+	}
+	rows := map[string]row{
+		"c3540":  {72, 373, 283, 5, 3, 1, 6},
+		"c5315":  {301, 535, 377, 7, 4, 3, 9},
+		"c6288":  {64, 833, 833, 15, 7, 3, 14},
+		"c7552":  {313, 611, 489, 9, 4, 3, 10},
+		"s5378":  {86, 500, 381, 7, 3, 2, 0},
+		"s9234":  {43, 565, 454, 8, 4, 2, 0},
+		"s13207": {154, 1038, 915, 16, 8, 4, 0},
+		"s15850": {102, 1013, 842, 15, 7, 3, 0},
+		"s38417": {136, 2763, 2221, 39, 18, 8, 0},
+		"s38584": {292, 3956, 2904, 51, 23, 11, 0},
+	}
+	for name, r := range rows {
+		h3 := buildCircuit(t, manyOnes(r.clbs3000), r.iobs)
+		if m := LowerBound(h3, XC3020); m != r.m3020 {
+			t.Errorf("%s/XC3020: M = %d, want %d", name, m, r.m3020)
+		}
+		if m := LowerBound(h3, XC3042); m != r.m3042 {
+			t.Errorf("%s/XC3042: M = %d, want %d", name, m, r.m3042)
+		}
+		if m := LowerBound(h3, XC3090); m != r.m3090 {
+			t.Errorf("%s/XC3090: M = %d, want %d", name, m, r.m3090)
+		}
+		if r.m2064 > 0 {
+			h2 := buildCircuit(t, manyOnes(r.clbs2000), r.iobs)
+			if m := LowerBound(h2, XC2064); m != r.m2064 {
+				t.Errorf("%s/XC2064: M = %d, want %d", name, m, r.m2064)
+			}
+		}
+	}
+}
+
+func manyOnes(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+func TestDeviceString(t *testing.T) {
+	if XC3020.String() == "" {
+		t.Error("empty String")
+	}
+}

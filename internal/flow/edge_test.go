@@ -1,0 +1,136 @@
+package flow
+
+// Edge-case tests for the flow network and FBB machinery.
+
+import (
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph(3, 2)
+	a := g.AddEdge(0, 1, 5)
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	if g.Cap(a) != 5 || g.Flow(a) != 0 {
+		t.Errorf("fresh edge cap/flow = %d/%d", g.Cap(a), g.Flow(a))
+	}
+	g.AddEdge(1, 2, 3)
+	g.MaxFlow(0, 2)
+	if g.Flow(a) != 3 {
+		t.Errorf("flow through first edge = %d, want 3", g.Flow(a))
+	}
+	if g.Cap(a) != 2 {
+		t.Errorf("residual = %d, want 2", g.Cap(a))
+	}
+}
+
+func TestSelfFlowIsZero(t *testing.T) {
+	g := NewGraph(2, 1)
+	g.AddEdge(0, 1, 4)
+	if f := g.MaxFlow(0, 0); f != 0 {
+		t.Errorf("s==t flow = %d", f)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	b.AddNet("n", v0, v1)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0}
+	p := partition.New(h, dev)
+	nw := buildNetwork(p, 0)
+	before := len(nw.g.to)
+	nw.mergeSource(0)
+	nw.mergeSource(0)                           // second call must not add another edge
+	if got := len(nw.g.to) - before; got != 2 { // one edge = 2 residual arcs
+		t.Errorf("duplicate merge added arcs: %d", got)
+	}
+	nw.mergeSink(1)
+	nw.mergeSink(1)
+	if got := len(nw.g.to) - before; got != 4 {
+		t.Errorf("arcs after both merges = %d, want 4", got)
+	}
+}
+
+func TestNetworkExcludesCutNets(t *testing.T) {
+	// Nets already spanning another block carry no bridging edge.
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	out := b.AddInterior("c", 1)
+	b.AddNet("cut", v0, out)
+	b.AddNet("internal", v0, v1)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0}
+	p := partition.New(h, dev)
+	carved := p.AddBlock()
+	p.Move(out, carved)
+	nw := buildNetwork(p, 0)
+	// Remainder has 2 nodes; only "internal" is bridged: total flow nodes
+	// = 2 + 2 aux + s + t = 6.
+	if nw.g.NumNodes() != 6 {
+		t.Errorf("network nodes = %d, want 6", nw.g.NumNodes())
+	}
+}
+
+func TestEvaluateCountsStubsAndPads(t *testing.T) {
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	pd := b.AddPad("p")
+	ext := b.AddInterior("x", 1)
+	b.AddNet("stub", v0, ext) // will be cut after carving ext
+	b.AddNet("padnet", pd, v0)
+	b.AddNet("pair", v0, v1)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0}
+	p := partition.New(h, dev)
+	carved := p.AddBlock()
+	p.Move(ext, carved)
+	nw := buildNetwork(p, 0)
+	// Evaluate the side {v0, pd}: terminals = stub (cut already, counts) +
+	// padnet (pad inside, v0 inside => internal... all pins of padnet are
+	// inside the side, so no crossing) + pad IOB + pair (v1 outside).
+	side := []int32{nw.flowIdx[v0], nw.flowIdx[pd]}
+	size, term := nw.evaluate(side)
+	if size != 1 {
+		t.Errorf("size = %d, want 1 (pad is size-free)", size)
+	}
+	// stub crosses (ext in another block) = 1; pair crosses (v1 in
+	// remainder outside side) = 1; pad IOB = 1; padnet fully inside = 0.
+	if term != 3 {
+		t.Errorf("term = %d, want 3", term)
+	}
+}
+
+func TestFBBPeelTinyRemainder(t *testing.T) {
+	var b hypergraph.Builder
+	b.AddInterior("only", 1)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0}
+	p := partition.New(h, dev)
+	if _, ok := FBBPeel(p, 0, dev, 0.5); ok {
+		t.Error("single-node remainder peeled")
+	}
+}
+
+func TestFarthestInRemainderDisconnected(t *testing.T) {
+	var b hypergraph.Builder
+	a := b.AddInterior("a", 1)
+	c := b.AddInterior("b", 1)
+	d := b.AddInterior("c", 1)
+	b.AddNet("n", a, c)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0}
+	p := partition.New(h, dev)
+	if far := farthestInRemainder(p, 0, a); far != d {
+		t.Errorf("farthest = %d, want the disconnected node %d", far, d)
+	}
+}

@@ -1,0 +1,186 @@
+// Package gain provides the gain-bucket container used by the FM and
+// Sanchis iterative-improvement engines (Fiduccia–Mattheyses 1982, Sanchis
+// 1989, as used by Krupnova & Saucier §3.7).
+//
+// A Bucket keeps every candidate cell of one move direction indexed by its
+// first-level gain, with LIFO ordering inside each gain list (the classic FM
+// choice, which the implementation-study literature cited by the paper
+// found superior to FIFO). The multi-way engine maintains one Bucket per
+// ordered block pair (k·(k−1) of them).
+package gain
+
+import "fmt"
+
+// none marks an empty link/head.
+const none int32 = -1
+
+// Bucket is a gain-indexed set of cells with LIFO lists per gain value.
+// Cell IDs must be dense in [0, numCells). Gains must lie in
+// [-maxGain, +maxGain]. The zero value is not usable; call NewBucket.
+type Bucket struct {
+	offset  int
+	heads   []int32 // per gain index: head cell, or none
+	next    []int32 // per cell
+	prev    []int32 // per cell; prev == cell itself means "list head marker"
+	gain    []int32 // per cell: current gain (valid only when in[cell])
+	in      []bool  // per cell: membership
+	maxIdx  int     // highest non-empty gain index, or -1 when empty
+	count   int
+	maxGain int
+}
+
+// NewBucket creates a bucket for cells 0..numCells-1 and gains in
+// [-maxGain, maxGain].
+func NewBucket(numCells, maxGain int) *Bucket {
+	if maxGain < 0 {
+		panic("gain: negative maxGain")
+	}
+	b := &Bucket{
+		offset:  maxGain,
+		heads:   make([]int32, 2*maxGain+1),
+		next:    make([]int32, numCells),
+		prev:    make([]int32, numCells),
+		gain:    make([]int32, numCells),
+		in:      make([]bool, numCells),
+		maxIdx:  -1,
+		maxGain: maxGain,
+	}
+	for i := range b.heads {
+		b.heads[i] = none
+	}
+	return b
+}
+
+// Len returns the number of cells currently in the bucket.
+func (b *Bucket) Len() int { return b.count }
+
+// Contains reports whether cell v is in the bucket.
+func (b *Bucket) Contains(v int32) bool { return b.in[v] }
+
+// Gain returns the stored gain of cell v; ok is false if v is absent.
+func (b *Bucket) Gain(v int32) (int, bool) {
+	if !b.in[v] {
+		return 0, false
+	}
+	return int(b.gain[v]), true
+}
+
+// MaxGain returns the highest gain present; ok is false when empty.
+func (b *Bucket) MaxGain() (int, bool) {
+	if b.maxIdx < 0 {
+		return 0, false
+	}
+	return b.maxIdx - b.offset, true
+}
+
+func (b *Bucket) idx(g int) int {
+	if g < -b.maxGain || g > b.maxGain {
+		panic(fmt.Sprintf("gain: %d outside [-%d,%d]", g, b.maxGain, b.maxGain))
+	}
+	return g + b.offset
+}
+
+// Insert adds cell v with the given gain. v must not already be present.
+func (b *Bucket) Insert(v int32, g int) {
+	if b.in[v] {
+		panic(fmt.Sprintf("gain: cell %d inserted twice", v))
+	}
+	i := b.idx(g)
+	b.in[v] = true
+	b.gain[v] = int32(g)
+	b.next[v] = b.heads[i]
+	b.prev[v] = none
+	if b.heads[i] != none {
+		b.prev[b.heads[i]] = v
+	}
+	b.heads[i] = v
+	b.count++
+	if i > b.maxIdx {
+		b.maxIdx = i
+	}
+}
+
+// Remove deletes cell v. Removing an absent cell is a no-op.
+func (b *Bucket) Remove(v int32) {
+	if !b.in[v] {
+		return
+	}
+	i := int(b.gain[v]) + b.offset
+	if b.prev[v] != none {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.heads[i] = b.next[v]
+	}
+	if b.next[v] != none {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+	b.in[v] = false
+	b.count--
+	if i == b.maxIdx && b.heads[i] == none {
+		b.shrinkMax()
+	}
+}
+
+// Update moves cell v to a new gain, preserving LIFO recency (v becomes the
+// head of its new list). Updating an absent cell inserts it.
+func (b *Bucket) Update(v int32, g int) {
+	if b.in[v] && int(b.gain[v]) == g {
+		return
+	}
+	b.Remove(v)
+	b.Insert(v, g)
+}
+
+func (b *Bucket) shrinkMax() {
+	for b.maxIdx >= 0 && b.heads[b.maxIdx] == none {
+		b.maxIdx--
+	}
+}
+
+// Top returns the LIFO-first cell of the highest non-empty gain list.
+func (b *Bucket) Top() (v int32, g int, ok bool) {
+	if b.maxIdx < 0 {
+		return 0, 0, false
+	}
+	return b.heads[b.maxIdx], b.maxIdx - b.offset, true
+}
+
+// TopN appends up to n cells from the highest non-empty gain list, in LIFO
+// order, to dst and returns it. It does not descend to lower gains.
+func (b *Bucket) TopN(n int, dst []int32) []int32 {
+	if b.maxIdx < 0 {
+		return dst
+	}
+	for v := b.heads[b.maxIdx]; v != none && n > 0; v = b.next[v] {
+		dst = append(dst, v)
+		n--
+	}
+	return dst
+}
+
+// ScanFrom calls fn for cells in gain order, highest first, within each gain
+// LIFO order, until fn returns false or the bucket is exhausted. The bucket
+// must not be mutated during the scan.
+func (b *Bucket) ScanFrom(fn func(v int32, g int) bool) {
+	for i := b.maxIdx; i >= 0; i-- {
+		for v := b.heads[i]; v != none; v = b.next[v] {
+			if !fn(v, i-b.offset) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes all cells in O(count + gain range).
+func (b *Bucket) Clear() {
+	for i := 0; i <= b.maxIdx; i++ {
+		for v := b.heads[i]; v != none; {
+			nx := b.next[v]
+			b.in[v] = false
+			v = nx
+		}
+		b.heads[i] = none
+	}
+	b.maxIdx = -1
+	b.count = 0
+}

@@ -1,0 +1,295 @@
+package gain
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyBucket(t *testing.T) {
+	b := NewBucket(10, 5)
+	if b.Len() != 0 {
+		t.Error("new bucket not empty")
+	}
+	if _, ok := b.MaxGain(); ok {
+		t.Error("MaxGain on empty bucket")
+	}
+	if _, _, ok := b.Top(); ok {
+		t.Error("Top on empty bucket")
+	}
+	if got := b.TopN(3, nil); len(got) != 0 {
+		t.Error("TopN on empty bucket returned cells")
+	}
+}
+
+func TestInsertTopRemove(t *testing.T) {
+	b := NewBucket(10, 5)
+	b.Insert(1, 2)
+	b.Insert(2, 4)
+	b.Insert(3, -5)
+	if g, ok := b.MaxGain(); !ok || g != 4 {
+		t.Errorf("MaxGain = %d,%v want 4", g, ok)
+	}
+	v, g, ok := b.Top()
+	if !ok || v != 2 || g != 4 {
+		t.Errorf("Top = %d,%d,%v want 2,4", v, g, ok)
+	}
+	b.Remove(2)
+	if g, _ := b.MaxGain(); g != 2 {
+		t.Errorf("MaxGain after remove = %d, want 2", g)
+	}
+	b.Remove(1)
+	b.Remove(3)
+	if b.Len() != 0 {
+		t.Errorf("Len = %d after removing all", b.Len())
+	}
+	if _, ok := b.MaxGain(); ok {
+		t.Error("MaxGain should be empty")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	b := NewBucket(10, 5)
+	b.Insert(1, 3)
+	b.Insert(2, 3)
+	b.Insert(3, 3)
+	// LIFO: most recent insertion first.
+	got := b.TopN(10, nil)
+	want := []int32{3, 2, 1}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("TopN = %v, want %v", got, want)
+	}
+	// Removing the middle keeps order of the rest.
+	b.Remove(2)
+	got = b.TopN(10, nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("TopN after middle removal = %v, want [3 1]", got)
+	}
+}
+
+func TestUpdateMakesHead(t *testing.T) {
+	b := NewBucket(10, 5)
+	b.Insert(1, 3)
+	b.Insert(2, 3)
+	b.Update(1, 3) // same gain: no-op, order preserved
+	if got := b.TopN(10, nil); got[0] != 2 {
+		t.Errorf("same-gain update must not reorder; TopN = %v", got)
+	}
+	b.Update(1, 4)
+	if v, g, _ := b.Top(); v != 1 || g != 4 {
+		t.Errorf("Top after update = %d,%d want 1,4", v, g)
+	}
+	b.Update(5, 0) // update of absent cell inserts
+	if !b.Contains(5) {
+		t.Error("Update should insert absent cell")
+	}
+}
+
+func TestGainLookup(t *testing.T) {
+	b := NewBucket(4, 3)
+	b.Insert(0, -2)
+	if g, ok := b.Gain(0); !ok || g != -2 {
+		t.Errorf("Gain = %d,%v want -2", g, ok)
+	}
+	if _, ok := b.Gain(1); ok {
+		t.Error("Gain of absent cell should be not-ok")
+	}
+}
+
+func TestRemoveAbsentNoop(t *testing.T) {
+	b := NewBucket(4, 3)
+	b.Remove(2) // must not panic
+	if b.Len() != 0 {
+		t.Error("Len changed")
+	}
+}
+
+func TestInsertTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double insert did not panic")
+		}
+	}()
+	b := NewBucket(4, 3)
+	b.Insert(1, 0)
+	b.Insert(1, 1)
+}
+
+func TestGainOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range gain did not panic")
+		}
+	}()
+	b := NewBucket(4, 3)
+	b.Insert(1, 4)
+}
+
+func TestScanFrom(t *testing.T) {
+	b := NewBucket(10, 5)
+	b.Insert(1, 1)
+	b.Insert(2, 3)
+	b.Insert(3, 3)
+	b.Insert(4, -2)
+	var seq []int32
+	b.ScanFrom(func(v int32, g int) bool {
+		seq = append(seq, v)
+		return true
+	})
+	want := []int32{3, 2, 1, 4} // gain 3 LIFO, then 1, then -2
+	if len(seq) != len(want) {
+		t.Fatalf("scan = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", seq, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	b.ScanFrom(func(v int32, g int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop scanned %d, want 2", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	b := NewBucket(10, 5)
+	for i := int32(0); i < 10; i++ {
+		b.Insert(i, int(i%4)-2)
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Errorf("Len after Clear = %d", b.Len())
+	}
+	if _, ok := b.MaxGain(); ok {
+		t.Error("MaxGain after Clear")
+	}
+	for i := int32(0); i < 10; i++ {
+		if b.Contains(i) {
+			t.Errorf("cell %d survived Clear", i)
+		}
+	}
+	// Bucket is reusable after Clear.
+	b.Insert(3, 5)
+	if v, g, ok := b.Top(); !ok || v != 3 || g != 5 {
+		t.Errorf("reuse after Clear: Top = %d,%d,%v", v, g, ok)
+	}
+}
+
+// Property: the bucket behaves exactly like a reference map implementation
+// under random insert/remove/update, including MaxGain and membership.
+func TestQuickMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const cells, maxG = 30, 6
+		b := NewBucket(cells, maxG)
+		ref := map[int32]int{}
+		for op := 0; op < 300; op++ {
+			v := int32(r.Intn(cells))
+			switch r.Intn(3) {
+			case 0:
+				g := r.Intn(2*maxG+1) - maxG
+				if _, in := ref[v]; !in {
+					b.Insert(v, g)
+					ref[v] = g
+				}
+			case 1:
+				b.Remove(v)
+				delete(ref, v)
+			case 2:
+				g := r.Intn(2*maxG+1) - maxG
+				b.Update(v, g)
+				ref[v] = g
+			}
+			if b.Len() != len(ref) {
+				return false
+			}
+			var wantMax int
+			first := true
+			for _, g := range ref {
+				if first || g > wantMax {
+					wantMax, first = g, false
+				}
+			}
+			gotMax, ok := b.MaxGain()
+			if ok == first { // ok should be !empty
+				return false
+			}
+			if ok && gotMax != wantMax {
+				return false
+			}
+			for c := int32(0); c < cells; c++ {
+				wg, win := ref[c]
+				gg, gin := b.Gain(c)
+				if win != gin || (win && wg != gg) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ScanFrom visits every cell exactly once in non-increasing gain
+// order.
+func TestQuickScanOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const cells, maxG = 25, 5
+		b := NewBucket(cells, maxG)
+		n := r.Intn(cells)
+		perm := r.Perm(cells)
+		var want []int
+		for i := 0; i < n; i++ {
+			g := r.Intn(2*maxG+1) - maxG
+			b.Insert(int32(perm[i]), g)
+			want = append(want, g)
+		}
+		var gains []int
+		seen := map[int32]bool{}
+		b.ScanFrom(func(v int32, g int) bool {
+			gains = append(gains, g)
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			return true
+		})
+		if len(gains) != n || len(seen) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(gains, func(i, j int) bool { return gains[i] > gains[j] }) {
+			return false
+		}
+		sort.Ints(want)
+		sort.Ints(gains)
+		for i := range want {
+			if want[i] != gains[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBucketChurn(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	const cells, maxG = 4096, 32
+	bk := NewBucket(cells, maxG)
+	for i := int32(0); i < cells; i++ {
+		bk.Insert(i, r.Intn(2*maxG+1)-maxG)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int32(r.Intn(cells))
+		bk.Update(v, r.Intn(2*maxG+1)-maxG)
+	}
+}

@@ -1,0 +1,245 @@
+// Package gen generates synthetic CLB-level benchmark circuits that
+// reproduce the characteristics of the MCNC Partitioning93 suite used in
+// the FPART paper's Table 1 (#IOBs and #CLBs per Xilinx family, exactly),
+// with hierarchical Rent-style connectivity.
+//
+// The original mapped netlists (Kuznar's Partitioning93 directories) are
+// not distributable here, so each circuit is synthesized deterministically
+// from its name: a recursive cluster hierarchy gives the locality structure
+// that iterative-improvement partitioners exploit, a Rent-rule exponent
+// controls how many nets cross each hierarchy level (and therefore how hard
+// the I/O constraint binds), and sequential circuits get a high-fanout
+// clock net. DESIGN.md documents why this substitution preserves the
+// partitioning behaviour the paper measures.
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// Spec mirrors one row of Table 1.
+type Spec struct {
+	Name     string
+	IOBs     int
+	CLBs2000 int // mapped to XC2000-family CLBs (K=4)
+	CLBs3000 int // mapped to XC3000-family CLBs (K=5)
+	// Sequential marks circuits with flip-flops (the ISCAS89 s-circuits);
+	// they receive a global clock net.
+	Sequential bool
+	// RentExp is the circuit's Rent exponent; zero selects the Params
+	// default. The big sequential ISCAS89 circuits are much more
+	// partitionable (p ≈ 0.5) than the dense combinational c-circuits —
+	// Rent-exponent studies of the MCNC/ISCAS suites report exactly this
+	// spread, and it is what lets the paper's methods approach the lower
+	// bound on s38417/s38584 (see EXPERIMENTS.md calibration notes).
+	RentExp float64
+}
+
+// CLBs returns the mapped CLB count for the family.
+func (s Spec) CLBs(f device.Family) int {
+	if f == device.XC2000 {
+		return s.CLBs2000
+	}
+	return s.CLBs3000
+}
+
+// MCNC lists the ten benchmark circuits of Table 1.
+var MCNC = []Spec{
+	{Name: "c3540", IOBs: 72, CLBs2000: 373, CLBs3000: 283, RentExp: 0.62},
+	{Name: "c5315", IOBs: 301, CLBs2000: 535, CLBs3000: 377, RentExp: 0.58},
+	{Name: "c6288", IOBs: 64, CLBs2000: 833, CLBs3000: 833, RentExp: 0.62},
+	{Name: "c7552", IOBs: 313, CLBs2000: 611, CLBs3000: 489, RentExp: 0.58},
+	{Name: "s5378", IOBs: 86, CLBs2000: 500, CLBs3000: 381, Sequential: true, RentExp: 0.62},
+	{Name: "s9234", IOBs: 43, CLBs2000: 565, CLBs3000: 454, Sequential: true, RentExp: 0.62},
+	{Name: "s13207", IOBs: 154, CLBs2000: 1038, CLBs3000: 915, Sequential: true, RentExp: 0.60},
+	{Name: "s15850", IOBs: 102, CLBs2000: 1013, CLBs3000: 842, Sequential: true, RentExp: 0.60},
+	{Name: "s38417", IOBs: 136, CLBs2000: 2763, CLBs3000: 2221, Sequential: true, RentExp: 0.55},
+	{Name: "s38584", IOBs: 292, CLBs2000: 3956, CLBs3000: 2904, Sequential: true, RentExp: 0.50},
+}
+
+// ByName finds a Table 1 circuit.
+func ByName(name string) (Spec, bool) {
+	for _, s := range MCNC {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Params tunes the synthetic structure. Zero values select the calibrated
+// defaults (see EXPERIMENTS.md for the calibration results).
+type Params struct {
+	// Branch is the hierarchy branching factor (default 4).
+	Branch int
+	// LeafSize is the cluster size at the bottom of the hierarchy
+	// (default 8).
+	LeafSize int
+	// Rent is the Rent-rule exponent governing cross-cluster nets
+	// (default 0.62).
+	Rent float64
+	// RentCoeff scales the cross-net count at each level (default 0.75).
+	RentCoeff float64
+	// LocalNets is the nets-per-node density inside leaves (default 1.05).
+	LocalNets float64
+	// ClockFanout caps the global clock net's pin count (default 256).
+	ClockFanout int
+}
+
+func (p Params) normalize() Params {
+	if p.Branch == 0 {
+		p.Branch = 4
+	}
+	if p.LeafSize == 0 {
+		p.LeafSize = 8
+	}
+	if p.Rent == 0 {
+		p.Rent = 0.62
+	}
+	if p.RentCoeff == 0 {
+		p.RentCoeff = 0.75
+	}
+	if p.LocalNets == 0 {
+		p.LocalNets = 1.05
+	}
+	if p.ClockFanout == 0 {
+		p.ClockFanout = 256
+	}
+	return p
+}
+
+// Generate synthesizes the circuit deterministically for the given family
+// with default parameters.
+func Generate(s Spec, fam device.Family) *hypergraph.Hypergraph {
+	return GenerateParams(s, fam, Params{})
+}
+
+// GenerateParams synthesizes with explicit parameters.
+func GenerateParams(s Spec, fam device.Family, prm Params) *hypergraph.Hypergraph {
+	if prm.Rent == 0 && s.RentExp != 0 {
+		prm.Rent = s.RentExp
+	}
+	prm = prm.normalize()
+	n := s.CLBs(fam)
+	if n < 1 {
+		panic(fmt.Sprintf("gen: circuit %q has no CLBs for family %v", s.Name, fam))
+	}
+	hsh := fnv.New64a()
+	fmt.Fprintf(hsh, "%s/%v", s.Name, fam)
+	r := rand.New(rand.NewSource(int64(hsh.Sum64())))
+
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		b.AddInterior(fmt.Sprintf("clb%d", i), 1)
+	}
+
+	// Recursive hierarchy over the index range [lo, hi).
+	var build func(lo, hi int)
+	build = func(lo, hi int) {
+		m := hi - lo
+		if m <= prm.LeafSize {
+			// Local nets: chain for guaranteed connectivity plus random
+			// small nets for density.
+			for i := lo; i+1 < hi; i++ {
+				b.AddNet("l", hypergraph.NodeID(i), hypergraph.NodeID(i+1))
+			}
+			extra := int(prm.LocalNets*float64(m)) - (m - 1)
+			for i := 0; i < extra; i++ {
+				deg := 2 + r.Intn(2)
+				pins := make([]hypergraph.NodeID, deg)
+				for j := range pins {
+					pins[j] = hypergraph.NodeID(lo + r.Intn(m))
+				}
+				b.AddNet("l", pins...)
+			}
+			return
+		}
+		// Split into Branch nearly equal children.
+		kids := prm.Branch
+		if kids > m {
+			kids = m
+		}
+		bounds := make([]int, kids+1)
+		for i := 0; i <= kids; i++ {
+			bounds[i] = lo + i*m/kids
+		}
+		for i := 0; i < kids; i++ {
+			build(bounds[i], bounds[i+1])
+		}
+		// Cross-cluster nets at this level: Rent's rule. The count scales
+		// with the cluster's terminal demand t·m^p distributed over its
+		// children.
+		cross := int(math.Round(prm.RentCoeff * math.Pow(float64(m), prm.Rent)))
+		if cross < kids-1 {
+			cross = kids - 1 // keep children connected
+		}
+		for c := 0; c < cross; c++ {
+			deg := 2 + r.Intn(3) // 2-4 pins
+			pins := make([]hypergraph.NodeID, 0, deg)
+			// First two pins from distinct children to guarantee a
+			// crossing; the rest anywhere in the range.
+			k1 := c % kids
+			k2 := (k1 + 1 + r.Intn(kids-1)) % kids
+			pins = append(pins,
+				pick(r, bounds[k1], bounds[k1+1]),
+				pick(r, bounds[k2], bounds[k2+1]))
+			for len(pins) < deg {
+				pins = append(pins, hypergraph.NodeID(lo+r.Intn(m)))
+			}
+			b.AddNet("x", pins...)
+		}
+	}
+	build(0, n)
+
+	// Global clock for sequential circuits: a single high-fanout net.
+	if s.Sequential {
+		fan := n / 6
+		if fan > prm.ClockFanout {
+			fan = prm.ClockFanout
+		}
+		if fan >= 2 {
+			pins := make([]hypergraph.NodeID, fan)
+			for i := range pins {
+				pins[i] = hypergraph.NodeID(i * n / fan)
+			}
+			clkPad := b.AddPad("clk")
+			b.AddNet("clk", append(pins, clkPad)...)
+		}
+	}
+
+	// Pads: stratified across the top-level clusters so external I/Os are
+	// spread the way real pad rings are. Each pad hangs on a 2-pin net.
+	pads := s.IOBs
+	if s.Sequential && pads > 0 {
+		pads-- // the clock pad is one of the IOBs
+	}
+	for i := 0; i < pads; i++ {
+		p := b.AddPad(fmt.Sprintf("io%d", i))
+		anchor := hypergraph.NodeID((i * 7919) % n) // spread deterministically
+		b.AddNet("pn", p, anchor)
+	}
+	return b.MustBuild()
+}
+
+func pick(r *rand.Rand, lo, hi int) hypergraph.NodeID {
+	return hypergraph.NodeID(lo + r.Intn(hi-lo))
+}
+
+// Synthetic builds an anonymous circuit with the same generator machinery —
+// useful for tests, examples, and scaling studies.
+func Synthetic(n, pads int, seed int64, sequential bool) *hypergraph.Hypergraph {
+	s := Spec{
+		Name:       fmt.Sprintf("syn%d-%d", n, seed),
+		IOBs:       pads,
+		CLBs2000:   n,
+		CLBs3000:   n,
+		Sequential: sequential,
+	}
+	return Generate(s, device.XC3000)
+}

@@ -1,0 +1,148 @@
+package hetero
+
+import (
+	"testing"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+)
+
+func TestHeterogeneousBeatsSingleBigDevice(t *testing.T) {
+	// s9234 fits 2 × XC3090 (cost 12.0) but also 4 × XC3042 (cost 10.0)
+	// or cheaper mixes; the menu search must not cost more than the best
+	// single-type solution.
+	spec, _ := gen.ByName("s9234")
+	h := gen.Generate(spec, device.XC3000)
+	r, err := Partition(h, XilinxMenu(), core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("infeasible")
+	}
+	// Upper bound: 2 × XC3090 = 12.0 units.
+	if r.TotalCost > 12.0 {
+		t.Errorf("TotalCost = %v, want <= 12.0", r.TotalCost)
+	}
+	if len(r.Blocks) != r.K {
+		t.Errorf("assignments %d != K %d", len(r.Blocks), r.K)
+	}
+	// Every assignment must actually fit.
+	for _, a := range r.Blocks {
+		if !a.Device.Fits(a.Size, a.Terminals) {
+			t.Errorf("block %d assigned %s but S=%d T=%d does not fit", a.Block, a.Device.Name, a.Size, a.Terminals)
+		}
+	}
+}
+
+func TestRightsizingPicksCheapest(t *testing.T) {
+	// A tiny circuit fits the cheapest menu entry outright.
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	b.AddNet("n", v0, v1)
+	h := b.MustBuild()
+	r, err := Partition(h, XilinxMenu(), core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 1 || r.TotalCost != 1.2 {
+		t.Errorf("K=%d cost=%v, want 1 × XC3020 at 1.2", r.K, r.TotalCost)
+	}
+	if r.Blocks[0].Device.Name != "XC3020" {
+		t.Errorf("assigned %s, want XC3020", r.Blocks[0].Device.Name)
+	}
+}
+
+func TestMenuValidation(t *testing.T) {
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	b.AddNet("n", v0, v1)
+	h := b.MustBuild()
+	if _, err := Partition(h, nil, core.Default()); err == nil {
+		t.Error("empty menu accepted")
+	}
+	if _, err := Partition(h, []Priced{{Device: device.Device{Name: "bad"}, Cost: 1}}, core.Default()); err == nil {
+		t.Error("invalid device accepted")
+	}
+	if _, err := Partition(h, []Priced{{Device: device.XC3020, Cost: 0}}, core.Default()); err == nil {
+		t.Error("zero cost accepted")
+	}
+	mixed := []Priced{{Device: device.XC3020, Cost: 1}, {Device: device.XC2064, Cost: 1}}
+	if _, err := Partition(h, mixed, core.Default()); err == nil {
+		t.Error("cross-family menu accepted")
+	}
+}
+
+func TestOversizedAnchorSkipped(t *testing.T) {
+	// One giant node: the small device cannot host it, but the menu also
+	// holds a big device, so the run must still succeed.
+	var b hypergraph.Builder
+	v := b.AddInterior("big", 100) // > XC3020's 57, <= XC3090's 288
+	w := b.AddInterior("w", 1)
+	b.AddNet("n", v, w)
+	h := b.MustBuild()
+	r, err := Partition(h, XilinxMenu(), core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks[0].Device.Name != "XC3090" && r.Blocks[0].Device.Name != "XC3042" {
+		t.Errorf("assigned %s, want a device that fits size 101", r.Blocks[0].Device.Name)
+	}
+}
+
+func TestNoFeasibleMenu(t *testing.T) {
+	var b hypergraph.Builder
+	v := b.AddInterior("huge", 10000)
+	w := b.AddInterior("w", 1)
+	b.AddNet("n", v, w)
+	h := b.MustBuild()
+	if _, err := Partition(h, XilinxMenu(), core.Default()); err == nil {
+		t.Error("impossible circuit accepted")
+	}
+}
+
+func TestMixedBlockSizesGetMixedDevices(t *testing.T) {
+	// Two dense 120-cell clusters plus a light 30-cell tail: anchored on
+	// XC3042 (129 cells) the tail block should rightsize down to XC3020.
+	var b hypergraph.Builder
+	mk := func(n int) []hypergraph.NodeID {
+		var set []hypergraph.NodeID
+		for i := 0; i < n; i++ {
+			set = append(set, b.AddInterior("v", 1))
+		}
+		for i := 0; i+1 < n; i++ {
+			b.AddNet("e", set[i], set[i+1])
+			if i+2 < n {
+				b.AddNet("e2", set[i], set[i+2])
+			}
+		}
+		return set
+	}
+	c1, c2, tail := mk(120), mk(120), mk(30)
+	b.AddNet("b1", c1[119], c2[0])
+	b.AddNet("b2", c2[119], tail[0])
+	h := b.MustBuild()
+	r, err := Partition(h, XilinxMenu(), core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("infeasible")
+	}
+	names := map[string]int{}
+	for _, a := range r.Blocks {
+		names[a.Device.Name]++
+	}
+	if len(names) < 2 {
+		t.Logf("assignments: %v (homogeneous menus can win; informational)", names)
+	}
+	// Whatever the mix, the cost must beat all-XC3090 and all-XC3042 for
+	// the same block count.
+	if r.TotalCost >= float64(r.K)*6.0 {
+		t.Errorf("cost %v did not beat the all-big-device bound %v", r.TotalCost, float64(r.K)*6.0)
+	}
+}

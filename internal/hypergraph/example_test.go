@@ -1,0 +1,23 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"fpart/internal/hypergraph"
+)
+
+// ExampleBuilder constructs a three-node circuit with one pad.
+func ExampleBuilder() {
+	var b hypergraph.Builder
+	alu := b.AddInterior("alu", 3)
+	reg := b.AddInterior("reg", 1)
+	pad := b.AddPad("clk")
+	b.AddNet("d", alu, reg)
+	b.AddNet("clk", pad, reg)
+	h, _ := b.Build()
+	fmt.Println(h)
+	fmt.Println("degree(reg) =", h.Degree(reg))
+	// Output:
+	// hypergraph{interior:2 pads:1 nets:2 size:4}
+	// degree(reg) = 2
+}

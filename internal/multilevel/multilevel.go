@@ -1,0 +1,513 @@
+// Package multilevel implements a multilevel (hMETIS-style) partitioning
+// baseline: heavy-edge-matching coarsening, a constructive split of the
+// coarsest graph, and FM refinement on the way back up, embedded in the
+// same recursive peeling driver the other methods use.
+//
+// Multilevel methods postdate the FPART paper's comparisons (hMETIS
+// appeared contemporaneously) but dominate modern practice; having one in
+// the repository shows where the paper's guided flat FM stands against the
+// coarsening paradigm on the same benchmark suite.
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+	"fpart/internal/sanchis"
+	"fpart/internal/seed"
+)
+
+// Config tunes the multilevel driver.
+type Config struct {
+	// CoarsestNodes stops coarsening once the graph is this small
+	// (default 64).
+	CoarsestNodes int
+	// MaxClusterFrac caps a coarse node's size as a fraction of S_MAX so
+	// refinement keeps enough granularity (default 0.25).
+	MaxClusterFrac float64
+	// MaxBlocks caps peeling iterations; zero selects 4·M+32.
+	MaxBlocks int
+}
+
+func (c Config) normalize() Config {
+	if c.CoarsestNodes == 0 {
+		c.CoarsestNodes = 64
+	}
+	if c.MaxClusterFrac == 0 {
+		c.MaxClusterFrac = 0.25
+	}
+	return c
+}
+
+// Result mirrors the other drivers' results.
+type Result struct {
+	Partition  *partition.Partition
+	K          int
+	M          int
+	Feasible   bool
+	Iterations int
+	Levels     int // coarsening levels used by the last peel
+	Elapsed    time.Duration
+}
+
+// level is one rung of the coarsening hierarchy.
+type level struct {
+	h *hypergraph.Hypergraph
+	// fineToCoarse maps the previous (finer) level's node IDs into this
+	// level's node IDs. Nil for the finest level.
+	fineToCoarse []hypergraph.NodeID
+}
+
+// coarsen builds one coarser level via heavy-edge matching: each unmatched
+// node pairs with the neighbour sharing the largest connectivity weight
+// Σ 1/(|e|−1); pads never merge. Returns ok=false when matching stalls
+// (reduction below 10%).
+func coarsen(h *hypergraph.Hypergraph, maxClusterSize int) (*level, bool) {
+	n := h.NumNodes()
+	match := make([]hypergraph.NodeID, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit nodes in decreasing degree for better matchings.
+	order := make([]hypergraph.NodeID, n)
+	for i := range order {
+		order[i] = hypergraph.NodeID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return h.Degree(order[a]) > h.Degree(order[b])
+	})
+	matched := 0
+	weights := make(map[hypergraph.NodeID]float64)
+	for _, v := range order {
+		if match[v] != -1 || h.Node(v).Kind == hypergraph.Pad {
+			continue
+		}
+		for k := range weights {
+			delete(weights, k)
+		}
+		for _, e := range h.Nets(v) {
+			pins := h.Pins(e)
+			if len(pins) < 2 {
+				continue
+			}
+			w := 1.0 / float64(len(pins)-1)
+			for _, u := range pins {
+				if u == v || match[u] != -1 || h.Node(u).Kind == hypergraph.Pad {
+					continue
+				}
+				if h.Node(u).Size+h.Node(v).Size > maxClusterSize {
+					continue
+				}
+				weights[u] += w
+			}
+		}
+		var best hypergraph.NodeID = -1
+		bestW := 0.0
+		for u, w := range weights {
+			if w > bestW || (w == bestW && (best < 0 || u < best)) {
+				best, bestW = u, w
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			matched += 2
+		}
+	}
+	if matched == 0 || matched*10 < n {
+		return nil, false
+	}
+	// Build the coarse hypergraph.
+	var b hypergraph.Builder
+	f2c := make([]hypergraph.NodeID, n)
+	for i := range f2c {
+		f2c[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		v := hypergraph.NodeID(i)
+		if f2c[v] != -1 {
+			continue
+		}
+		nd := h.Node(v)
+		if m := match[v]; m != -1 {
+			mn := h.Node(m)
+			id := b.AddNode(nd.Name, nd.Kind, nd.Size+mn.Size)
+			b.SetAux(id, nd.Aux+mn.Aux)
+			f2c[v], f2c[m] = id, id
+		} else {
+			id := b.AddNode(nd.Name, nd.Kind, nd.Size)
+			b.SetAux(id, nd.Aux)
+			f2c[v] = id
+		}
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(hypergraph.NetID(e))
+		coarse := make([]hypergraph.NodeID, 0, len(pins))
+		seen := map[hypergraph.NodeID]bool{}
+		for _, p := range pins {
+			c := f2c[p]
+			if !seen[c] {
+				seen[c] = true
+				coarse = append(coarse, c)
+			}
+		}
+		if len(coarse) >= 2 {
+			b.AddNet(h.Net(hypergraph.NetID(e)).Name, coarse...)
+		}
+	}
+	ch, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("multilevel: coarse graph invalid: %v", err))
+	}
+	return &level{h: ch, fineToCoarse: f2c}, true
+}
+
+// vCycleSplit selects a node set of the remainder whose projection targets
+// a device-sized, min-cut block: coarsen, split the coarsest level, then
+// uncoarsen with FM refinement at every level. Returns the chosen fine-level
+// node set and the number of levels used.
+func vCycleSplit(p *partition.Partition, rem partition.BlockID, dev device.Device, cfg Config) ([]hypergraph.NodeID, int, bool) {
+	remNodes := p.NodesIn(rem)
+	if len(remNodes) < 2 {
+		return nil, 0, false
+	}
+	base, back := p.Hypergraph().Induced(remNodes)
+	levels := []*level{{h: base}}
+	maxCluster := int(cfg.MaxClusterFrac * float64(dev.SMax()))
+	if maxCluster < 2 {
+		maxCluster = 2
+	}
+	for levels[len(levels)-1].h.NumNodes() > cfg.CoarsestNodes {
+		lv, ok := coarsen(levels[len(levels)-1].h, maxCluster)
+		if !ok {
+			break
+		}
+		levels = append(levels, lv)
+	}
+
+	// Split the coarsest level: grow a block toward S_MAX by connectivity.
+	coarsest := levels[len(levels)-1].h
+	inA := growSplit(coarsest, dev.SMax())
+
+	// Refine upward. At each level, build a scratch 2-block partition and
+	// run the FM engine with a cut objective and size window around S_MAX.
+	for li := len(levels) - 1; li >= 0; li-- {
+		lh := levels[li].h
+		scratch := partition.New(lh, dev)
+		blkA := scratch.AddBlock()
+		for v := 0; v < lh.NumNodes(); v++ {
+			if inA[hypergraph.NodeID(v)] {
+				scratch.Move(hypergraph.NodeID(v), blkA)
+			}
+		}
+		eng := sanchis.New(scratch, sanchis.Config{
+			CutObjective: true,
+			StackDepth:   -1,
+			MaxPasses:    4,
+		})
+		eng.Improve([]partition.BlockID{0, blkA}, 0, device.LowerBound(lh, dev))
+		// Re-read side A and project one level down.
+		if li > 0 {
+			finer := levels[li-1].h
+			f2c := levels[li].fineToCoarse
+			next := make(map[hypergraph.NodeID]bool, finer.NumNodes())
+			for v := 0; v < finer.NumNodes(); v++ {
+				if scratch.Block(f2c[v]) == blkA {
+					next[hypergraph.NodeID(v)] = true
+				}
+			}
+			inA = next
+		} else {
+			next := make(map[hypergraph.NodeID]bool)
+			for v := 0; v < lh.NumNodes(); v++ {
+				if scratch.Block(hypergraph.NodeID(v)) == blkA {
+					next[hypergraph.NodeID(v)] = true
+				}
+			}
+			inA = next
+		}
+	}
+
+	// Map the finest-level side A back to global node IDs, then trim to
+	// device feasibility (the V-cycle minimizes cut at target size but
+	// does not check pins).
+	var set []hypergraph.NodeID
+	for v, in := range inA {
+		if in {
+			set = append(set, back[v])
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	if len(set) == 0 || len(set) == len(remNodes) {
+		return nil, len(levels), false
+	}
+	return set, len(levels), true
+}
+
+// growSplit grows a connectivity-first cluster on the coarse graph until
+// the next addition would exceed S_MAX.
+func growSplit(h *hypergraph.Hypergraph, smax int) map[hypergraph.NodeID]bool {
+	inA := make(map[hypergraph.NodeID]bool)
+	var seedNode hypergraph.NodeID = -1
+	for v := 0; v < h.NumNodes(); v++ {
+		id := hypergraph.NodeID(v)
+		if h.Node(id).Kind != hypergraph.Interior {
+			continue
+		}
+		if seedNode < 0 || h.Node(id).Size > h.Node(seedNode).Size {
+			seedNode = id
+		}
+	}
+	if seedNode < 0 {
+		return inA
+	}
+	inA[seedNode] = true
+	size := h.Node(seedNode).Size
+	gainTo := map[hypergraph.NodeID]int{}
+	expand := func(v hypergraph.NodeID) {
+		for _, e := range h.Nets(v) {
+			for _, u := range h.Pins(e) {
+				if !inA[u] {
+					gainTo[u]++
+				}
+			}
+		}
+	}
+	expand(seedNode)
+	for {
+		var best hypergraph.NodeID = -1
+		bestG := -1
+		for u, g := range gainTo {
+			if inA[u] {
+				continue
+			}
+			if size+h.Node(u).Size > smax {
+				continue
+			}
+			if g > bestG || (g == bestG && u < best) {
+				best, bestG = u, g
+			}
+		}
+		if best < 0 {
+			return inA
+		}
+		inA[best] = true
+		size += h.Node(best).Size
+		delete(gainTo, best)
+		expand(best)
+	}
+}
+
+// ClusterOrder returns a linear arrangement of h's nodes in which nodes
+// merged at deeper coarsening levels stay adjacent: the hierarchy is built
+// by repeated heavy-edge matching and the order is its depth-first
+// expansion. Orderings like this keep natural circuit clusters contiguous,
+// which is what window/DP partitioners (internal/wcdp) need.
+func ClusterOrder(h *hypergraph.Hypergraph) []hypergraph.NodeID {
+	levels := []*level{{h: h}}
+	for levels[len(levels)-1].h.NumNodes() > 8 {
+		lv, ok := coarsen(levels[len(levels)-1].h, 1<<30)
+		if !ok {
+			break
+		}
+		levels = append(levels, lv)
+	}
+	// Start from the coarsest level in node-ID order and expand downward:
+	// at each level, fine nodes are grouped behind their coarse image.
+	top := levels[len(levels)-1].h
+	order := make([]hypergraph.NodeID, top.NumNodes())
+	for i := range order {
+		order[i] = hypergraph.NodeID(i)
+	}
+	for li := len(levels) - 1; li >= 1; li-- {
+		f2c := levels[li].fineToCoarse
+		fineN := levels[li-1].h.NumNodes()
+		buckets := make([][]hypergraph.NodeID, levels[li].h.NumNodes())
+		for v := 0; v < fineN; v++ {
+			c := f2c[v]
+			buckets[c] = append(buckets[c], hypergraph.NodeID(v))
+		}
+		fineOrder := make([]hypergraph.NodeID, 0, fineN)
+		for _, c := range order {
+			fineOrder = append(fineOrder, buckets[c]...)
+		}
+		order = fineOrder
+	}
+	// Pads never merge during coarsening, so the hierarchy leaves them
+	// scattered; splice each pad right behind its anchor (its first
+	// interior neighbour) so pad-heavy circuits stay contiguous.
+	padsOf := make(map[hypergraph.NodeID][]hypergraph.NodeID)
+	var orphans []hypergraph.NodeID
+	for _, p := range h.PadIDs() {
+		var anchor hypergraph.NodeID = -1
+		for _, e := range h.Nets(p) {
+			for _, u := range h.Pins(e) {
+				if h.Node(u).Kind == hypergraph.Interior {
+					anchor = u
+					break
+				}
+			}
+			if anchor >= 0 {
+				break
+			}
+		}
+		if anchor >= 0 {
+			padsOf[anchor] = append(padsOf[anchor], p)
+		} else {
+			orphans = append(orphans, p)
+		}
+	}
+	final := make([]hypergraph.NodeID, 0, h.NumNodes())
+	for _, v := range order {
+		if h.Node(v).Kind == hypergraph.Pad {
+			continue // re-emitted next to its anchor
+		}
+		final = append(final, v)
+		final = append(final, padsOf[v]...)
+	}
+	return append(final, orphans...)
+}
+
+// Partition runs the multilevel peeling driver.
+func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	start := time.Now()
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if h.NumNodes() == 0 {
+		return nil, errors.New("multilevel: empty circuit")
+	}
+	for _, id := range h.InteriorIDs() {
+		if h.Node(id).Size > dev.SMax() {
+			return nil, fmt.Errorf("multilevel: node %q larger than device (%d > %d)",
+				h.Node(id).Name, h.Node(id).Size, dev.SMax())
+		}
+	}
+	cfg = cfg.normalize()
+
+	p := partition.New(h, dev)
+	m := device.LowerBound(h, dev)
+	rem := partition.BlockID(0)
+	res := &Result{Partition: p, M: m}
+	maxBlocks := cfg.MaxBlocks
+	if maxBlocks == 0 {
+		maxBlocks = 4*m + 32
+	}
+
+	for !p.Feasible(rem) {
+		if p.NumBlocks() >= maxBlocks {
+			break
+		}
+		res.Iterations++
+		set, lv, ok := vCycleSplit(p, rem, dev, cfg)
+		res.Levels = lv
+		if ok {
+			// Saturate the min-cut side under both constraints, exactly as
+			// the flow baseline does with its nucleus.
+			set = trimToFeasible(p, rem, dev, set)
+		}
+		if !ok || len(set) == 0 {
+			set = seed.Grow(p, rem, dev, biggestSeed(p, rem))
+		}
+		if len(set) == 0 {
+			break
+		}
+		nb := p.AddBlock()
+		for _, v := range set {
+			p.Move(v, nb)
+		}
+		if p.Nodes(rem) == 0 {
+			break
+		}
+	}
+	res.Feasible = p.Classify() == partition.FeasibleSolution
+	for b := 0; b < p.NumBlocks(); b++ {
+		if p.Nodes(partition.BlockID(b)) > 0 {
+			res.K++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// trimToFeasible shrinks/saturates a candidate set so the carved block
+// meets both device constraints: it regrows from the candidate's highest
+// connectivity core using the pin-aware greedy growth.
+func trimToFeasible(p *partition.Partition, rem partition.BlockID, dev device.Device, set []hypergraph.NodeID) []hypergraph.NodeID {
+	// Check the set as-is first.
+	size, okAux := 0, true
+	for _, v := range set {
+		size += p.Hypergraph().Node(v).Size
+		if dev.AuxCap > 0 {
+			okAux = okAux && p.Hypergraph().Node(v).Aux <= dev.AuxCap
+		}
+	}
+	if size <= dev.SMax() && okAux {
+		if term := probeTerminals(p, rem, set); term <= dev.TMax() {
+			return seed.Grow(p, rem, dev, set)
+		}
+	}
+	// Infeasible as a whole: regrow from its densest member.
+	if len(set) == 0 {
+		return nil
+	}
+	return seed.Grow(p, rem, dev, set[:1])
+}
+
+// probeTerminals evaluates the terminal count the set would have as a block.
+func probeTerminals(p *partition.Partition, rem partition.BlockID, set []hypergraph.NodeID) int {
+	h := p.Hypergraph()
+	in := make(map[hypergraph.NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	term := 0
+	seen := map[hypergraph.NetID]bool{}
+	for _, v := range set {
+		if h.Node(v).Kind == hypergraph.Pad {
+			term++
+		}
+		for _, e := range h.Nets(v) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			outside := p.Span(e) > 1
+			if !outside {
+				for _, u := range h.Pins(e) {
+					if !in[u] {
+						outside = true
+						break
+					}
+				}
+			}
+			if outside {
+				term++
+			}
+		}
+	}
+	return term
+}
+
+// biggestSeed returns the biggest interior remainder node as a one-element
+// growth seed.
+func biggestSeed(p *partition.Partition, rem partition.BlockID) []hypergraph.NodeID {
+	h := p.Hypergraph()
+	var s hypergraph.NodeID = -1
+	for _, v := range p.NodesIn(rem) {
+		if h.Node(v).Kind != hypergraph.Interior {
+			continue
+		}
+		if s < 0 || h.Node(v).Size > h.Node(s).Size {
+			s = v
+		}
+	}
+	if s < 0 {
+		return nil
+	}
+	return []hypergraph.NodeID{s}
+}

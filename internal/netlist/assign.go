@@ -1,0 +1,77 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// WriteAssignment serializes a partition's node-to-block mapping as one
+// "index block" pair per line, with a header carrying the node count for
+// validation. Node indices (not names) key the mapping so files pair with
+// the PHG/HGR netlist they were produced from.
+func WriteAssignment(w io.Writer, p *partition.Partition) error {
+	bw := bufio.NewWriter(w)
+	h := p.Hypergraph()
+	fmt.Fprintf(bw, "assign %d %d\n", h.NumNodes(), p.NumBlocks())
+	for v := 0; v < h.NumNodes(); v++ {
+		fmt.Fprintf(bw, "%d %d\n", v, p.Block(hypergraph.NodeID(v)))
+	}
+	return bw.Flush()
+}
+
+// ReadAssignment parses an assignment file and returns per-node block IDs
+// and the block count. The node count must match the circuit the caller
+// pairs it with.
+func ReadAssignment(r io.Reader) (blocks []partition.BlockID, k int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("assign: empty input")
+	}
+	header := strings.Fields(strings.TrimSpace(sc.Text()))
+	if len(header) != 3 || header[0] != "assign" {
+		return nil, 0, fmt.Errorf("assign: bad header %q", sc.Text())
+	}
+	n, err1 := strconv.Atoi(header[1])
+	k, err2 := strconv.Atoi(header[2])
+	if err1 != nil || err2 != nil || n < 0 || k < 1 {
+		return nil, 0, fmt.Errorf("assign: bad header %q", sc.Text())
+	}
+	blocks = make([]partition.BlockID, n)
+	seen := make([]bool, n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, 0, fmt.Errorf("assign: bad line %q", line)
+		}
+		v, errV := strconv.Atoi(fields[0])
+		b, errB := strconv.Atoi(fields[1])
+		if errV != nil || errB != nil || v < 0 || v >= n || b < 0 || b >= k {
+			return nil, 0, fmt.Errorf("assign: bad line %q", line)
+		}
+		if seen[v] {
+			return nil, 0, fmt.Errorf("assign: node %d assigned twice", v)
+		}
+		seen[v] = true
+		blocks[v] = partition.BlockID(b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	for v, ok := range seen {
+		if !ok {
+			return nil, 0, fmt.Errorf("assign: node %d missing", v)
+		}
+	}
+	return blocks, k, nil
+}

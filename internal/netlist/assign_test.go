@@ -1,0 +1,105 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func assignFixture(t *testing.T) *partition.Partition {
+	t.Helper()
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	v2 := b.AddInterior("c", 1)
+	pd := b.AddPad("p")
+	b.AddNet("n1", v0, v1)
+	b.AddNet("n2", v1, v2, pd)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 6, Fill: 1.0}
+	p := partition.New(h, dev)
+	blk := p.AddBlock()
+	p.Move(v2, blk)
+	p.Move(pd, blk)
+	return p
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	p := assignFixture(t)
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	blocks, k, err := ReadAssignment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != p.NumBlocks() {
+		t.Errorf("k = %d, want %d", k, p.NumBlocks())
+	}
+	p2, err := partition.FromAssignment(p.Hypergraph(), p.Device(), blocks, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Cut() != p.Cut() || p2.TerminalSum() != p.TerminalSum() {
+		t.Errorf("round trip changed solution: cut %d->%d", p.Cut(), p2.Cut())
+	}
+	for v := 0; v < p.Hypergraph().NumNodes(); v++ {
+		if p.Block(hypergraph.NodeID(v)) != p2.Block(hypergraph.NodeID(v)) {
+			t.Fatalf("node %d moved", v)
+		}
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "nope 2 2\n",
+		"short":       "assign 2 2\n0 0\n",
+		"extra field": "assign 1 1\n0 0 0\n",
+		"bad node":    "assign 1 1\n5 0\n",
+		"bad block":   "assign 1 1\n0 7\n",
+		"duplicate":   "assign 2 2\n0 0\n0 1\n1 0\n",
+		"zero k":      "assign 1 0\n0 0\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadAssignment(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadAssignmentComments(t *testing.T) {
+	in := "assign 2 2\n# comment\n0 1\n\n1 0\n"
+	blocks, k, err := ReadAssignment(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 || blocks[0] != 1 || blocks[1] != 0 {
+		t.Errorf("parsed %v k=%d", blocks, k)
+	}
+}
+
+func TestFromAssignmentErrors(t *testing.T) {
+	p := assignFixture(t)
+	h := p.Hypergraph()
+	dev := p.Device()
+	if _, err := partition.FromAssignment(h, dev, []partition.BlockID{0}, 1); err == nil {
+		t.Error("short assignment accepted")
+	}
+	bad := make([]partition.BlockID, h.NumNodes())
+	bad[0] = 9
+	if _, err := partition.FromAssignment(h, dev, bad, 2); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if _, err := partition.FromAssignment(h, dev, make([]partition.BlockID, h.NumNodes()), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"fpart/internal/hypergraph"
+)
+
+// BlifCircuit is the structural content of a parsed BLIF model: gates
+// (.names), latches (.latch), and the primary I/O lists. Cube tables are
+// discarded — partitioning needs connectivity, not logic.
+type BlifCircuit struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Gates   []BlifGate
+	Latches []BlifLatch
+}
+
+// BlifGate is one .names record: a single-output logic function.
+type BlifGate struct {
+	Inputs []string
+	Output string
+}
+
+// BlifLatch is one .latch record.
+type BlifLatch struct {
+	Input, Output string
+}
+
+// ReadBLIF parses the structural BLIF subset:
+// .model, .inputs, .outputs, .names, .latch, .end, with '\' continuations
+// and '#' comments. .gate/.subckt and multiple models are rejected.
+func ReadBLIF(r io.Reader) (*BlifCircuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	c := &BlifCircuit{}
+	sawModel := false
+	lineNo := 0
+
+	nextLogical := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			for strings.HasSuffix(line, "\\") {
+				line = strings.TrimSuffix(line, "\\")
+				if !sc.Scan() {
+					break
+				}
+				lineNo++
+				cont := sc.Text()
+				if i := strings.IndexByte(cont, '#'); i >= 0 {
+					cont = cont[:i]
+				}
+				line += " " + strings.TrimSpace(cont)
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	for {
+		line, ok := nextLogical()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line, ".") {
+			continue // cube rows of the preceding .names
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if sawModel {
+				return nil, fmt.Errorf("blif line %d: multiple models not supported", lineNo)
+			}
+			sawModel = true
+			if len(fields) > 1 {
+				c.Name = fields[1]
+			}
+		case ".inputs":
+			c.Inputs = append(c.Inputs, fields[1:]...)
+		case ".outputs":
+			c.Outputs = append(c.Outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif line %d: .names needs at least an output", lineNo)
+			}
+			g := BlifGate{Output: fields[len(fields)-1]}
+			g.Inputs = append(g.Inputs, fields[1:len(fields)-1]...)
+			c.Gates = append(c.Gates, g)
+		case ".latch":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("blif line %d: .latch needs input and output", lineNo)
+			}
+			c.Latches = append(c.Latches, BlifLatch{Input: fields[1], Output: fields[2]})
+		case ".end":
+			// done with the model
+		case ".gate", ".subckt", ".mlatch":
+			return nil, fmt.Errorf("blif line %d: %s not supported (structural subset)", lineNo, fields[0])
+		default:
+			// Unknown dot-directives (.clock, .default_input_arrival, ...)
+			// are ignored for structural purposes.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawModel {
+		return nil, fmt.Errorf("blif: no .model found")
+	}
+	return c, nil
+}
+
+// Hypergraph lowers the BLIF circuit to a gate-level hypergraph: one
+// interior node per gate/latch (unit size), one pad per primary input and
+// output, and one net per signal connecting its driver to all its readers.
+// Signals with a single connection produce no net. Undriven signals are
+// tolerated (common in benchmark BLIFs with implicit constants).
+func (c *BlifCircuit) Hypergraph() (*hypergraph.Hypergraph, error) {
+	var b hypergraph.Builder
+	// signal -> node IDs attached to it
+	attach := make(map[string][]hypergraph.NodeID)
+	add := func(sig string, id hypergraph.NodeID) {
+		attach[sig] = append(attach[sig], id)
+	}
+	for _, in := range c.Inputs {
+		add(in, b.AddPad("pi:"+in))
+	}
+	outPads := make(map[string]hypergraph.NodeID, len(c.Outputs))
+	for _, out := range c.Outputs {
+		id := b.AddPad("po:" + out)
+		outPads[out] = id
+		add(out, id)
+	}
+	for _, g := range c.Gates {
+		id := b.AddInterior("g:"+g.Output, 1)
+		add(g.Output, id)
+		for _, in := range g.Inputs {
+			add(in, id)
+		}
+	}
+	for _, l := range c.Latches {
+		id := b.AddInterior("ff:"+l.Output, 1)
+		b.SetAux(id, 1) // one flip-flop of the device's secondary resource
+		add(l.Output, id)
+		add(l.Input, id)
+	}
+	// Deterministic net order: iterate signals in first-appearance order.
+	order := make([]string, 0, len(attach))
+	seen := make(map[string]bool)
+	appendSig := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	for _, in := range c.Inputs {
+		appendSig(in)
+	}
+	for _, g := range c.Gates {
+		appendSig(g.Output)
+		for _, in := range g.Inputs {
+			appendSig(in)
+		}
+	}
+	for _, l := range c.Latches {
+		appendSig(l.Output)
+		appendSig(l.Input)
+	}
+	for _, out := range c.Outputs {
+		appendSig(out)
+	}
+	for _, sig := range order {
+		ids := attach[sig]
+		if len(ids) >= 2 {
+			b.AddNet(sig, ids...)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,230 @@
+// Package netlist reads and writes circuit hypergraphs in three formats:
+//
+//   - PHG, a small line-oriented native format that captures everything the
+//     partitioning model needs (interior node sizes, pad nodes, named nets);
+//   - hMETIS .hgr, the de-facto exchange format for hypergraph
+//     partitioning benchmarks (node weights supported; pads encoded as
+//     weight-0 nodes);
+//   - a structural subset of Berkeley BLIF (.model/.inputs/.outputs/
+//     .names/.latch), from which a gate-level hypergraph is derived for the
+//     technology mapper.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fpart/internal/hypergraph"
+)
+
+// WritePHG serializes the hypergraph in PHG form:
+//
+//	phg
+//	node <name> <size>
+//	pad <name>
+//	net <name> <node-index>...
+//
+// Nodes are referenced by zero-based index to keep files compact and to
+// avoid requiring unique names. Lines beginning with '#' are comments.
+func WritePHG(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "phg")
+	fmt.Fprintf(bw, "# nodes=%d nets=%d\n", h.NumNodes(), h.NumNets())
+	for i := 0; i < h.NumNodes(); i++ {
+		n := h.Node(hypergraph.NodeID(i))
+		if n.Kind == hypergraph.Pad {
+			fmt.Fprintf(bw, "pad %s\n", sanitizeName(n.Name, i))
+		} else {
+			fmt.Fprintf(bw, "node %s %d\n", sanitizeName(n.Name, i), n.Size)
+		}
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		net := h.Net(hypergraph.NetID(e))
+		fmt.Fprintf(bw, "net %s", sanitizeName(net.Name, e))
+		for _, p := range net.Pins {
+			fmt.Fprintf(bw, " %d", p)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(name string, fallback int) string {
+	if name == "" {
+		return fmt.Sprintf("_%d", fallback)
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// ReadPHG parses the PHG format written by WritePHG.
+func ReadPHG(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var b hypergraph.Builder
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "phg":
+			sawHeader = true
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("phg line %d: node wants 2 args", lineNo)
+			}
+			size, err := strconv.Atoi(fields[2])
+			if err != nil || size < 1 {
+				return nil, fmt.Errorf("phg line %d: bad size %q", lineNo, fields[2])
+			}
+			b.AddInterior(fields[1], size)
+		case "pad":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("phg line %d: pad wants 1 arg", lineNo)
+			}
+			b.AddPad(fields[1])
+		case "net":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("phg line %d: net wants a name and pins", lineNo)
+			}
+			pins := make([]hypergraph.NodeID, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				idx, err := strconv.Atoi(f)
+				if err != nil || idx < 0 || idx >= b.NumNodes() {
+					return nil, fmt.Errorf("phg line %d: bad pin %q", lineNo, f)
+				}
+				pins = append(pins, hypergraph.NodeID(idx))
+			}
+			b.AddNet(fields[1], pins...)
+		default:
+			return nil, fmt.Errorf("phg line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("phg: missing header line")
+	}
+	return b.Build()
+}
+
+// WriteHgr serializes the hypergraph in hMETIS format with node weights
+// (fmt code 10). Pads are written with weight 0 — a convention this package
+// round-trips; standard hMETIS tools treat them as ordinary light nodes.
+func WriteHgr(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d 10\n", h.NumNets(), h.NumNodes())
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(hypergraph.NetID(e))
+		for i, p := range pins {
+			if i > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprint(bw, int(p)+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	for i := 0; i < h.NumNodes(); i++ {
+		fmt.Fprintln(bw, h.Node(hypergraph.NodeID(i)).Size)
+	}
+	return bw.Flush()
+}
+
+// ReadHgr parses hMETIS format, accepting fmt codes 0 (unweighted) and 10
+// (node weights). Weight-0 nodes become pads; all others are interior.
+func ReadHgr(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	readLine := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	header, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("hgr: %w", err)
+	}
+	if len(header) < 2 || len(header) > 3 {
+		return nil, fmt.Errorf("hgr: header wants 2 or 3 fields, got %d", len(header))
+	}
+	nNets, err1 := strconv.Atoi(header[0])
+	nNodes, err2 := strconv.Atoi(header[1])
+	if err1 != nil || err2 != nil || nNets < 0 || nNodes <= 0 {
+		return nil, fmt.Errorf("hgr: bad header %v", header)
+	}
+	format := "0"
+	if len(header) == 3 {
+		format = header[2]
+	}
+	if format != "0" && format != "10" {
+		return nil, fmt.Errorf("hgr: unsupported fmt %q (net weights not supported)", format)
+	}
+
+	type netRec []hypergraph.NodeID
+	nets := make([]netRec, 0, nNets)
+	for e := 0; e < nNets; e++ {
+		fields, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("hgr: net %d: %w", e+1, err)
+		}
+		pins := make(netRec, 0, len(fields))
+		for _, f := range fields {
+			idx, err := strconv.Atoi(f)
+			if err != nil || idx < 1 || idx > nNodes {
+				return nil, fmt.Errorf("hgr: net %d: bad pin %q", e+1, f)
+			}
+			pins = append(pins, hypergraph.NodeID(idx-1))
+		}
+		nets = append(nets, pins)
+	}
+	weights := make([]int, nNodes)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if format == "10" {
+		for i := 0; i < nNodes; i++ {
+			fields, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("hgr: weight %d: %w", i+1, err)
+			}
+			wgt, err := strconv.Atoi(fields[0])
+			if err != nil || wgt < 0 {
+				return nil, fmt.Errorf("hgr: weight %d: bad value %q", i+1, fields[0])
+			}
+			weights[i] = wgt
+		}
+	}
+	var b hypergraph.Builder
+	for i := 0; i < nNodes; i++ {
+		if weights[i] == 0 {
+			b.AddPad(fmt.Sprintf("p%d", i+1))
+		} else {
+			b.AddInterior(fmt.Sprintf("v%d", i+1), weights[i])
+		}
+	}
+	for e, pins := range nets {
+		b.AddNet(fmt.Sprintf("e%d", e+1), pins...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,114 @@
+package partition
+
+// Tests for the secondary-resource (flip-flop / tristate) constraint of §2,
+// which the paper handles "in a similar way as the size constraint".
+
+import (
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+func auxCircuit(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	var b hypergraph.Builder
+	v0 := b.AddInterior("lut", 1)
+	ff1 := b.AddInterior("ff1", 1)
+	ff2 := b.AddInterior("ff2", 1)
+	b.SetAux(ff1, 1)
+	b.SetAux(ff2, 2)
+	b.AddNet("n", v0, ff1, ff2)
+	return b.MustBuild()
+}
+
+func TestAuxBookkeeping(t *testing.T) {
+	h := auxCircuit(t)
+	if h.TotalAux() != 3 {
+		t.Fatalf("TotalAux = %d, want 3", h.TotalAux())
+	}
+	dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 10, Fill: 1.0, AuxCap: 2}
+	p := New(h, dev)
+	if p.Aux(0) != 3 {
+		t.Errorf("Aux(0) = %d, want 3", p.Aux(0))
+	}
+	b1 := p.AddBlock()
+	p.Move(2, b1) // ff2 carries aux 2
+	if p.Aux(0) != 1 || p.Aux(b1) != 2 {
+		t.Errorf("aux split = %d,%d want 1,2", p.Aux(0), p.Aux(b1))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxFeasibility(t *testing.T) {
+	h := auxCircuit(t)
+	capped := device.Device{Name: "d", DatasheetCells: 10, Pins: 10, Fill: 1.0, AuxCap: 2}
+	p := New(h, capped)
+	// Block 0 holds aux 3 > cap 2: infeasible despite size/pins fitting.
+	if p.Feasible(0) {
+		t.Error("aux-overflowing block reported feasible")
+	}
+	// Without a cap the same block is fine.
+	uncapped := capped
+	uncapped.AuxCap = 0
+	p2 := New(h, uncapped)
+	if !p2.Feasible(0) {
+		t.Error("uncapped device rejected the block")
+	}
+}
+
+func TestAuxValidateDetectsCorruption(t *testing.T) {
+	h := auxCircuit(t)
+	dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 10, Fill: 1.0}
+	p := New(h, dev)
+	p.blockAux[0]++
+	if err := p.Validate(); err == nil {
+		t.Error("Validate missed corrupted aux")
+	}
+	p.blockAux[0]--
+}
+
+func TestAuxLowerBound(t *testing.T) {
+	// 6 aux units on a device with AuxCap 2: at least 3 devices even
+	// though size and pins allow 1.
+	var b hypergraph.Builder
+	prev := hypergraph.NodeID(-1)
+	for i := 0; i < 6; i++ {
+		id := b.AddInterior("ff", 1)
+		b.SetAux(id, 1)
+		if prev >= 0 {
+			b.AddNet("n", prev, id)
+		}
+		prev = id
+	}
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 100, Pins: 100, Fill: 1.0, AuxCap: 2}
+	if m := device.LowerBound(h, dev); m != 3 {
+		t.Errorf("aux-dominated LowerBound = %d, want 3", m)
+	}
+}
+
+func TestAuxSurvivesInduced(t *testing.T) {
+	h := auxCircuit(t)
+	sub, back := h.Induced([]hypergraph.NodeID{1, 2})
+	for i, orig := range back {
+		if sub.Node(hypergraph.NodeID(i)).Aux != h.Node(orig).Aux {
+			t.Errorf("Induced dropped aux of node %d", orig)
+		}
+	}
+	if sub.TotalAux() != 3 {
+		t.Errorf("induced TotalAux = %d, want 3", sub.TotalAux())
+	}
+}
+
+func TestSetAuxClampsNegative(t *testing.T) {
+	var b hypergraph.Builder
+	id := b.AddInterior("v", 1)
+	b.SetAux(id, -5)
+	h := b.MustBuild()
+	if h.Node(id).Aux != 0 {
+		t.Errorf("negative aux not clamped: %d", h.Node(id).Aux)
+	}
+}

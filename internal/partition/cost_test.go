@@ -1,0 +1,146 @@
+package partition
+
+// Focused tests for the §3.3/§3.4 cost machinery: Distance with remainder
+// penalty, Key evaluation end to end, and terminal-sum bookkeeping.
+
+import (
+	"math"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+func TestDistanceSumsBlocksAndPenalty(t *testing.T) {
+	// Two blocks, one violating size, with a remainder penalty.
+	var b hypergraph.Builder
+	var ids []hypergraph.NodeID
+	for i := 0; i < 30; i++ {
+		ids = append(ids, b.AddInterior("v", 1))
+	}
+	b.AddNet("n", ids[0], ids[1])
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 10, Fill: 1.0}
+	p := New(h, dev)
+	blk := p.AddBlock()
+	for i := 0; i < 10; i++ {
+		p.Move(ids[i], blk)
+	}
+	// Remainder (block 0) has 20 cells: d^S = (20-10)/10 = 1.0, weighted 0.4.
+	cp := DefaultCost()
+	wantBlockDist := 0.4 * 1.0
+	if got := p.BlockDistance(0, cp); math.Abs(got-wantBlockDist) > 1e-12 {
+		t.Errorf("BlockDistance = %v, want %v", got, wantBlockDist)
+	}
+	// With M=2 and one created block: S_AVG = 20/(2-1+1) = 10 <= 10: no
+	// penalty. With M=1: S_AVG = 20/1 = 20 > 10 -> d_R = 2, weighted 0.1.
+	if got := p.Distance(cp, 0, 2); math.Abs(got-wantBlockDist) > 1e-12 {
+		t.Errorf("Distance(M=2) = %v, want %v", got, wantBlockDist)
+	}
+	want := wantBlockDist + 0.1*2.0
+	if got := p.Distance(cp, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Distance(M=1) = %v, want %v", got, want)
+	}
+	// NoBlock skips the penalty.
+	if got := p.Distance(cp, NoBlock, 1); math.Abs(got-wantBlockDist) > 1e-12 {
+		t.Errorf("Distance(NoBlock) = %v, want %v", got, wantBlockDist)
+	}
+}
+
+func TestKeyEndToEnd(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev) // S_MAX=10, T_MAX=4; block 0 feasible
+	k := p.Key(DefaultCost(), NoBlock, 1)
+	if k.F != 1 {
+		t.Errorf("F = %d, want 1", k.F)
+	}
+	if k.D != 0 {
+		t.Errorf("D = %v, want 0 for a feasible block", k.D)
+	}
+	if k.TSum != p.TerminalSum() {
+		t.Errorf("TSum = %d, want %d", k.TSum, p.TerminalSum())
+	}
+}
+
+func TestTerminalSumMatchesBlocks(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(2, b1)
+	p.Move(3, b1)
+	want := p.Terminals(0) + p.Terminals(b1)
+	if got := p.TerminalSum(); got != want {
+		t.Errorf("TerminalSum = %d, want %d", got, want)
+	}
+}
+
+func TestSizeDeviationDenominatorClamp(t *testing.T) {
+	var b hypergraph.Builder
+	var ids []hypergraph.NodeID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, b.AddInterior("v", 1))
+	}
+	b.AddNet("n", ids[0], ids[1])
+	h := b.MustBuild()
+	p := New(h, testDev) // S_MAX = 10
+	// Many created blocks (k-1 > M): denominator clamps at 1.
+	for i := 0; i < 5; i++ {
+		blk := p.AddBlock()
+		p.Move(ids[i], blk)
+	}
+	// remainder size 35; M=2 => den = max(1, 2-5+1) = 1 => S_AVG = 35.
+	if d := p.SizeDeviation(0, 2); math.Abs(d-3.5) > 1e-12 {
+		t.Errorf("clamped SizeDeviation = %v, want 3.5", d)
+	}
+}
+
+func TestCountFeasibleTracksMoves(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	if p.CountFeasible() != 1 {
+		t.Fatalf("initial CountFeasible = %d", p.CountFeasible())
+	}
+	b1 := p.AddBlock()
+	if p.CountFeasible() != 2 { // empty block is feasible
+		t.Errorf("with empty block: %d", p.CountFeasible())
+	}
+	// Overload block 1 with terminals: move alternating cells to create
+	// many cut nets (T_MAX=4).
+	p.Move(1, b1)
+	p.Move(3, b1)
+	p.Move(5, b1)
+	if p.Terminals(b1) <= 4 {
+		t.Skip("construction did not exceed T_MAX; adjust test circuit")
+	}
+	if p.CountFeasible() != 0 {
+		// block 0 also holds the cut nets + pads
+		t.Logf("feasible=%d T0=%d T1=%d", p.CountFeasible(), p.Terminals(0), p.Terminals(b1))
+	}
+}
+
+func TestMovesCounter(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(0, b1)
+	p.Move(0, 0)
+	p.Move(0, 0) // no-op: same block
+	if p.Moves() != 2 {
+		t.Errorf("Moves = %d, want 2", p.Moves())
+	}
+}
+
+func TestRestoreSizeMismatchPanics(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	var b2 hypergraph.Builder
+	b2.AddInterior("x", 1)
+	other := New(b2.MustBuild(), testDev)
+	snap := other.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-partition Restore did not panic")
+		}
+	}()
+	p.Restore(snap)
+}

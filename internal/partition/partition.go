@@ -1,0 +1,547 @@
+// Package partition maintains the state of a multi-way partition of a
+// circuit hypergraph: block assignment of every node, incrementally updated
+// block sizes and terminal counts, the cut set, and the feasibility
+// machinery of Krupnova & Saucier (DATE 1999): classification into feasible /
+// semi-feasible / infeasible solutions (§2), the infeasibility-distance cost
+// function (§3.3), and the lexicographic solution key (§3.4).
+//
+// Terminal counting: the terminal (I/O pin) count of block i is
+//
+//	T_i = |{nets incident to block i that also touch another block}| +
+//	      |{pad nodes assigned to block i}|
+//
+// Every cut net consumes one pin on each block it touches, and every primary
+// I/O pad consumes one IOB on its block.
+package partition
+
+import (
+	"fmt"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// BlockID identifies a block of the partition. Blocks are dense, 0..K-1.
+type BlockID int32
+
+// NoBlock is the nil block; used for "no remainder" in cost evaluation.
+const NoBlock BlockID = -1
+
+// netBlock records how many pins a net has in one block.
+type netBlock struct {
+	b BlockID
+	c int32
+}
+
+// Partition is a mutable k-way partition over a hypergraph. All nodes are
+// always assigned to some block; a fresh Partition places everything in
+// block 0. Partition is not safe for concurrent use.
+type Partition struct {
+	h   *hypergraph.Hypergraph
+	dev device.Device
+
+	assign []BlockID
+	k      int
+
+	blockSize   []int // Σ sizes of interior nodes per block
+	blockAux    []int // Σ secondary-resource demands per block
+	blockCutInc []int // nets cut and incident, per block
+	blockPads   []int // pad nodes per block (T_i^E)
+	blockNodes  []int // node count per block (interior + pads)
+
+	netCnt [][]netBlock // per net: pins per block (sparse, insertion order)
+	cut    int          // nets with span >= 2
+	moves  int64        // total Move calls, for statistics
+}
+
+// FromAssignment builds a partition of h with k blocks from an explicit
+// per-node block mapping (e.g., one loaded from an assignment file). The
+// mapping must cover every node with blocks in [0, k).
+func FromAssignment(h *hypergraph.Hypergraph, dev device.Device, blocks []BlockID, k int) (*Partition, error) {
+	if len(blocks) != h.NumNodes() {
+		return nil, fmt.Errorf("partition: assignment covers %d of %d nodes", len(blocks), h.NumNodes())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k = %d", k)
+	}
+	p := New(h, dev)
+	for i := 1; i < k; i++ {
+		p.AddBlock()
+	}
+	for v, b := range blocks {
+		if b < 0 || int(b) >= k {
+			return nil, fmt.Errorf("partition: node %d assigned to block %d of %d", v, b, k)
+		}
+		p.Move(hypergraph.NodeID(v), b)
+	}
+	return p, nil
+}
+
+// New creates a partition with a single block 0 containing every node.
+func New(h *hypergraph.Hypergraph, dev device.Device) *Partition {
+	p := &Partition{h: h, dev: dev, k: 1}
+	p.assign = make([]BlockID, h.NumNodes())
+	p.blockSize = []int{h.TotalSize()}
+	p.blockAux = []int{h.TotalAux()}
+	p.blockCutInc = []int{0}
+	p.blockPads = []int{h.NumPads()}
+	p.blockNodes = []int{h.NumNodes()}
+	p.netCnt = make([][]netBlock, h.NumNets())
+	for e := range p.netCnt {
+		p.netCnt[e] = []netBlock{{b: 0, c: int32(len(h.Pins(hypergraph.NetID(e))))}}
+	}
+	return p
+}
+
+// Hypergraph returns the underlying circuit.
+func (p *Partition) Hypergraph() *hypergraph.Hypergraph { return p.h }
+
+// Device returns the target device.
+func (p *Partition) Device() device.Device { return p.dev }
+
+// NumBlocks returns k, the current number of blocks.
+func (p *Partition) NumBlocks() int { return p.k }
+
+// AddBlock appends an empty block and returns its ID.
+func (p *Partition) AddBlock() BlockID {
+	id := BlockID(p.k)
+	p.k++
+	p.blockSize = append(p.blockSize, 0)
+	p.blockAux = append(p.blockAux, 0)
+	p.blockCutInc = append(p.blockCutInc, 0)
+	p.blockPads = append(p.blockPads, 0)
+	p.blockNodes = append(p.blockNodes, 0)
+	return id
+}
+
+// Block returns the block node v is assigned to.
+func (p *Partition) Block(v hypergraph.NodeID) BlockID { return p.assign[v] }
+
+// Size returns S_i, the total interior size of block b.
+func (p *Partition) Size(b BlockID) int { return p.blockSize[b] }
+
+// Aux returns the secondary-resource demand of block b.
+func (p *Partition) Aux(b BlockID) int { return p.blockAux[b] }
+
+// Terminals returns T_i = cut-incident nets + pads of block b.
+func (p *Partition) Terminals(b BlockID) int { return p.blockCutInc[b] + p.blockPads[b] }
+
+// Pads returns T_i^E, the number of primary I/O pads assigned to block b.
+func (p *Partition) Pads(b BlockID) int { return p.blockPads[b] }
+
+// Nodes returns the number of nodes (interior + pads) in block b.
+func (p *Partition) Nodes(b BlockID) int { return p.blockNodes[b] }
+
+// Cut returns the number of nets spanning two or more blocks.
+func (p *Partition) Cut() int { return p.cut }
+
+// Moves returns the total number of Move operations applied, a cheap proxy
+// for algorithm effort used in statistics.
+func (p *Partition) Moves() int64 { return p.moves }
+
+// PinCount returns the number of pins net e has in block b.
+func (p *Partition) PinCount(e hypergraph.NetID, b BlockID) int {
+	for _, nb := range p.netCnt[e] {
+		if nb.b == b {
+			return int(nb.c)
+		}
+	}
+	return 0
+}
+
+// Span returns the number of distinct blocks net e touches.
+func (p *Partition) Span(e hypergraph.NetID) int { return len(p.netCnt[e]) }
+
+// Blocks appends the blocks touched by net e to dst and returns it.
+func (p *Partition) Blocks(e hypergraph.NetID, dst []BlockID) []BlockID {
+	for _, nb := range p.netCnt[e] {
+		dst = append(dst, nb.b)
+	}
+	return dst
+}
+
+// NodesIn returns the IDs of all nodes assigned to block b, in ID order.
+func (p *Partition) NodesIn(b BlockID) []hypergraph.NodeID {
+	out := make([]hypergraph.NodeID, 0, p.blockNodes[b])
+	for v, bv := range p.assign {
+		if bv == b {
+			out = append(out, hypergraph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Move reassigns node v to block `to`, updating all incremental state in
+// O(degree(v) · avg span). Moving to the current block is a no-op.
+func (p *Partition) Move(v hypergraph.NodeID, to BlockID) {
+	from := p.assign[v]
+	if from == to {
+		return
+	}
+	p.moves++
+	p.assign[v] = to
+	node := p.h.Node(v)
+	p.blockSize[from] -= node.Size
+	p.blockSize[to] += node.Size
+	p.blockAux[from] -= node.Aux
+	p.blockAux[to] += node.Aux
+	p.blockNodes[from]--
+	p.blockNodes[to]++
+	if node.Kind == hypergraph.Pad {
+		p.blockPads[from]--
+		p.blockPads[to]++
+	}
+
+	for _, e := range node.Nets {
+		cnt := p.netCnt[e]
+		spanBefore := len(cnt)
+
+		fromLeft, toJoined := false, false
+		fi, ti := -1, -1
+		for i := range cnt {
+			switch cnt[i].b {
+			case from:
+				fi = i
+			case to:
+				ti = i
+			}
+		}
+		cnt[fi].c--
+		if cnt[fi].c == 0 {
+			fromLeft = true
+		}
+		if ti >= 0 {
+			cnt[ti].c++
+		} else {
+			toJoined = true
+		}
+
+		// Apply structural changes to the sparse counter.
+		if fromLeft && toJoined {
+			cnt[fi] = netBlock{b: to, c: 1} // reuse the vacated slot
+		} else if fromLeft {
+			last := len(cnt) - 1
+			cnt[fi] = cnt[last]
+			cnt = cnt[:last]
+			p.netCnt[e] = cnt
+		} else if toJoined {
+			cnt = append(cnt, netBlock{b: to, c: 1})
+			p.netCnt[e] = cnt
+		}
+		spanAfter := len(p.netCnt[e])
+
+		wasCut, isCut := spanBefore >= 2, spanAfter >= 2
+		switch {
+		case wasCut && isCut:
+			if fromLeft {
+				p.blockCutInc[from]--
+			}
+			if toJoined {
+				p.blockCutInc[to]++
+			}
+		case wasCut && !isCut:
+			// spanBefore == 2, members were {from, to}; from left.
+			p.blockCutInc[from]--
+			p.blockCutInc[to]--
+			p.cut--
+		case !wasCut && isCut:
+			// spanBefore == 1, member was {from}; to joined.
+			p.blockCutInc[from]++
+			p.blockCutInc[to]++
+			p.cut++
+		}
+	}
+}
+
+// Snapshot captures the assignment so it can be restored later.
+type Snapshot struct {
+	assign []BlockID
+	k      int
+}
+
+// Snapshot copies the current assignment.
+func (p *Partition) Snapshot() Snapshot {
+	s := Snapshot{assign: make([]BlockID, len(p.assign)), k: p.k}
+	copy(s.assign, p.assign)
+	return s
+}
+
+// K returns the number of blocks at the time of the snapshot.
+func (s Snapshot) K() int { return s.k }
+
+// Assign returns the snapshotted block of node v.
+func (s Snapshot) Assign(v hypergraph.NodeID) BlockID { return s.assign[v] }
+
+// Restore reinstates a snapshot by replaying moves for nodes whose block
+// differs. The snapshot must come from this partition (same hypergraph) and
+// must not reference blocks beyond the current k.
+func (p *Partition) Restore(s Snapshot) {
+	if len(s.assign) != len(p.assign) {
+		panic(fmt.Sprintf("partition: snapshot of %d nodes restored onto %d nodes", len(s.assign), len(p.assign)))
+	}
+	for v, b := range s.assign {
+		if p.assign[v] != b {
+			p.Move(hypergraph.NodeID(v), b)
+		}
+	}
+}
+
+// Feasible reports whether block b meets the device constraints (P ⊨ D),
+// including the secondary-resource bound when the device declares one.
+func (p *Partition) Feasible(b BlockID) bool {
+	return p.dev.FitsFull(p.blockSize[b], p.Terminals(b), p.blockAux[b])
+}
+
+// CountFeasible returns the number of blocks meeting the device constraints.
+func (p *Partition) CountFeasible() int {
+	n := 0
+	for b := 0; b < p.k; b++ {
+		if p.Feasible(BlockID(b)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Class is the paper's three-way solution classification (§2).
+type Class uint8
+
+const (
+	// FeasibleSolution: every block meets the device constraints.
+	FeasibleSolution Class = iota
+	// SemiFeasibleSolution: exactly one block violates the constraints
+	// (the remainder).
+	SemiFeasibleSolution
+	// InfeasibleSolution: two or more blocks violate the constraints.
+	InfeasibleSolution
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case FeasibleSolution:
+		return "feasible"
+	case SemiFeasibleSolution:
+		return "semi-feasible"
+	case InfeasibleSolution:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Classify returns the solution class per §2 / Figure 2.
+func (p *Partition) Classify() Class {
+	switch p.k - p.CountFeasible() {
+	case 0:
+		return FeasibleSolution
+	case 1:
+		return SemiFeasibleSolution
+	default:
+		return InfeasibleSolution
+	}
+}
+
+// CostParams holds the weighting coefficients of the infeasibility-distance
+// cost function (§3.3). The paper's published values are in Defaults.
+type CostParams struct {
+	LambdaS float64 // λ^S, size-distance weight (0.4)
+	LambdaT float64 // λ^T, I/O-distance weight (0.6)
+	LambdaR float64 // λ^R, size-deviation penalty weight (0.1)
+}
+
+// DefaultCost returns the published coefficients λ^S=0.4, λ^T=0.6, λ^R=0.1.
+func DefaultCost() CostParams {
+	return CostParams{LambdaS: 0.4, LambdaT: 0.6, LambdaR: 0.1}
+}
+
+// BlockDistance returns d_i, the infeasibility distance of block b:
+// λ^S·max(0,(S_i−S_MAX)/S_MAX) + λ^T·max(0,(T_i−T_MAX)/T_MAX).
+func (p *Partition) BlockDistance(b BlockID, cp CostParams) float64 {
+	smax, tmax := p.dev.SMax(), p.dev.TMax()
+	var d float64
+	if s := p.blockSize[b]; s > smax {
+		d += cp.LambdaS * float64(s-smax) / float64(smax)
+	}
+	if tc := p.Terminals(b); tc > tmax {
+		d += cp.LambdaT * float64(tc-tmax) / float64(tmax)
+	}
+	return d
+}
+
+// Distance returns d_k, the infeasibility distance of the whole solution:
+// Σ_i d_i plus the size-deviation penalty λ^R·d_k^R when a remainder block
+// and the lower bound M are supplied (§3.3). Pass remainder = NoBlock to
+// skip the penalty term.
+func (p *Partition) Distance(cp CostParams, remainder BlockID, m int) float64 {
+	var d float64
+	for b := 0; b < p.k; b++ {
+		d += p.BlockDistance(BlockID(b), cp)
+	}
+	if remainder != NoBlock {
+		d += cp.LambdaR * p.SizeDeviation(remainder, m)
+	}
+	return d
+}
+
+// SizeDeviation returns d_k^R: with k non-remainder blocks created so far,
+// S_AVG = S(R_k)/(M−k+1) is the average block size if the remainder were
+// split into the minimal theoretical number of parts; the penalty is
+// S_AVG/S_MAX when S_AVG exceeds S_MAX and 0 otherwise (§3.3).
+func (p *Partition) SizeDeviation(remainder BlockID, m int) float64 {
+	created := p.k - 1 // blocks other than the remainder
+	den := m - created + 1
+	if den < 1 {
+		den = 1
+	}
+	savg := float64(p.blockSize[remainder]) / float64(den)
+	smax := float64(p.dev.SMax())
+	if savg > smax {
+		return savg / smax
+	}
+	return 0
+}
+
+// TerminalSum returns T_SUM = Σ_i T_i, the total pin count of all blocks.
+func (p *Partition) TerminalSum() int {
+	t := 0
+	for b := 0; b < p.k; b++ {
+		t += p.Terminals(BlockID(b))
+	}
+	return t
+}
+
+// ExternalBalance returns d_k^E, the external-I/O balancing factor (§3.4):
+// blocks holding fewer external pads than the average T^E_AVG = |Y0|/M are
+// penalized proportionally.
+func (p *Partition) ExternalBalance(m int) float64 {
+	if p.h.NumPads() == 0 || m < 1 {
+		return 0
+	}
+	avg := float64(p.h.NumPads()) / float64(m)
+	var d float64
+	for b := 0; b < p.k; b++ {
+		if te := float64(p.blockPads[b]); te < avg {
+			d += (avg - te) / avg
+		}
+	}
+	return d
+}
+
+// Key is the lexicographic solution-comparison key of §3.4:
+// (f, d_k, T_SUM, d_k^E) with f maximized and the rest minimized.
+type Key struct {
+	F    int     // number of feasible blocks (higher is better)
+	D    float64 // infeasibility distance (lower is better)
+	TSum int     // total block pin count (lower is better)
+	DE   float64 // external I/O balancing factor (lower is better)
+}
+
+// eps absorbs float noise when comparing the two float components.
+const eps = 1e-9
+
+// Better reports whether key a is strictly better than key b.
+func (a Key) Better(b Key) bool {
+	if a.F != b.F {
+		return a.F > b.F
+	}
+	if a.D < b.D-eps {
+		return true
+	}
+	if a.D > b.D+eps {
+		return false
+	}
+	if a.TSum != b.TSum {
+		return a.TSum < b.TSum
+	}
+	return a.DE < b.DE-eps
+}
+
+// String renders the key.
+func (k Key) String() string {
+	return fmt.Sprintf("(f=%d d=%.4f T=%d dE=%.4f)", k.F, k.D, k.TSum, k.DE)
+}
+
+// Key evaluates the solution key for the current state. remainder and m
+// feed the d_k^R penalty and the external balance average; pass NoBlock to
+// omit the remainder penalty.
+func (p *Partition) Key(cp CostParams, remainder BlockID, m int) Key {
+	return Key{
+		F:    p.CountFeasible(),
+		D:    p.Distance(cp, remainder, m),
+		TSum: p.TerminalSum(),
+		DE:   p.ExternalBalance(m),
+	}
+}
+
+// Validate recomputes every incremental quantity from scratch and returns an
+// error describing the first mismatch. It is O(V + pins) and intended for
+// tests and debugging.
+func (p *Partition) Validate() error {
+	size := make([]int, p.k)
+	aux := make([]int, p.k)
+	pads := make([]int, p.k)
+	nodes := make([]int, p.k)
+	cutInc := make([]int, p.k)
+	for v := 0; v < p.h.NumNodes(); v++ {
+		b := p.assign[v]
+		if b < 0 || int(b) >= p.k {
+			return fmt.Errorf("node %d assigned to invalid block %d (k=%d)", v, b, p.k)
+		}
+		n := p.h.Node(hypergraph.NodeID(v))
+		nodes[b]++
+		aux[b] += n.Aux
+		if n.Kind == hypergraph.Pad {
+			pads[b]++
+		} else {
+			size[b] += n.Size
+		}
+	}
+	cut := 0
+	for e := 0; e < p.h.NumNets(); e++ {
+		want := map[BlockID]int{}
+		for _, v := range p.h.Pins(hypergraph.NetID(e)) {
+			want[p.assign[v]]++
+		}
+		if len(want) != p.Span(hypergraph.NetID(e)) {
+			return fmt.Errorf("net %d: span %d, recomputed %d", e, p.Span(hypergraph.NetID(e)), len(want))
+		}
+		for b, c := range want {
+			if got := p.PinCount(hypergraph.NetID(e), b); got != c {
+				return fmt.Errorf("net %d block %d: pin count %d, recomputed %d", e, b, got, c)
+			}
+		}
+		if len(want) >= 2 {
+			cut++
+			for b := range want {
+				cutInc[b]++
+			}
+		}
+	}
+	for b := 0; b < p.k; b++ {
+		if size[b] != p.blockSize[b] {
+			return fmt.Errorf("block %d: size %d, recomputed %d", b, p.blockSize[b], size[b])
+		}
+		if aux[b] != p.blockAux[b] {
+			return fmt.Errorf("block %d: aux %d, recomputed %d", b, p.blockAux[b], aux[b])
+		}
+		if pads[b] != p.blockPads[b] {
+			return fmt.Errorf("block %d: pads %d, recomputed %d", b, p.blockPads[b], pads[b])
+		}
+		if nodes[b] != p.blockNodes[b] {
+			return fmt.Errorf("block %d: nodes %d, recomputed %d", b, p.blockNodes[b], nodes[b])
+		}
+		if cutInc[b] != p.blockCutInc[b] {
+			return fmt.Errorf("block %d: cut-incidence %d, recomputed %d", b, p.blockCutInc[b], cutInc[b])
+		}
+	}
+	if cut != p.cut {
+		return fmt.Errorf("cut %d, recomputed %d", p.cut, cut)
+	}
+	return nil
+}
+
+// String summarizes the partition.
+func (p *Partition) String() string {
+	return fmt.Sprintf("partition{k=%d cut=%d class=%s}", p.k, p.cut, p.Classify())
+}

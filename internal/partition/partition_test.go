@@ -1,0 +1,520 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// small test device: S_MAX=10, T_MAX=4 at δ=1.
+var testDev = device.Device{Name: "T", DatasheetCells: 10, Pins: 4, Fill: 1.0}
+
+// grid builds a small circuit: 6 interior nodes in a chain plus 2 pads.
+//
+//	p0 - v0 - v1 - v2 - v3 - v4 - v5 - p1
+//
+// with one 3-pin net {v1, v3, v5}.
+func grid(t testing.TB) *hypergraph.Hypergraph {
+	t.Helper()
+	var b hypergraph.Builder
+	v := make([]hypergraph.NodeID, 6)
+	for i := range v {
+		v[i] = b.AddInterior("v", 1)
+	}
+	p0 := b.AddPad("p0")
+	p1 := b.AddPad("p1")
+	b.AddNet("e0", p0, v[0])
+	for i := 0; i < 5; i++ {
+		b.AddNet("e", v[i], v[i+1])
+	}
+	b.AddNet("e6", v[5], p1)
+	b.AddNet("big", v[1], v[3], v[5])
+	return b.MustBuild()
+}
+
+func TestNewSingleBlock(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	if p.NumBlocks() != 1 {
+		t.Fatalf("k = %d, want 1", p.NumBlocks())
+	}
+	if p.Size(0) != 6 || p.Pads(0) != 2 || p.Nodes(0) != 8 {
+		t.Errorf("block 0: size=%d pads=%d nodes=%d", p.Size(0), p.Pads(0), p.Nodes(0))
+	}
+	if p.Cut() != 0 {
+		t.Errorf("cut = %d, want 0", p.Cut())
+	}
+	// T_0 = 0 cut nets + 2 pads.
+	if p.Terminals(0) != 2 {
+		t.Errorf("T_0 = %d, want 2", p.Terminals(0))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveUpdatesCutAndTerminals(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	// Move v3 to block 1: cuts nets e(v2,v3), e(v3,v4), big(v1,v3,v5).
+	p.Move(3, b1)
+	if p.Cut() != 3 {
+		t.Errorf("cut = %d, want 3", p.Cut())
+	}
+	// Block1: 3 cut nets incident + 0 pads = 3 terminals.
+	if p.Terminals(b1) != 3 {
+		t.Errorf("T_1 = %d, want 3", p.Terminals(b1))
+	}
+	// Block0: same 3 cut nets + 2 pads = 5.
+	if p.Terminals(0) != 5 {
+		t.Errorf("T_0 = %d, want 5", p.Terminals(0))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Move v3 back: everything restores.
+	p.Move(3, 0)
+	if p.Cut() != 0 || p.Terminals(0) != 2 || p.Terminals(b1) != 0 {
+		t.Errorf("after undo: cut=%d T0=%d T1=%d", p.Cut(), p.Terminals(0), p.Terminals(b1))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveNoop(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	before := p.Moves()
+	p.Move(0, 0)
+	if p.Moves() != before {
+		t.Error("self-move should not count")
+	}
+}
+
+func TestPadMove(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(6, b1) // p0 moves; net e0(p0,v0) becomes cut
+	if p.Pads(0) != 1 || p.Pads(b1) != 1 {
+		t.Errorf("pads: %d,%d want 1,1", p.Pads(0), p.Pads(b1))
+	}
+	if p.Cut() != 1 {
+		t.Errorf("cut = %d, want 1", p.Cut())
+	}
+	// T_1 = 1 cut net + 1 pad = 2.
+	if p.Terminals(b1) != 2 {
+		t.Errorf("T_1 = %d, want 2", p.Terminals(b1))
+	}
+	if p.Size(b1) != 0 {
+		t.Errorf("pad block size = %d, want 0", p.Size(b1))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntireNetMigration(t *testing.T) {
+	// A net whose pins all move one by one: span must return to 1 and the
+	// cut must return to zero.
+	var b hypergraph.Builder
+	a := b.AddInterior("a", 1)
+	c := b.AddInterior("b", 1)
+	d := b.AddInterior("c", 1)
+	e := b.AddNet("n", a, c, d)
+	h := b.MustBuild()
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(a, b1)
+	if p.Span(e) != 2 || p.Cut() != 1 {
+		t.Fatalf("span=%d cut=%d after first move", p.Span(e), p.Cut())
+	}
+	p.Move(c, b1)
+	p.Move(d, b1)
+	if p.Span(e) != 1 || p.Cut() != 0 {
+		t.Errorf("span=%d cut=%d after full migration, want 1,0", p.Span(e), p.Cut())
+	}
+	if p.PinCount(e, b1) != 3 || p.PinCount(e, 0) != 0 {
+		t.Errorf("pin counts: b1=%d b0=%d", p.PinCount(e, b1), p.PinCount(e, 0))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksOfNet(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	b2 := p.AddBlock()
+	p.Move(1, b1)
+	p.Move(3, b2)
+	// net "big" = {v1,v3,v5} spans blocks {b1, b2, 0}.
+	big := hypergraph.NetID(h.NumNets() - 1)
+	got := p.Blocks(big, nil)
+	if len(got) != 3 {
+		t.Fatalf("Blocks(big) = %v, want 3 entries", got)
+	}
+	seen := map[BlockID]bool{}
+	for _, b := range got {
+		seen[b] = true
+	}
+	if !seen[0] || !seen[b1] || !seen[b2] {
+		t.Errorf("Blocks(big) = %v, want {0,1,2}", got)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	h := grid(t) // 6 cells, 2 pads; device S_MAX=10 T_MAX=4
+	p := New(h, testDev)
+	// Single block: size 6 <= 10, T = 2 <= 4: feasible.
+	if c := p.Classify(); c != FeasibleSolution {
+		t.Errorf("class = %v, want feasible", c)
+	}
+	// Force T_0 over: shrink device pins via a tighter device.
+	tight := device.Device{Name: "tight", DatasheetCells: 3, Pins: 1, Fill: 1.0}
+	p2 := New(h, tight) // size 6 > 3: block 0 infeasible => semi-feasible (k-1=0 feasible blocks)
+	if c := p2.Classify(); c != SemiFeasibleSolution {
+		t.Errorf("class = %v, want semi-feasible", c)
+	}
+	b1 := p2.AddBlock()
+	p2.Move(0, b1) // both blocks infeasible by terminals/size
+	p2.Move(1, b1)
+	p2.Move(2, b1)
+	p2.Move(3, b1)
+	if c := p2.Classify(); c != InfeasibleSolution {
+		t.Errorf("class = %v, want infeasible (sizes %d,%d terms %d,%d)",
+			c, p2.Size(0), p2.Size(1), p2.Terminals(0), p2.Terminals(1))
+	}
+}
+
+func TestClassifyFigure2(t *testing.T) {
+	// Reconstructs the three solutions pictured in Figure 2 of the paper on
+	// a schematic device with S_MAX=10, T_MAX=4.
+	//
+	// (a) 4 blocks, all inside the rectangle -> feasible.
+	// (b) 3 blocks, one outside (the remainder) -> semi-feasible.
+	// (c) 4 blocks, two outside -> infeasible.
+	mk := func(sizes []int, padsPerBlock []int) *Partition {
+		var b hypergraph.Builder
+		var ids [][]hypergraph.NodeID
+		for bi, s := range sizes {
+			var blk []hypergraph.NodeID
+			for j := 0; j < s; j++ {
+				blk = append(blk, b.AddInterior("v", 1))
+			}
+			for j := 0; j < padsPerBlock[bi]; j++ {
+				pid := b.AddPad("p")
+				b.AddNet("pe", pid, blk[0])
+				blk = append(blk, pid)
+			}
+			ids = append(ids, blk)
+		}
+		h := b.MustBuild()
+		p := New(h, testDev)
+		for bi := 1; bi < len(sizes); bi++ {
+			nb := p.AddBlock()
+			for _, v := range ids[bi] {
+				p.Move(v, nb)
+			}
+		}
+		return p
+	}
+	a := mk([]int{8, 9, 7, 6}, []int{2, 1, 0, 3})
+	if a.Classify() != FeasibleSolution {
+		t.Errorf("Figure 2a: %v, want feasible", a.Classify())
+	}
+	b := mk([]int{8, 9, 15}, []int{2, 1, 0}) // block 2 size 15 > 10: remainder
+	if b.Classify() != SemiFeasibleSolution {
+		t.Errorf("Figure 2b: %v, want semi-feasible", b.Classify())
+	}
+	c := mk([]int{8, 12, 15, 6}, []int{2, 1, 0, 3})
+	if c.Classify() != InfeasibleSolution {
+		t.Errorf("Figure 2c: %v, want infeasible", c.Classify())
+	}
+}
+
+func TestBlockDistance(t *testing.T) {
+	h := grid(t)
+	tiny := device.Device{Name: "tiny", DatasheetCells: 4, Pins: 1, Fill: 1.0}
+	p := New(h, tiny)
+	cp := DefaultCost()
+	// Block 0: size 6 > 4 => dS = (6-4)/4 = 0.5; T = 2 > 1 => dT = (2-1)/1 = 1.
+	want := 0.4*0.5 + 0.6*1.0
+	if got := p.BlockDistance(0, cp); got != want {
+		t.Errorf("BlockDistance = %v, want %v", got, want)
+	}
+	// Feasible block has zero distance.
+	big := device.Device{Name: "big", DatasheetCells: 100, Pins: 10, Fill: 1.0}
+	p2 := New(h, big)
+	if got := p2.BlockDistance(0, cp); got != 0 {
+		t.Errorf("feasible block distance = %v, want 0", got)
+	}
+}
+
+func TestSizeDeviationPenalty(t *testing.T) {
+	// Remainder of size 30 on S_MAX=10 with M=4, k=2 (1 created block):
+	// S_AVG = 30/(4-1+1) = 7.5 <= 10 -> 0.
+	// With M=3: S_AVG = 30/(3-1+1) = 10 -> 0 (not strictly greater).
+	// With M=2: S_AVG = 30/(2-1+1) = 15 > 10 -> 15/10 = 1.5.
+	var b hypergraph.Builder
+	var pins []hypergraph.NodeID
+	for i := 0; i < 40; i++ {
+		pins = append(pins, b.AddInterior("v", 1))
+	}
+	b.AddNet("n", pins[0], pins[1])
+	h := b.MustBuild()
+	p := New(h, testDev)
+	rem := BlockID(0)
+	blk := p.AddBlock()
+	for i := 0; i < 10; i++ {
+		p.Move(pins[i], blk) // created block size 10, remainder 30
+	}
+	if d := p.SizeDeviation(rem, 4); d != 0 {
+		t.Errorf("M=4: d_R = %v, want 0", d)
+	}
+	if d := p.SizeDeviation(rem, 3); d != 0 {
+		t.Errorf("M=3: d_R = %v, want 0", d)
+	}
+	if d := p.SizeDeviation(rem, 2); d != 1.5 {
+		t.Errorf("M=2: d_R = %v, want 1.5", d)
+	}
+}
+
+func TestExternalBalance(t *testing.T) {
+	// 4 pads, M=2 => avg 2 per block. Block with 0 pads contributes 1,
+	// block with all 4 contributes 0.
+	var b hypergraph.Builder
+	v0 := b.AddInterior("v", 1)
+	v1 := b.AddInterior("v", 1)
+	b.AddNet("n", v0, v1)
+	for i := 0; i < 4; i++ {
+		p := b.AddPad("p")
+		b.AddNet("pe", p, v0)
+	}
+	h := b.MustBuild()
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(v1, b1) // all pads stay in block 0
+	if d := p.ExternalBalance(2); d != 1.0 {
+		t.Errorf("d_E = %v, want 1.0", d)
+	}
+	// Balance the pads 2/2: zero penalty.
+	p.Move(2, b1)
+	p.Move(3, b1)
+	if d := p.ExternalBalance(2); d != 0 {
+		t.Errorf("balanced d_E = %v, want 0", d)
+	}
+	// No pads: always zero.
+	var b2 hypergraph.Builder
+	x := b2.AddInterior("x", 1)
+	y := b2.AddInterior("y", 1)
+	b2.AddNet("n", x, y)
+	p2 := New(b2.MustBuild(), testDev)
+	if d := p2.ExternalBalance(3); d != 0 {
+		t.Errorf("no-pad d_E = %v, want 0", d)
+	}
+}
+
+func TestKeyLexicographic(t *testing.T) {
+	cases := []struct {
+		a, b   Key
+		better bool
+	}{
+		{Key{F: 3, D: 9, TSum: 9, DE: 9}, Key{F: 2, D: 0, TSum: 0, DE: 0}, true},    // F dominates
+		{Key{F: 2, D: 1, TSum: 9, DE: 9}, Key{F: 2, D: 2, TSum: 0, DE: 0}, true},    // then D
+		{Key{F: 2, D: 1, TSum: 5, DE: 9}, Key{F: 2, D: 1, TSum: 6, DE: 0}, true},    // then TSum
+		{Key{F: 2, D: 1, TSum: 5, DE: 1}, Key{F: 2, D: 1, TSum: 5, DE: 2}, true},    // then DE
+		{Key{F: 2, D: 1, TSum: 5, DE: 2}, Key{F: 2, D: 1, TSum: 5, DE: 2}, false},   // equal
+		{Key{F: 1, D: 0, TSum: 0, DE: 0}, Key{F: 2, D: 99, TSum: 99, DE: 9}, false}, // F loses
+	}
+	for i, c := range cases {
+		if got := c.a.Better(c.b); got != c.better {
+			t.Errorf("case %d: Better = %v, want %v", i, got, c.better)
+		}
+	}
+	// Float jitter below eps must not flip a comparison.
+	a := Key{F: 1, D: 1.0 + 1e-12, TSum: 3, DE: 0}
+	b := Key{F: 1, D: 1.0, TSum: 4, DE: 0}
+	if !a.Better(b) {
+		t.Error("eps guard failed: TSum should break the tie")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(1, b1)
+	p.Move(3, b1)
+	snap := p.Snapshot()
+	wantCut := p.Cut()
+	p.Move(2, b1)
+	p.Move(4, b1)
+	p.Move(1, 0)
+	p.Restore(snap)
+	if p.Cut() != wantCut {
+		t.Errorf("cut after restore = %d, want %d", p.Cut(), wantCut)
+	}
+	if p.Block(1) != b1 || p.Block(3) != b1 || p.Block(2) != 0 || p.Block(4) != 0 {
+		t.Error("assignment not restored")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.K() != 2 || snap.Assign(1) != b1 {
+		t.Error("snapshot accessors wrong")
+	}
+}
+
+func TestNodesIn(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	b1 := p.AddBlock()
+	p.Move(2, b1)
+	p.Move(5, b1)
+	got := p.NodesIn(b1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("NodesIn = %v, want [2 5]", got)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	h := grid(t)
+	p := New(h, testDev)
+	p.AddBlock()
+	p.Move(1, 1)
+	p.blockSize[0]++ // corrupt
+	if err := p.Validate(); err == nil {
+		t.Error("Validate missed corrupted size")
+	}
+	p.blockSize[0]--
+	p.cut++ // corrupt
+	if err := p.Validate(); err == nil {
+		t.Error("Validate missed corrupted cut")
+	}
+	p.cut--
+}
+
+// Property: after any random move sequence, incremental state matches a
+// from-scratch recomputation. This is the central bookkeeping invariant that
+// every partitioner in the repository relies on.
+func TestQuickIncrementalMatchesRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b hypergraph.Builder
+		n := 4 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			if r.Intn(6) == 0 {
+				b.AddPad("p")
+			} else {
+				b.AddInterior("v", 1+r.Intn(3))
+			}
+		}
+		for e := 0; e < 2+r.Intn(40); e++ {
+			deg := 2 + r.Intn(4)
+			pins := make([]hypergraph.NodeID, deg)
+			for i := range pins {
+				pins[i] = hypergraph.NodeID(r.Intn(n))
+			}
+			b.AddNet("e", pins...)
+		}
+		h := b.MustBuild()
+		p := New(h, testDev)
+		k := 2 + r.Intn(5)
+		for i := 1; i < k; i++ {
+			p.AddBlock()
+		}
+		for m := 0; m < 100; m++ {
+			p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(k)))
+			if r.Intn(10) == 0 {
+				if err := p.Validate(); err != nil {
+					t.Logf("seed %d move %d: %v", seed, m, err)
+					return false
+				}
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Restore is an exact inverse of any move sequence.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b hypergraph.Builder
+		n := 4 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			b.AddInterior("v", 1)
+		}
+		for e := 0; e < 2+r.Intn(20); e++ {
+			b.AddNet("e", hypergraph.NodeID(r.Intn(n)), hypergraph.NodeID(r.Intn(n)), hypergraph.NodeID(r.Intn(n)))
+		}
+		h := b.MustBuild()
+		p := New(h, testDev)
+		k := 2 + r.Intn(4)
+		for i := 1; i < k; i++ {
+			p.AddBlock()
+		}
+		for m := 0; m < 30; m++ {
+			p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(k)))
+		}
+		snap := p.Snapshot()
+		cut, tsum := p.Cut(), p.TerminalSum()
+		for m := 0; m < 50; m++ {
+			p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(k)))
+		}
+		p.Restore(snap)
+		return p.Cut() == cut && p.TerminalSum() == tsum && p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{FeasibleSolution, SemiFeasibleSolution, InfeasibleSolution, Class(9)} {
+		if c.String() == "" {
+			t.Errorf("Class(%d).String empty", c)
+		}
+	}
+	h := grid(t)
+	p := New(h, testDev)
+	if p.String() == "" || p.Key(DefaultCost(), NoBlock, 1).String() == "" {
+		t.Error("String renderings empty")
+	}
+}
+
+func BenchmarkMove(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	var bld hypergraph.Builder
+	const n = 2000
+	for i := 0; i < n; i++ {
+		bld.AddInterior("v", 1)
+	}
+	for e := 0; e < 3000; e++ {
+		deg := 2 + r.Intn(3)
+		pins := make([]hypergraph.NodeID, deg)
+		for i := range pins {
+			pins[i] = hypergraph.NodeID(r.Intn(n))
+		}
+		bld.AddNet("e", pins...)
+	}
+	h := bld.MustBuild()
+	p := New(h, testDev)
+	for i := 1; i < 8; i++ {
+		p.AddBlock()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(8)))
+	}
+}

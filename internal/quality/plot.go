@@ -1,0 +1,104 @@
+package quality
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fpart/internal/partition"
+)
+
+// FeasibilityPlot renders the paper's Figure 2 as ASCII art: every block is
+// a point in the (terminals, size) plane, the device constraints S_MAX and
+// T_MAX delimit the feasible rectangle, and points outside the rectangle
+// are infeasible blocks. Width and height set the plot resolution in
+// characters (minimums 20×10 enforced).
+//
+//	S │
+//	  │   ┌──────────── feasible ──┐
+//	  │   │ oo o   o               │  o feasible block
+//	  │   │    o                   │  X infeasible block
+//	  │   └─────────────────────T──┘        X
+//	  └──────────────────────────────────── T
+func FeasibilityPlot(w io.Writer, p *partition.Partition, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	dev := p.Device()
+	smax, tmax := dev.SMax(), dev.TMax()
+
+	// Scale so the rectangle occupies ~70% of each axis and outliers fit.
+	maxS, maxT := smax, tmax
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		if s := p.Size(id); s > maxS {
+			maxS = s
+		}
+		if tc := p.Terminals(id); tc > maxT {
+			maxT = tc
+		}
+	}
+	maxS = maxS*10/7 + 1
+	maxT = maxT*10/7 + 1
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	// col/row mapping: row 0 is the top (largest size).
+	col := func(tc int) int {
+		c := tc * (width - 1) / maxT
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(s int) int {
+		r := height - 1 - s*(height-1)/maxS
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+	// Rectangle edges.
+	rc, rr := col(tmax), row(smax)
+	for x := 0; x <= rc; x++ {
+		grid[rr][x] = '-'
+	}
+	for y := rr; y < height; y++ {
+		grid[y][rc] = '|'
+	}
+	grid[rr][rc] = '+'
+	// Blocks.
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		x, y := col(p.Terminals(id)), row(p.Size(id))
+		mark := byte('o')
+		if !p.Feasible(id) {
+			mark = 'X'
+		}
+		if grid[y][x] == 'o' || grid[y][x] == 'X' {
+			mark = '*' // overlapping blocks
+		}
+		grid[y][x] = mark
+	}
+
+	fmt.Fprintf(w, "size vs terminals (S_MAX=%d, T_MAX=%d): o feasible, X infeasible, * overlap\n", smax, tmax)
+	for y, line := range grid {
+		prefix := "  │"
+		if y == 0 {
+			prefix = "S │"
+		}
+		fmt.Fprintf(w, "%s%s\n", prefix, string(line))
+	}
+	fmt.Fprintf(w, "  └%s T\n", strings.Repeat("─", width))
+}

@@ -1,0 +1,89 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func TestFeasibilityPlotFigure2(t *testing.T) {
+	// Rebuild Figure 2b: two feasible blocks plus an oversized remainder.
+	var b hypergraph.Builder
+	var all []hypergraph.NodeID
+	for i := 0; i < 30; i++ {
+		all = append(all, b.AddInterior("v", 1))
+	}
+	for i := 0; i+1 < 30; i++ {
+		b.AddNet("e", all[i], all[i+1])
+	}
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 20, Fill: 1.0}
+	p := partition.New(h, dev)
+	b1 := p.AddBlock()
+	b2 := p.AddBlock()
+	for i := 0; i < 8; i++ {
+		p.Move(all[i], b1)
+	}
+	for i := 8; i < 17; i++ {
+		p.Move(all[i], b2)
+	}
+	// Remainder (block 0) holds 13 > 10: infeasible.
+	var buf bytes.Buffer
+	FeasibilityPlot(&buf, p, 40, 12)
+	out := buf.String()
+	if !strings.Contains(out, "X") {
+		t.Error("plot missing infeasible marker")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("plot missing feasible marker")
+	}
+	if !strings.Contains(out, "S_MAX=10") || !strings.Contains(out, "T_MAX=20") {
+		t.Error("plot missing device legend")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("plot missing rectangle corner")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 14 { // legend + 12 rows + axis
+		t.Errorf("plot height = %d lines, want 14", len(lines))
+	}
+}
+
+func TestFeasibilityPlotMinimums(t *testing.T) {
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 1)
+	v1 := b.AddInterior("b", 1)
+	b.AddNet("n", v0, v1)
+	h := b.MustBuild()
+	p := partition.New(h, device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0})
+	var buf bytes.Buffer
+	FeasibilityPlot(&buf, p, 1, 1) // clamped to 20x10
+	if len(buf.String()) == 0 {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestFeasibilityPlotOverlap(t *testing.T) {
+	// Two identical empty blocks plus one with everything: identical (T,S)
+	// points must render as '*'.
+	var b hypergraph.Builder
+	v0 := b.AddInterior("a", 3)
+	v1 := b.AddInterior("b", 3)
+	b.AddNet("n", v0, v1)
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 10, Fill: 1.0}
+	p := partition.New(h, dev)
+	b1 := p.AddBlock()
+	b2 := p.AddBlock()
+	p.Move(v0, b1)
+	p.Move(v1, b2) // blocks b1 and b2: same size 3, same T 1
+	var buf bytes.Buffer
+	FeasibilityPlot(&buf, p, 30, 12)
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("overlapping blocks not marked")
+	}
+}

@@ -1,0 +1,128 @@
+// Package quality computes solution-quality metrics for a finished
+// partition: fill and pin utilization, cut statistics, and external-I/O
+// spread — the quantities the FPART paper reasons about qualitatively
+// (100% filling at early iterations, I/O saturation, pad balancing).
+package quality
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fpart/internal/partition"
+)
+
+// BlockStat describes one non-empty block.
+type BlockStat struct {
+	Block     partition.BlockID
+	Size      int
+	Terminals int
+	Pads      int
+	Nodes     int
+	Feasible  bool
+	// Fill is Size/S_MAX; PinUtil is Terminals/T_MAX.
+	Fill, PinUtil float64
+}
+
+// Report aggregates solution quality.
+type Report struct {
+	K        int // non-empty blocks
+	M        int // lower bound used for the external-balance metric
+	Feasible bool
+	Cut      int // nets spanning >= 2 blocks
+	TSum     int // total terminals across blocks
+
+	Blocks []BlockStat
+
+	AvgFill, MinFill, MaxFill          float64
+	AvgPinUtil, MinPinUtil, MaxPinUtil float64
+	MinPads, MaxPads                   int
+	ExternalBalance                    float64 // d_k^E (§3.4)
+}
+
+// Analyze computes the report. m is the device lower bound (pass the value
+// from the partitioning result); it parameterizes the external balance.
+func Analyze(p *partition.Partition, m int) Report {
+	dev := p.Device()
+	r := Report{
+		M:        m,
+		Feasible: p.Classify() == partition.FeasibleSolution,
+		Cut:      p.Cut(),
+		TSum:     p.TerminalSum(),
+		MinFill:  1e18, MinPinUtil: 1e18, MinPads: 1 << 30,
+		ExternalBalance: p.ExternalBalance(m),
+	}
+	smax, tmax := float64(dev.SMax()), float64(dev.TMax())
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		st := BlockStat{
+			Block:     id,
+			Size:      p.Size(id),
+			Terminals: p.Terminals(id),
+			Pads:      p.Pads(id),
+			Nodes:     p.Nodes(id),
+			Feasible:  p.Feasible(id),
+			Fill:      float64(p.Size(id)) / smax,
+			PinUtil:   float64(p.Terminals(id)) / tmax,
+		}
+		r.Blocks = append(r.Blocks, st)
+		r.K++
+		r.AvgFill += st.Fill
+		r.AvgPinUtil += st.PinUtil
+		if st.Fill < r.MinFill {
+			r.MinFill = st.Fill
+		}
+		if st.Fill > r.MaxFill {
+			r.MaxFill = st.Fill
+		}
+		if st.PinUtil < r.MinPinUtil {
+			r.MinPinUtil = st.PinUtil
+		}
+		if st.PinUtil > r.MaxPinUtil {
+			r.MaxPinUtil = st.PinUtil
+		}
+		if st.Pads < r.MinPads {
+			r.MinPads = st.Pads
+		}
+		if st.Pads > r.MaxPads {
+			r.MaxPads = st.Pads
+		}
+	}
+	if r.K > 0 {
+		r.AvgFill /= float64(r.K)
+		r.AvgPinUtil /= float64(r.K)
+	} else {
+		r.MinFill, r.MinPinUtil, r.MinPads = 0, 0, 0
+	}
+	sort.Slice(r.Blocks, func(i, j int) bool { return r.Blocks[i].Block < r.Blocks[j].Block })
+	return r
+}
+
+// Write renders the report as aligned text.
+func (r Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "blocks=%d (lower bound M=%d) feasible=%v cut=%d T_sum=%d\n",
+		r.K, r.M, r.Feasible, r.Cut, r.TSum)
+	fmt.Fprintf(w, "fill:     avg %.0f%%  min %.0f%%  max %.0f%%\n",
+		100*r.AvgFill, 100*r.MinFill, 100*r.MaxFill)
+	fmt.Fprintf(w, "pin util: avg %.0f%%  min %.0f%%  max %.0f%%\n",
+		100*r.AvgPinUtil, 100*r.MinPinUtil, 100*r.MaxPinUtil)
+	fmt.Fprintf(w, "external pads per block: min %d  max %d  balance d_E=%.3f\n",
+		r.MinPads, r.MaxPads, r.ExternalBalance)
+	for _, b := range r.Blocks {
+		status := "ok"
+		if !b.Feasible {
+			status = "VIOLATES"
+		}
+		fmt.Fprintf(w, "  block %3d: S=%4d (%3.0f%%) T=%4d (%3.0f%%) pads=%3d nodes=%4d [%s]\n",
+			b.Block, b.Size, 100*b.Fill, b.Terminals, 100*b.PinUtil, b.Pads, b.Nodes, status)
+	}
+}
+
+// Summary is a one-line rendering for logs.
+func (r Report) Summary() string {
+	return fmt.Sprintf("k=%d/%d feasible=%v fill=%.0f%% pins=%.0f%% cut=%d",
+		r.K, r.M, r.Feasible, 100*r.AvgFill, 100*r.AvgPinUtil, r.Cut)
+}

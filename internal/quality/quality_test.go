@@ -1,0 +1,112 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func build(t *testing.T) *partition.Partition {
+	t.Helper()
+	var b hypergraph.Builder
+	var cells []hypergraph.NodeID
+	for i := 0; i < 8; i++ {
+		cells = append(cells, b.AddInterior("v", 1))
+	}
+	for i := 0; i+1 < 8; i++ {
+		b.AddNet("e", cells[i], cells[i+1])
+	}
+	p1 := b.AddPad("p1")
+	p2 := b.AddPad("p2")
+	b.AddNet("pn1", p1, cells[0])
+	b.AddNet("pn2", p2, cells[7])
+	h := b.MustBuild()
+	dev := device.Device{Name: "d", DatasheetCells: 5, Pins: 6, Fill: 1.0}
+	p := partition.New(h, dev)
+	b1 := p.AddBlock()
+	for i := 4; i < 8; i++ {
+		p.Move(cells[i], b1)
+	}
+	p.Move(p2, b1)
+	return p
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	p := build(t)
+	r := Analyze(p, 2)
+	if r.K != 2 {
+		t.Fatalf("K = %d, want 2", r.K)
+	}
+	if !r.Feasible {
+		t.Error("expected feasible")
+	}
+	if r.Cut != 1 {
+		t.Errorf("cut = %d, want 1 (the chain bridge)", r.Cut)
+	}
+	// Block 0: 4 cells of 5 => 80%; block 1: 4 of 5 => 80%.
+	if r.AvgFill != 0.8 || r.MinFill != 0.8 || r.MaxFill != 0.8 {
+		t.Errorf("fill stats wrong: %+v", r)
+	}
+	// Pads: one per block.
+	if r.MinPads != 1 || r.MaxPads != 1 {
+		t.Errorf("pad spread wrong: %d..%d", r.MinPads, r.MaxPads)
+	}
+	if len(r.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(r.Blocks))
+	}
+	// T per block: 1 cut + 1 pad = 2; util 2/6.
+	for _, b := range r.Blocks {
+		if b.Terminals != 2 {
+			t.Errorf("block %d terminals = %d, want 2", b.Block, b.Terminals)
+		}
+		if !b.Feasible {
+			t.Errorf("block %d unexpectedly infeasible", b.Block)
+		}
+	}
+}
+
+func TestAnalyzeInfeasible(t *testing.T) {
+	p := build(t)
+	// Move everything into block 0: size 8 > 5.
+	for v := 0; v < p.Hypergraph().NumNodes(); v++ {
+		p.Move(hypergraph.NodeID(v), 0)
+	}
+	r := Analyze(p, 2)
+	if r.Feasible {
+		t.Error("overfull solution reported feasible")
+	}
+	if r.K != 1 {
+		t.Errorf("K = %d, want 1", r.K)
+	}
+	if r.Blocks[0].Feasible {
+		t.Error("block 0 must violate")
+	}
+}
+
+func TestWriteAndSummary(t *testing.T) {
+	p := build(t)
+	r := Analyze(p, 2)
+	var buf bytes.Buffer
+	r.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"blocks=2", "fill:", "pin util:", "block", "[ok]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(r.Summary(), "k=2/2") {
+		t.Errorf("summary = %q", r.Summary())
+	}
+}
+
+func TestAnalyzeExternalBalanceMatchesPartition(t *testing.T) {
+	p := build(t)
+	r := Analyze(p, 2)
+	if r.ExternalBalance != p.ExternalBalance(2) {
+		t.Errorf("d_E mismatch: %v vs %v", r.ExternalBalance, p.ExternalBalance(2))
+	}
+}

@@ -1,0 +1,746 @@
+// Package sanchis implements the guided multi-way iterative-improvement
+// engine at the heart of FPART (Krupnova & Saucier, DATE 1999, §3.3–§3.7).
+//
+// It is the Sanchis (1989) multi-way extension of Fiduccia–Mattheyses with
+// the paper's FPGA-specific guidance:
+//
+//   - one gain bucket per move direction — k·(k−1) buckets for a k-block
+//     pass — with LIFO lists and 2-level (Krishnamurthy) gains for
+//     tie-breaking, further ties broken toward size-equilibrating moves
+//     max(S_FROM − S_TO) (§3.7);
+//   - feasible move regions gating cell moves by block size windows, with
+//     separate windows for 2-block and multi-block passes, no upper bound
+//     for the remainder, and no I/O-violation gating (§3.5);
+//   - solution selection by the lexicographic key (f, d_k, T_SUM, d_k^E)
+//     (§3.4) rather than raw cut size;
+//   - dual solution stacks — semi-feasible and infeasible — collected during
+//     the first pass and used to restart pass series (§3.6).
+//
+// A 2-block Improve call is exactly the guided FM bipartitioning pass; the
+// multi-block call is the Sanchis generalization.
+package sanchis
+
+import (
+	"sort"
+
+	"fpart/internal/gain"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// Windows defines the feasible move regions of §3.5. The published
+// constants are direct multipliers of S_MAX (see DESIGN.md for the
+// interpretation note): a non-remainder block must stay within
+// [lower·S_MAX, Upper·S_MAX], where lower is Lower2 for 2-block passes and
+// LowerMulti for multi-block passes. The remainder has no upper bound, and
+// moves out of the remainder are never size-gated.
+type Windows struct {
+	Upper      float64 // ε_max = 1.05
+	Lower2     float64 // ε_min for 2-block passes = 0.95
+	LowerMulti float64 // ε_min for multi-block passes = 0.3
+}
+
+// DefaultWindows returns the published §4 values.
+func DefaultWindows() Windows {
+	return Windows{Upper: 1.05, Lower2: 0.95, LowerMulti: 0.3}
+}
+
+// Config tunes the engine. Zero values select reasonable defaults via
+// normalize.
+type Config struct {
+	Windows Windows
+	Cost    partition.CostParams
+	// StackDepth is D_stack, the depth of each of the two solution stacks
+	// (§3.6; published value 4). Zero disables solution stacks. Set to -1
+	// to explicitly disable while keeping other defaults.
+	StackDepth int
+	// MaxPasses bounds each pass series. Zero selects 10.
+	MaxPasses int
+	// UseLevel2 enables 2-level Krishnamurthy gains for tie-breaking.
+	UseLevel2 bool
+	// GainLevels selects deeper Krishnamurthy look-ahead for tie-breaking
+	// (3 or more levels, compared lexicographically). Zero or below 3
+	// defers to UseLevel2. Krishnamurthy [8] and the study [7] cited in
+	// §3.7 found diminishing returns past level 2 — the ablation bench
+	// confirms it here.
+	GainLevels int
+	// TieWidth is how many cells per direction's top gain list are examined
+	// when breaking ties. Zero selects 8.
+	TieWidth int
+	// DisableWindows turns off all size gating (ablation switch).
+	DisableWindows bool
+	// CutObjective replaces the infeasibility-distance solution key with
+	// the classical (feasible blocks, cut size) key — the cost function of
+	// Kuznar et al. [9] that §3.3 contrasts against. Used by the k-way.x
+	// baseline and the cost-function ablation.
+	CutObjective bool
+	// PinGain implements the paper's first future-work suggestion (§5):
+	// bucket cells by the real change in block I/O pin counts (−ΔT over
+	// the touched blocks) instead of the cut-net gain. A net that stays
+	// cut can still free a pin on the source block or cost one on the
+	// target; pin gains see that, cut gains do not.
+	PinGain bool
+	// EarlyStop implements the paper's second future-work suggestion
+	// (§5): abort an FM pass after this many consecutive moves without
+	// improving the pass-best solution, cutting the time spent exploring
+	// the infeasible region. Zero disables (the paper's baseline
+	// behaviour: a full pass).
+	EarlyStop int
+}
+
+func (c Config) normalize() Config {
+	if c.Windows == (Windows{}) {
+		c.Windows = DefaultWindows()
+	}
+	if c.Cost == (partition.CostParams{}) {
+		c.Cost = partition.DefaultCost()
+	}
+	if c.StackDepth == 0 {
+		c.StackDepth = 4
+	} else if c.StackDepth < 0 {
+		c.StackDepth = 0
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 10
+	}
+	if c.TieWidth <= 0 {
+		c.TieWidth = 8
+	}
+	return c
+}
+
+// Default returns the paper's published engine configuration: windows
+// (1.05, 0.95, 0.3), cost (0.4, 0.6, 0.1), stack depth 4, 2-level gains.
+func Default() Config {
+	return Config{UseLevel2: true}.normalize()
+}
+
+// Stats reports the work done by one Improve call.
+type Stats struct {
+	Passes       int // FM passes executed, including stack restarts
+	MovesApplied int // cell moves applied (before rollbacks)
+	Restarts     int // pass series started from stacked solutions
+	Improved     bool
+}
+
+// Engine runs improvement passes over a Partition. An Engine may be reused
+// across Improve calls on the same partition; it is not safe for concurrent
+// use.
+type Engine struct {
+	p   *partition.Partition
+	h   *hypergraph.Hypergraph
+	cfg Config
+
+	// per-Improve state
+	blocks    []partition.BlockID
+	blkIdx    []int // BlockID -> index in blocks, -1 inactive
+	remainder partition.BlockID
+	m         int
+	allowOver bool
+
+	buckets []*gain.Bucket
+	locked  []bool
+	stamp   []int32
+	epoch   int32
+
+	journal []moveRec
+}
+
+type moveRec struct {
+	v        hypergraph.NodeID
+	from, to partition.BlockID
+}
+
+// New creates an engine over p.
+func New(p *partition.Partition, cfg Config) *Engine {
+	cfg = cfg.normalize()
+	return &Engine{
+		p:      p,
+		h:      p.Hypergraph(),
+		cfg:    cfg,
+		locked: make([]bool, p.Hypergraph().NumNodes()),
+		stamp:  make([]int32, p.Hypergraph().NumNodes()),
+	}
+}
+
+// nb returns the number of active blocks.
+func (e *Engine) nb() int { return len(e.blocks) }
+
+// dirIndex maps an ordered (fromIdx, toIdx) pair to a dense direction index.
+func (e *Engine) dirIndex(fi, ti int) int {
+	if ti > fi {
+		ti--
+	}
+	return fi*(e.nb()-1) + ti
+}
+
+// gain1 returns the first-level (exact Δcut) gain of moving v from F to T.
+func (e *Engine) gain1(v hypergraph.NodeID, f, t partition.BlockID) int {
+	g := 0
+	for _, net := range e.h.Nets(v) {
+		pf := e.p.PinCount(net, f)
+		span := e.p.Span(net)
+		if pf == 1 {
+			// Net leaves F entirely; it becomes uncut only if its other
+			// pins all sit in T.
+			if span == 2 && e.p.PinCount(net, t) > 0 {
+				g++
+			}
+		} else if span == 1 {
+			// Net entirely inside F with other pins left behind: cut.
+			g--
+		}
+	}
+	return g
+}
+
+// gainPin returns −ΔT_SUM for moving v from F to T: the net reduction in
+// terminal counts across the touched blocks (§5 future work (a)). Terminal
+// deltas follow the same case analysis as the partition's incremental
+// bookkeeping; pad relocation itself is T-neutral (−1 on F, +1 on T).
+func (e *Engine) gainPin(v hypergraph.NodeID, f, t partition.BlockID) int {
+	g := 0
+	for _, net := range e.h.Nets(v) {
+		pf := e.p.PinCount(net, f)
+		pt := e.p.PinCount(net, t)
+		span := e.p.Span(net)
+		fromLeft := pf == 1
+		toJoined := pt == 0
+		spanAfter := span
+		if fromLeft {
+			spanAfter--
+		}
+		if toJoined {
+			spanAfter++
+		}
+		wasCut, isCut := span >= 2, spanAfter >= 2
+		switch {
+		case wasCut && isCut:
+			if fromLeft {
+				g++
+			}
+			if toJoined {
+				g--
+			}
+		case wasCut && !isCut:
+			g += 2
+		case !wasCut && isCut:
+			g -= 2
+		}
+	}
+	return g
+}
+
+// gainLevels computes Krishnamurthy gains λ_2..λ_L for moving v from F to
+// T, restricted to nets with no pins outside {F, T}. λ_i counts nets whose
+// F-side binding number is i minus nets whose T-side binding number is
+// i−1; locked pins poison a side (binding number ∞).
+func (e *Engine) gainLevels(v hypergraph.NodeID, f, t partition.BlockID, maxLevel int) []int {
+	out := make([]int, maxLevel-1) // levels 2..maxLevel
+	for _, net := range e.h.Nets(v) {
+		pins := e.h.Pins(net)
+		pf := e.p.PinCount(net, f)
+		pt := e.p.PinCount(net, t)
+		if pf+pt != len(pins) {
+			continue
+		}
+		lockF, lockT := 0, 0
+		for _, u := range pins {
+			if !e.locked[u] {
+				continue
+			}
+			if e.p.Block(u) == f {
+				lockF++
+			} else {
+				lockT++
+			}
+		}
+		for lvl := 2; lvl <= maxLevel; lvl++ {
+			if lockF == 0 && pf == lvl {
+				out[lvl-2]++
+			}
+			if lockT == 0 && pt == lvl-1 {
+				out[lvl-2]--
+			}
+		}
+	}
+	return out
+}
+
+// cellGain returns the bucket (first-level) gain under the configured gain
+// model.
+func (e *Engine) cellGain(v hypergraph.NodeID, f, t partition.BlockID) int {
+	if e.cfg.PinGain {
+		return e.gainPin(v, f, t)
+	}
+	return e.gain1(v, f, t)
+}
+
+// gain2 returns the second-level Krishnamurthy gain of moving v from F to T,
+// restricted to nets with no pins outside {F, T} (nets spanning other blocks
+// cannot change cut state through F→T moves). Locked pins make a side
+// unusable, following the classical binding-number definition.
+func (e *Engine) gain2(v hypergraph.NodeID, f, t partition.BlockID) int {
+	g := 0
+	for _, net := range e.h.Nets(v) {
+		pins := e.h.Pins(net)
+		pf := e.p.PinCount(net, f)
+		pt := e.p.PinCount(net, t)
+		if pf+pt != len(pins) {
+			continue
+		}
+		lockF, lockT := 0, 0
+		for _, u := range pins {
+			if !e.locked[u] {
+				continue
+			}
+			if e.p.Block(u) == f {
+				lockF++
+			} else {
+				lockT++
+			}
+		}
+		if lockF == 0 && pf-lockF == 2 {
+			g++
+		}
+		if lockT == 0 && pt-lockT == 1 {
+			g--
+		}
+	}
+	return g
+}
+
+// sizeAdmissible applies the feasible move region of §3.5 to moving a cell
+// of the given size from F to T.
+func (e *Engine) sizeAdmissible(sz int, f, t partition.BlockID) bool {
+	if e.cfg.DisableWindows {
+		return true
+	}
+	smax := float64(e.p.Device().SMax())
+	if t != e.remainder {
+		limit := smax // strict feasibility once M is reached (§3.5 rule 1)
+		if e.allowOver {
+			limit = smax * e.cfg.Windows.Upper
+		}
+		if float64(e.p.Size(t)+sz) > limit {
+			return false
+		}
+	}
+	if f != e.remainder {
+		lower := e.cfg.Windows.LowerMulti
+		if e.nb() == 2 {
+			lower = e.cfg.Windows.Lower2
+		}
+		if float64(e.p.Size(f)-sz) < lower*smax {
+			return false
+		}
+	}
+	return true
+}
+
+// initPass fills the direction buckets with every unlocked cell of every
+// active block and clears locks.
+func (e *Engine) initPass() {
+	n := e.h.NumNodes()
+	maxG := e.h.MaxDegree()
+	if e.cfg.PinGain {
+		maxG *= 2 // pin deltas reach ±2 per net
+	}
+	nd := e.nb() * (e.nb() - 1)
+	if cap(e.buckets) < nd {
+		e.buckets = make([]*gain.Bucket, nd)
+	}
+	e.buckets = e.buckets[:nd]
+	for d := range e.buckets {
+		if e.buckets[d] == nil {
+			e.buckets[d] = gain.NewBucket(n, maxG)
+		} else {
+			e.buckets[d].Clear()
+		}
+	}
+	for i := range e.locked {
+		e.locked[i] = false
+	}
+	for v := 0; v < n; v++ {
+		b := e.p.Block(hypergraph.NodeID(v))
+		fi := e.blkIdx[b]
+		if fi < 0 {
+			continue
+		}
+		for ti := range e.blocks {
+			if ti == fi {
+				continue
+			}
+			g := e.cellGain(hypergraph.NodeID(v), b, e.blocks[ti])
+			e.buckets[e.dirIndex(fi, ti)].Insert(int32(v), g)
+		}
+	}
+}
+
+// candidate is a tentative best move.
+type candidate struct {
+	v     hypergraph.NodeID
+	from  partition.BlockID
+	to    partition.BlockID
+	g1    int
+	g2    int
+	hasG2 bool
+	lv    []int // levels 2..GainLevels, computed lazily
+	bal   int   // S_FROM - S_TO at selection time
+}
+
+// selectBest scans all directions for the best admissible move under the
+// ordering (g1, g2, S_FROM−S_TO). Returns ok=false when no admissible move
+// exists.
+func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
+	var best candidate
+	found := false
+	better := func(c candidate) bool {
+		if !found {
+			return true
+		}
+		if c.g1 != best.g1 {
+			return c.g1 > best.g1
+		}
+		if e.cfg.GainLevels >= 3 {
+			if c.lv == nil {
+				c.lv = e.gainLevels(c.v, c.from, c.to, e.cfg.GainLevels)
+			}
+			if best.lv == nil {
+				best.lv = e.gainLevels(best.v, best.from, best.to, e.cfg.GainLevels)
+			}
+			for i := range c.lv {
+				if c.lv[i] != best.lv[i] {
+					return c.lv[i] > best.lv[i]
+				}
+			}
+		} else if e.cfg.UseLevel2 {
+			if !c.hasG2 {
+				c.g2 = e.gain2(c.v, c.from, c.to)
+				c.hasG2 = true
+			}
+			if !best.hasG2 {
+				best.g2 = e.gain2(best.v, best.from, best.to)
+				best.hasG2 = true
+			}
+			if c.g2 != best.g2 {
+				return c.g2 > best.g2
+			}
+		}
+		return c.bal > best.bal
+	}
+	for fi := range e.blocks {
+		for ti := range e.blocks {
+			if ti == fi {
+				continue
+			}
+			f, t := e.blocks[fi], e.blocks[ti]
+			bk := e.buckets[e.dirIndex(fi, ti)]
+			topG, ok := bk.MaxGain()
+			if !ok {
+				continue
+			}
+			if found && topG < best.g1 {
+				continue // cannot beat the current best on g1
+			}
+			bal := e.p.Size(f) - e.p.Size(t)
+			// Examine the top gain list first (bounded), then descend
+			// until one admissible cell is found.
+			scratch = scratch[:0]
+			scratch = bk.TopN(e.cfg.TieWidth, scratch)
+			examined := false
+			for _, vi := range scratch {
+				v := hypergraph.NodeID(vi)
+				if !e.sizeAdmissible(e.h.Node(v).Size, f, t) {
+					continue
+				}
+				c := candidate{v: v, from: f, to: t, g1: topG, bal: bal}
+				if better(c) {
+					if !c.hasG2 && e.cfg.UseLevel2 {
+						c.g2 = e.gain2(c.v, c.from, c.to)
+						c.hasG2 = true
+					}
+					best, found = c, true
+				}
+				examined = true
+			}
+			if examined {
+				continue
+			}
+			// Whole top list inadmissible: descend in gain order for the
+			// first admissible cell (bounded scan).
+			limit := 64
+			bk.ScanFrom(func(vi int32, g int) bool {
+				limit--
+				if limit < 0 {
+					return false
+				}
+				if found && g < best.g1 {
+					return false
+				}
+				v := hypergraph.NodeID(vi)
+				if !e.sizeAdmissible(e.h.Node(v).Size, f, t) {
+					return true
+				}
+				c := candidate{v: v, from: f, to: t, g1: g, bal: bal}
+				if better(c) {
+					best, found = c, true
+				}
+				return false // direction contributes its best admissible only
+			})
+		}
+	}
+	return best, found
+}
+
+// applyMove commits the move, locks the cell, and refreshes the gains of
+// affected unlocked cells.
+func (e *Engine) applyMove(c candidate) {
+	v := c.v
+	fi := e.blkIdx[c.from]
+	// Remove v from its outgoing buckets.
+	for ti := range e.blocks {
+		if ti == fi {
+			continue
+		}
+		e.buckets[e.dirIndex(fi, ti)].Remove(int32(v))
+	}
+	e.p.Move(v, c.to)
+	e.locked[v] = true
+	e.journal = append(e.journal, moveRec{v: v, from: c.from, to: c.to})
+
+	// Refresh gains of every unlocked active cell sharing a net with v.
+	// Gains in all directions can shift because "pins outside {F,T}"
+	// conditions reference every block, so recompute the touched cells'
+	// gains wholesale; each cell is refreshed once per applied move.
+	e.epoch++
+	for _, net := range e.h.Nets(v) {
+		for _, u := range e.h.Pins(net) {
+			if u == v || e.locked[u] || e.stamp[u] == e.epoch {
+				continue
+			}
+			e.stamp[u] = e.epoch
+			b := e.p.Block(u)
+			ufi := e.blkIdx[b]
+			if ufi < 0 {
+				continue
+			}
+			for ti := range e.blocks {
+				if ti == ufi {
+					continue
+				}
+				g := e.cellGain(u, b, e.blocks[ti])
+				e.buckets[e.dirIndex(ufi, ti)].Update(int32(u), g)
+			}
+		}
+	}
+}
+
+// stackEntry records a candidate restart solution as a journal prefix.
+type stackEntry struct {
+	key       partition.Key
+	dist      float64 // infeasibility distance, ranking for the infeasible stack
+	prefixLen int
+	snap      partition.Snapshot
+	hasSnap   bool
+}
+
+// key evaluates the solution-comparison key under the configured objective.
+func (e *Engine) key() partition.Key {
+	if e.cfg.CutObjective {
+		return partition.Key{F: e.p.CountFeasible(), D: float64(e.p.Cut())}
+	}
+	return e.p.Key(e.cfg.Cost, e.remainder, e.m)
+}
+
+// runPass executes one FM pass over the active blocks: moves cells until no
+// admissible move remains, then rolls back to the best prefix. When collect
+// is non-nil, every prefix whose key improves on the best-so-far (semi) or
+// whose distance improves (infeasible) is offered to the stacks.
+func (e *Engine) runPass(collect *stacks) (improved bool, moves int) {
+	e.initPass()
+	e.journal = e.journal[:0]
+	start := e.key()
+	best := start
+	bestLen := 0
+	scratch := make([]int32, 0, e.cfg.TieWidth)
+
+	for {
+		c, ok := e.selectBest(scratch)
+		if !ok {
+			break
+		}
+		e.applyMove(c)
+		moves++
+		key := e.key()
+		if key.Better(best) {
+			best = key
+			bestLen = len(e.journal)
+		}
+		if collect != nil {
+			collect.offer(e.p, key, len(e.journal))
+		}
+		if e.cfg.EarlyStop > 0 && len(e.journal)-bestLen > e.cfg.EarlyStop {
+			break // §5 future work (b): stop drifting from the feasible region
+		}
+	}
+
+	// Materialize stack snapshots before rolling back (entries reference
+	// journal prefixes of this pass).
+	if collect != nil {
+		collect.materialize(e.p, e.journal)
+	}
+
+	// Roll back to the best prefix.
+	for i := len(e.journal) - 1; i >= bestLen; i-- {
+		e.p.Move(e.journal[i].v, e.journal[i].from)
+	}
+	return best.Better(start), moves
+}
+
+// stacks holds the two restart stacks of §3.6.
+type stacks struct {
+	depth  int
+	cost   partition.CostParams
+	semi   []stackEntry
+	infeas []stackEntry
+}
+
+// offer records a prefix in the appropriate stack if it ranks well enough.
+// Snapshots are not taken here; materialize replays the journal once at the
+// end of the collecting pass.
+func (s *stacks) offer(p *partition.Partition, key partition.Key, prefixLen int) {
+	if s.depth == 0 {
+		return
+	}
+	entry := stackEntry{key: key, dist: key.D, prefixLen: prefixLen}
+	if p.Classify() == partition.InfeasibleSolution {
+		s.infeas = insertRanked(s.infeas, entry, s.depth, func(a, b stackEntry) bool {
+			return a.dist < b.dist
+		})
+	} else {
+		s.semi = insertRanked(s.semi, entry, s.depth, func(a, b stackEntry) bool {
+			return a.key.Better(b.key)
+		})
+	}
+}
+
+// insertRanked keeps list sorted best-first, bounded to depth, replacing the
+// worst entry when full. Entries with identical rank keys are deduplicated.
+func insertRanked(list []stackEntry, ent stackEntry, depth int, less func(a, b stackEntry) bool) []stackEntry {
+	for _, ex := range list {
+		if ex.key == ent.key {
+			return list // duplicate solution quality: keep the earlier one
+		}
+	}
+	pos := sort.Search(len(list), func(i int) bool { return less(ent, list[i]) })
+	if pos == len(list) && len(list) >= depth {
+		return list
+	}
+	list = append(list, stackEntry{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = ent
+	if len(list) > depth {
+		list = list[:depth]
+	}
+	return list
+}
+
+// materialize converts journal-prefix entries into real snapshots by
+// replaying the pass journal from its start state. Called exactly once, at
+// the end of the collecting pass, while the journal is fully applied.
+func (s *stacks) materialize(p *partition.Partition, journal []moveRec) {
+	all := append(append([]*stackEntry{}, refs(s.semi)...), refs(s.infeas)...)
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].prefixLen > all[j].prefixLen })
+	// Walk backwards from the fully-applied state, undoing moves and
+	// snapshotting at each requested prefix length.
+	pos := len(journal)
+	for _, ent := range all {
+		for pos > ent.prefixLen {
+			pos--
+			p.Move(journal[pos].v, journal[pos].from)
+		}
+		ent.snap = p.Snapshot()
+		ent.hasSnap = true
+	}
+	// Reapply to return to the fully-applied state runPass expects.
+	for ; pos < len(journal); pos++ {
+		p.Move(journal[pos].v, journal[pos].to)
+	}
+}
+
+func refs(list []stackEntry) []*stackEntry {
+	out := make([]*stackEntry, len(list))
+	for i := range list {
+		out[i] = &list[i]
+	}
+	return out
+}
+
+// Improve runs the full §3.6 improvement procedure over the given active
+// blocks: a pass series from the current solution (collecting restart
+// solutions during the first pass), then a pass series from each stacked
+// semi-feasible and infeasible solution, finally restoring the best solution
+// seen. remainder designates the current remainder block (NoBlock for
+// contexts without one), and m is the device lower bound M.
+func (e *Engine) Improve(blocks []partition.BlockID, remainder partition.BlockID, m int) Stats {
+	var st Stats
+	if len(blocks) < 2 {
+		return st
+	}
+	e.blocks = blocks
+	e.remainder = remainder
+	e.m = m
+	e.allowOver = e.p.NumBlocks() <= m
+	if cap(e.blkIdx) < e.p.NumBlocks() {
+		e.blkIdx = make([]int, e.p.NumBlocks())
+	}
+	e.blkIdx = e.blkIdx[:e.p.NumBlocks()]
+	for i := range e.blkIdx {
+		e.blkIdx[i] = -1
+	}
+	for i, b := range blocks {
+		e.blkIdx[b] = i
+	}
+
+	collect := &stacks{depth: e.cfg.StackDepth, cost: e.cfg.Cost}
+	startKey := e.key()
+
+	series := func(col *stacks) {
+		for pass := 0; pass < e.cfg.MaxPasses; pass++ {
+			var c *stacks
+			if col != nil && pass == 0 {
+				c = col
+			}
+			improved, moves := e.runPass(c)
+			st.Passes++
+			st.MovesApplied += moves
+			if !improved {
+				break
+			}
+		}
+	}
+
+	series(collect)
+	bestKey := e.key()
+	bestSnap := e.p.Snapshot()
+
+	for _, ent := range append(append([]stackEntry{}, collect.semi...), collect.infeas...) {
+		if !ent.hasSnap {
+			continue
+		}
+		e.p.Restore(ent.snap)
+		st.Restarts++
+		series(nil)
+		if key := e.key(); key.Better(bestKey) {
+			bestKey = key
+			bestSnap = e.p.Snapshot()
+		}
+	}
+	e.p.Restore(bestSnap)
+	st.Improved = bestKey.Better(startKey)
+	return st
+}

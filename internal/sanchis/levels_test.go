@@ -1,0 +1,89 @@
+package sanchis
+
+// Tests for the generalized Krishnamurthy level gains (§3.7 / [8]).
+
+import (
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func TestGainLevelsMatchesGain2AtLevel2(t *testing.T) {
+	h, _ := clusters(t, 2, 8)
+	p := scrambled(t, h, testDev, 2)
+	e := New(p, Default())
+	for v := 0; v < h.NumNodes(); v++ {
+		id := hypergraph.NodeID(v)
+		from := p.Block(id)
+		lv := e.gainLevels(id, from, 1-from, 3)
+		g2 := e.gain2(id, from, 1-from)
+		if lv[0] != g2 {
+			t.Fatalf("node %d: gainLevels[0]=%d, gain2=%d", v, lv[0], g2)
+		}
+	}
+}
+
+func TestGainLevelsDepth(t *testing.T) {
+	// Net {a, b, c, d}: a,b,c in F, d in T. Moving a: λ2 = −1 (the single
+	// unlocked T pin), λ3 = +1 (three unlocked F pins), λ4 = 0.
+	var b hypergraph.Builder
+	a := b.AddInterior("a", 1)
+	c := b.AddInterior("b", 1)
+	d := b.AddInterior("c", 1)
+	x := b.AddInterior("d", 1)
+	b.AddNet("n", a, c, d, x)
+	h := b.MustBuild()
+	_ = c
+	_ = d
+	dev := device.Device{Name: "t", DatasheetCells: 12, Pins: 40, Fill: 1.0}
+	p := partition.New(h, dev)
+	blk := p.AddBlock()
+	p.Move(x, blk)
+	e := New(p, Default())
+	lv := e.gainLevels(a, 0, blk, 4)
+	if lv[0] != -1 || lv[1] != 1 || lv[2] != 0 {
+		t.Errorf("gainLevels = %v, want [-1 1 0]", lv)
+	}
+}
+
+func TestDeepLevelsImproveRuns(t *testing.T) {
+	h, _ := clusters(t, 3, 8)
+	dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 40, Fill: 1.0}
+	p := scrambled(t, h, dev, 3)
+	cfg := Default()
+	cfg.GainLevels = 4
+	e := New(p, cfg)
+	st := e.Improve([]partition.BlockID{0, 1, 2}, 2, 3)
+	if st.Passes == 0 {
+		t.Error("no passes")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepLevelsMatchLevel2Quality(t *testing.T) {
+	// §3.7's conclusion: higher-level gains do not move solution quality
+	// much. Verify levels 2 and 4 land within one cut of each other on the
+	// cluster instance.
+	run := func(levels int) int {
+		h, _ := clusters(t, 4, 8)
+		dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 40, Fill: 1.0}
+		p := scrambled(t, h, dev, 4)
+		cfg := Default()
+		cfg.GainLevels = levels
+		e := New(p, cfg)
+		e.Improve([]partition.BlockID{0, 1, 2, 3}, 3, 4)
+		return p.Cut()
+	}
+	c2, c4 := run(0), run(4)
+	diff := c2 - c4
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 3 {
+		t.Errorf("level depth changed cut drastically: L2=%d L4=%d", c2, c4)
+	}
+}

@@ -1,0 +1,132 @@
+package sanchis
+
+// Focused tests for the §3.6 solution-stack machinery and engine reuse.
+
+import (
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func TestStacksOfferClassification(t *testing.T) {
+	h, _ := clusters(t, 3, 4)
+	tight := device.Device{Name: "t", DatasheetCells: 5, Pins: 2, Fill: 1.0}
+	p := scrambled(t, h, tight, 3)
+	s := &stacks{depth: 4, cost: partition.DefaultCost()}
+
+	// All three blocks violate terminals: infeasible solution goes to the
+	// infeasible stack.
+	key := p.Key(partition.DefaultCost(), 2, 3)
+	s.offer(p, key, 1)
+	if len(s.infeas) != 1 || len(s.semi) != 0 {
+		t.Fatalf("infeasible solution misrouted: semi=%d infeas=%d", len(s.semi), len(s.infeas))
+	}
+
+	// Empty two blocks so only one violates: semi-feasible stack.
+	for v := 0; v < h.NumNodes(); v++ {
+		p.Move(hypergraph.NodeID(v), 0)
+	}
+	key = p.Key(partition.DefaultCost(), 0, 3)
+	s.offer(p, key, 2)
+	if len(s.semi) != 1 {
+		t.Fatalf("semi-feasible solution misrouted: semi=%d infeas=%d", len(s.semi), len(s.infeas))
+	}
+}
+
+func TestStacksDepthZeroDropsEverything(t *testing.T) {
+	h, _ := clusters(t, 2, 4)
+	p := scrambled(t, h, testDev, 2)
+	s := &stacks{depth: 0}
+	s.offer(p, p.Key(partition.DefaultCost(), 1, 2), 1)
+	if len(s.semi)+len(s.infeas) != 0 {
+		t.Error("depth-0 stack accepted an entry")
+	}
+}
+
+func TestMaterializeRestoresExactPrefixes(t *testing.T) {
+	// Build a partition, apply a known journal, and check that
+	// materialize snapshots the exact intermediate assignments.
+	h, _ := clusters(t, 2, 4)
+	p := scrambled(t, h, testDev, 2)
+	journal := []moveRec{
+		{v: 0, from: p.Block(0), to: 1 - p.Block(0)},
+		{v: 1, from: p.Block(1), to: 1 - p.Block(1)},
+		{v: 2, from: p.Block(2), to: 1 - p.Block(2)},
+	}
+	// Apply the journal.
+	for _, m := range journal {
+		p.Move(m.v, m.to)
+	}
+	wantAfter2 := p.Block(2) // will be undone to prefix 2 state
+	s := &stacks{depth: 2, cost: partition.DefaultCost()}
+	s.semi = []stackEntry{
+		{key: partition.Key{F: 1}, prefixLen: 1},
+		{key: partition.Key{F: 0}, prefixLen: 3},
+	}
+	s.materialize(p, journal)
+	for _, ent := range s.semi {
+		if !ent.hasSnap {
+			t.Fatal("entry missing snapshot")
+		}
+	}
+	// Prefix-1 snapshot: only journal[0] applied.
+	snap1 := s.semi[0].snap
+	if snap1.Assign(0) != journal[0].to {
+		t.Error("prefix-1 snapshot missing move 0")
+	}
+	if snap1.Assign(1) != journal[1].from {
+		t.Error("prefix-1 snapshot includes move 1")
+	}
+	// Full-state restoration: the partition must be back at the fully
+	// applied journal.
+	if p.Block(2) != wantAfter2 {
+		t.Error("materialize did not restore the fully-applied state")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineReuseAcrossImproveCalls(t *testing.T) {
+	h, _ := clusters(t, 3, 6)
+	dev := device.Device{Name: "d", DatasheetCells: 8, Pins: 40, Fill: 1.0}
+	p := scrambled(t, h, dev, 3)
+	e := New(p, Default())
+	// Call with different block subsets in sequence; state must not leak.
+	e.Improve([]partition.BlockID{0, 1}, 1, 3)
+	e.Improve([]partition.BlockID{1, 2}, 2, 3)
+	e.Improve([]partition.BlockID{0, 1, 2}, 2, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutObjectiveKey(t *testing.T) {
+	h, _ := clusters(t, 2, 4)
+	p := scrambled(t, h, testDev, 2)
+	cfg := Default()
+	cfg.CutObjective = true
+	e := New(p, cfg)
+	e.blocks = []partition.BlockID{0, 1}
+	e.remainder = 1
+	e.m = 2
+	k := e.key()
+	if int(k.D) != p.Cut() {
+		t.Errorf("cut-objective key D = %v, want cut %d", k.D, p.Cut())
+	}
+	if k.TSum != 0 || k.DE != 0 {
+		t.Error("cut-objective key must not use TSum/DE")
+	}
+}
+
+func TestImproveEmptyBlockSet(t *testing.T) {
+	h, _ := clusters(t, 2, 4)
+	p := partition.New(h, testDev)
+	e := New(p, Default())
+	st := e.Improve(nil, 0, 1)
+	if st.Passes != 0 {
+		t.Error("nil block set ran passes")
+	}
+}

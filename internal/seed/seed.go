@@ -1,0 +1,511 @@
+// Package seed constructs initial bipartitions of a remainder block, per
+// §3.2 of Krupnova & Saucier (DATE 1999).
+//
+// Randomly created initial partitions lead to poor results, and the overall
+// algorithm needs a *semi-feasible* starting point, so two constructive
+// methods are run and the best of the two is kept:
+//
+//  1. GreedyConeMerge — the greedy node-merge of Brasen, Hiol & Saucier
+//     (ICCAD 1993): two seed nodes (the biggest node, and the node at
+//     maximal BFS distance from it) grow two blocks simultaneously, each
+//     step adding the frontier candidate with the best cost S/T; growing
+//     both blocks at once softens the greed.
+//  2. RatioCutSweep — the ratio-cut objective of Wei & Cheng (1991): nodes
+//     are swept one by one into a block seeded at one point, and the prefix
+//     minimizing cut/(S1·S2) with at least one feasible side is kept; the
+//     sweep is run from both seed points.
+//
+// Both methods operate on the set of nodes currently in the remainder block
+// of a global partition, and account for nets escaping to already-carved
+// blocks when estimating terminal counts.
+package seed
+
+import (
+	"math"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// tracker incrementally maintains size and terminal count of a growing node
+// cluster within the remainder of a partition. A net contributes a terminal
+// to the cluster when the cluster holds at least one of its pins and the net
+// has pins outside the cluster — elsewhere in the remainder or in an
+// already-carved block.
+type tracker struct {
+	p      *partition.Partition
+	h      *hypergraph.Hypergraph
+	rem    partition.BlockID
+	inC    map[hypergraph.NodeID]bool
+	pinsIn map[hypergraph.NetID]int // cluster pins per net (only nets touched)
+	remPin map[hypergraph.NetID]int // remainder pins per net (memoized)
+	size   int
+	aux    int
+	term   int
+	pads   int
+	nodes  int
+	intCut int // nets split between the cluster and the rest of the remainder
+}
+
+func newTracker(p *partition.Partition, rem partition.BlockID) *tracker {
+	return &tracker{
+		p:      p,
+		h:      p.Hypergraph(),
+		rem:    rem,
+		inC:    make(map[hypergraph.NodeID]bool),
+		pinsIn: make(map[hypergraph.NetID]int),
+		remPin: make(map[hypergraph.NetID]int),
+	}
+}
+
+// remainderPins returns the number of pins net e has inside the remainder.
+func (t *tracker) remainderPins(e hypergraph.NetID) int {
+	if c, ok := t.remPin[e]; ok {
+		return c
+	}
+	c := t.p.PinCount(e, t.rem)
+	t.remPin[e] = c
+	return c
+}
+
+// external reports whether net e has pins outside the remainder.
+func (t *tracker) external(e hypergraph.NetID) bool {
+	return t.remainderPins(e) < len(t.h.Pins(e))
+}
+
+// netCounts returns whether net e currently contributes a terminal to the
+// cluster, given pinsIn cluster pins.
+func (t *tracker) contributes(e hypergraph.NetID, pinsIn int) bool {
+	if pinsIn == 0 {
+		return false
+	}
+	return pinsIn < t.remainderPins(e) || t.external(e)
+}
+
+// Probe returns the size and terminal count the cluster would have after
+// adding v, without modifying the tracker.
+func (t *tracker) Probe(v hypergraph.NodeID) (size, term int) {
+	n := t.h.Node(v)
+	size = t.size + n.Size
+	term = t.term
+	if n.Kind == hypergraph.Pad {
+		term++
+	}
+	for _, e := range t.h.Nets(v) {
+		before := t.pinsIn[e]
+		wasC := t.contributes(e, before)
+		isC := t.contributes(e, before+1)
+		if isC && !wasC {
+			term++
+		} else if !isC && wasC {
+			term--
+		}
+	}
+	return size, term
+}
+
+// Add commits node v to the cluster.
+func (t *tracker) Add(v hypergraph.NodeID) {
+	_, term := t.Probe(v)
+	n := t.h.Node(v)
+	t.size += n.Size
+	t.aux += n.Aux
+	t.term = term
+	if n.Kind == hypergraph.Pad {
+		t.pads++
+	}
+	t.nodes++
+	t.inC[v] = true
+	for _, e := range t.h.Nets(v) {
+		before := t.pinsIn[e]
+		after := before + 1
+		rp := t.remainderPins(e)
+		wasSplit := before > 0 && before < rp
+		isSplit := after > 0 && after < rp
+		if isSplit && !wasSplit {
+			t.intCut++
+		} else if !isSplit && wasSplit {
+			t.intCut--
+		}
+		t.pinsIn[e] = after
+	}
+}
+
+// Contains reports whether v is already in the cluster.
+func (t *tracker) Contains(v hypergraph.NodeID) bool { return t.inC[v] }
+
+// restrictedBFS returns hop distances from seedNode over remainder nodes
+// only; -1 for unreached.
+func restrictedBFS(p *partition.Partition, rem partition.BlockID, seedNode hypergraph.NodeID) map[hypergraph.NodeID]int {
+	h := p.Hypergraph()
+	dist := map[hypergraph.NodeID]int{seedNode: 0}
+	queue := []hypergraph.NodeID{seedNode}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range h.Nets(v) {
+			for _, u := range h.Pins(e) {
+				if p.Block(u) != rem {
+					continue
+				}
+				if _, ok := dist[u]; !ok {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// seeds picks the two seed nodes of §3.2: the biggest interior node of the
+// remainder, and the remainder node at maximal BFS distance from it
+// (unreachable nodes count as farthest). Ties break toward lower IDs.
+func seeds(p *partition.Partition, rem partition.BlockID) (s1, s2 hypergraph.NodeID, ok bool) {
+	h := p.Hypergraph()
+	nodes := p.NodesIn(rem)
+	if len(nodes) < 2 {
+		return 0, 0, false
+	}
+	s1 = -1
+	for _, v := range nodes {
+		n := h.Node(v)
+		if n.Kind != hypergraph.Interior {
+			continue
+		}
+		if s1 < 0 || n.Size > h.Node(s1).Size {
+			s1 = v
+		}
+	}
+	if s1 < 0 {
+		s1 = nodes[0] // pad-only remainder: degenerate but handled
+	}
+	dist := restrictedBFS(p, rem, s1)
+	s2 = -1
+	best := -1
+	const inf = math.MaxInt32
+	for _, v := range nodes {
+		if v == s1 {
+			continue
+		}
+		d, reached := dist[v]
+		if !reached {
+			if h.Node(v).Kind != hypergraph.Interior {
+				continue
+			}
+			d = inf
+		}
+		if d > best {
+			best, s2 = d, v
+		}
+	}
+	if s2 < 0 {
+		s2 = nodes[1]
+		if s2 == s1 {
+			s2 = nodes[0]
+		}
+	}
+	return s1, s2, true
+}
+
+// GreedyConeMerge runs the two-block greedy merge and returns the node set
+// of the block selected as P_k (the saturated block with the biggest size).
+// Returns ok=false when the remainder has fewer than two nodes.
+func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.Device) (blockP []hypergraph.NodeID, ok bool) {
+	s1, s2, ok := seeds(p, rem)
+	if !ok {
+		return nil, false
+	}
+	h := p.Hypergraph()
+	smax := dev.SMax()
+
+	mk := func(s hypergraph.NodeID) *grow {
+		g := &grow{t: newTracker(p, rem), frontier: make(map[hypergraph.NodeID]bool)}
+		g.add(p, h, rem, s)
+		return g
+	}
+	a := mk(s1)
+	b := mk(s2)
+
+	taken := func(v hypergraph.NodeID) bool { return a.t.Contains(v) || b.t.Contains(v) }
+
+	tmax := dev.TMax()
+	// step grows g by its best frontier candidate; returns false when the
+	// block is saturated — no candidate keeps both device constraints
+	// (§3.2: "merge for each block stops when constraints are saturated").
+	// When the frontier runs dry but the block is unsaturated (disconnected
+	// remainder, or pads stranded by earlier carves), growth jumps to the
+	// best admissible node anywhere in the remainder.
+	step := func(g *grow) bool {
+		var bestV hypergraph.NodeID = -1
+		bestCost := math.Inf(-1)
+		consider := func(v hypergraph.NodeID) {
+			s, t := g.t.Probe(v)
+			if s > smax || t > tmax {
+				return
+			}
+			if dev.AuxCap > 0 && g.t.aux+h.Node(v).Aux > dev.AuxCap {
+				return
+			}
+			// Brasen/Saucier cost: size per terminal of the merged
+			// cluster — bigger is better (more logic per pin).
+			cost := float64(s) / float64(t+1)
+			if cost > bestCost || (cost == bestCost && v < bestV) {
+				bestCost, bestV = cost, v
+			}
+		}
+		for v := range g.frontier {
+			if taken(v) {
+				delete(g.frontier, v)
+				continue
+			}
+			consider(v)
+		}
+		if bestV < 0 && len(g.frontier) == 0 {
+			for _, v := range p.NodesIn(rem) {
+				if !taken(v) {
+					consider(v)
+				}
+			}
+		}
+		if bestV < 0 {
+			return false
+		}
+		g.add(p, h, rem, bestV)
+		return true
+	}
+
+	for !a.done || !b.done {
+		if !a.done && !step(a) {
+			a.done = true
+		}
+		if !b.done && !step(b) {
+			b.done = true
+		}
+	}
+
+	// The block with the biggest size becomes P_k; everything else stays in
+	// (returns to) the remainder.
+	if b.t.size > a.t.size {
+		a = b
+	}
+	return a.members, true
+}
+
+// add extends a grow cluster with v and refreshes its frontier.
+func (g *grow) add(p *partition.Partition, h *hypergraph.Hypergraph, rem partition.BlockID, v hypergraph.NodeID) {
+	g.t.Add(v)
+	g.members = append(g.members, v)
+	delete(g.frontier, v)
+	for _, e := range h.Nets(v) {
+		for _, u := range h.Pins(e) {
+			if u != v && p.Block(u) == rem && !g.t.Contains(u) {
+				g.frontier[u] = true
+			}
+		}
+	}
+}
+
+// grow tracks one of the two simultaneously growing blocks of the greedy
+// cone merge.
+type grow struct {
+	t        *tracker
+	members  []hypergraph.NodeID
+	frontier map[hypergraph.NodeID]bool
+	done     bool
+}
+
+// RatioCutSweep runs the ratio-cut sweep from both seed points and returns
+// the side-1 node set of the prefix with the smallest ratio
+// cut/(S1·S2) among prefixes where at least one side meets the device
+// constraints. Returns ok=false when no valid prefix exists.
+func RatioCutSweep(p *partition.Partition, rem partition.BlockID, dev device.Device) (blockP []hypergraph.NodeID, ok bool) {
+	s1, s2, okSeeds := seeds(p, rem)
+	if !okSeeds {
+		return nil, false
+	}
+	remNodes := p.NodesIn(rem)
+	totalSize := 0
+	h := p.Hypergraph()
+	for _, v := range remNodes {
+		totalSize += h.Node(v).Size
+	}
+
+	best := math.Inf(1)
+	var bestSet []hypergraph.NodeID
+	for _, s := range []hypergraph.NodeID{s1, s2} {
+		set, ratio, found := sweepFrom(p, rem, dev, s, remNodes, totalSize)
+		if found && ratio < best {
+			best, bestSet = ratio, set
+		}
+	}
+	if bestSet == nil {
+		return nil, false
+	}
+	return bestSet, true
+}
+
+// sweepFrom grows a cluster from seed node s, moving at each step the
+// unclustered remainder node with the strongest attraction (most incident
+// pins already in the cluster; ties to smaller BFS frontier order), and
+// records the best ratio prefix.
+func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device, s hypergraph.NodeID, remNodes []hypergraph.NodeID, totalSize int) (set []hypergraph.NodeID, ratio float64, found bool) {
+	h := p.Hypergraph()
+	t := newTracker(p, rem)
+	attract := make(map[hypergraph.NodeID]int)
+	var members []hypergraph.NodeID
+
+	add := func(v hypergraph.NodeID) {
+		t.Add(v)
+		members = append(members, v)
+		delete(attract, v)
+		for _, e := range h.Nets(v) {
+			for _, u := range h.Pins(e) {
+				if u != v && p.Block(u) == rem && !t.Contains(u) {
+					attract[u]++
+				}
+			}
+		}
+	}
+	add(s)
+
+	best := math.Inf(1)
+	bestLen := -1
+	n := len(remNodes)
+	for len(members) < n {
+		// Pick the most attracted node; fall back to the lowest-ID
+		// unclustered node for disconnected remainders.
+		var v hypergraph.NodeID = -1
+		bestA := -1
+		for u, a := range attract {
+			if a > bestA || (a == bestA && u < v) {
+				bestA, v = a, u
+			}
+		}
+		if v < 0 {
+			for _, u := range remNodes {
+				if !t.Contains(u) {
+					v = u
+					break
+				}
+			}
+			if v < 0 {
+				break
+			}
+		}
+		add(v)
+		if len(members) == n {
+			break // no second side left
+		}
+		s1, t1 := t.size, t.term
+		s2 := totalSize - t.size
+		if s1 == 0 || s2 == 0 {
+			continue
+		}
+		r := float64(t.intCut) / (float64(s1) * float64(s2))
+		// Require at least one feasible side. The second side's terminal
+		// count is not tracked; the cluster side must be the feasible one.
+		if dev.Fits(s1, t1) && r < best {
+			best = r
+			bestLen = len(members)
+		}
+	}
+	if bestLen < 0 {
+		return nil, 0, false
+	}
+	out := make([]hypergraph.NodeID, bestLen)
+	copy(out, members[:bestLen])
+	return out, best, true
+}
+
+// Grow greedily extends an initial cluster of remainder nodes, adding at
+// each step the frontier candidate with the best size-per-terminal cost
+// S/T, and stopping when no candidate keeps both device constraints. It
+// returns the full member set (including init). Callers outside this
+// package use it to saturate a nucleus found by other means (e.g. the flow
+// baseline's min-cut side).
+func Grow(p *partition.Partition, rem partition.BlockID, dev device.Device, init []hypergraph.NodeID) []hypergraph.NodeID {
+	h := p.Hypergraph()
+	g := &grow{t: newTracker(p, rem), frontier: make(map[hypergraph.NodeID]bool)}
+	for _, v := range init {
+		g.add(p, h, rem, v)
+	}
+	smax, tmax := dev.SMax(), dev.TMax()
+	for {
+		var bestV hypergraph.NodeID = -1
+		bestCost := math.Inf(-1)
+		consider := func(v hypergraph.NodeID) {
+			s, t := g.t.Probe(v)
+			if s > smax || t > tmax {
+				return
+			}
+			if dev.AuxCap > 0 && g.t.aux+h.Node(v).Aux > dev.AuxCap {
+				return
+			}
+			cost := float64(s) / float64(t+1)
+			if cost > bestCost || (cost == bestCost && v < bestV) {
+				bestCost, bestV = cost, v
+			}
+		}
+		for v := range g.frontier {
+			if g.t.Contains(v) {
+				delete(g.frontier, v)
+				continue
+			}
+			consider(v)
+		}
+		if bestV < 0 && len(g.frontier) == 0 {
+			// Frontier exhausted (disconnected remainder or stranded
+			// pads): jump to the best admissible node anywhere.
+			for _, v := range p.NodesIn(rem) {
+				if !g.t.Contains(v) {
+					consider(v)
+				}
+			}
+		}
+		if bestV < 0 {
+			return g.members
+		}
+		g.add(p, h, rem, bestV)
+	}
+}
+
+// Best runs both constructive methods, applies each candidate split to the
+// partition in turn (new block carved out of the remainder), and keeps the
+// one with the better solution key (§3.4). It returns the new block ID.
+// The caller must ensure the remainder has at least two nodes.
+func Best(p *partition.Partition, rem partition.BlockID, dev device.Device, cp partition.CostParams, m int) (partition.BlockID, bool) {
+	cand1, ok1 := GreedyConeMerge(p, rem, dev)
+	cand2, ok2 := RatioCutSweep(p, rem, dev)
+	if !ok1 && !ok2 {
+		return partition.NoBlock, false
+	}
+	newBlock := p.AddBlock()
+	apply := func(set []hypergraph.NodeID) partition.Key {
+		for _, v := range set {
+			p.Move(v, newBlock)
+		}
+		return p.Key(cp, rem, m)
+	}
+	unapply := func(set []hypergraph.NodeID) {
+		for _, v := range set {
+			p.Move(v, rem)
+		}
+	}
+	switch {
+	case ok1 && !ok2:
+		apply(cand1)
+	case ok2 && !ok1:
+		apply(cand2)
+	default:
+		k1 := apply(cand1)
+		unapply(cand1)
+		k2 := apply(cand2)
+		if k1.Better(k2) {
+			unapply(cand2)
+			apply(cand1)
+		}
+	}
+	return newBlock, true
+}

@@ -1,0 +1,203 @@
+// Package sweep runs one-dimensional parameter sensitivity studies over
+// FPART's published constants (§4 of the paper): the cost-function weights
+// λ^S/λ^T/λ^R, the move-window edges, the solution-stack depth, N_small,
+// and the device fill ratio δ. Each sweep holds everything else at the
+// published value, runs FPART across the sweep points on a chosen circuit,
+// and reports the device count and runtime per point — the sensitivity
+// curves behind the paper's "determined on the experimental basis"
+// parameter choices.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	// Value is the swept parameter's value at this sample.
+	Value float64
+	// K is the resulting device count (+100 marks infeasible outcomes so
+	// they stand out in series output).
+	K        int
+	Feasible bool
+	Elapsed  time.Duration
+}
+
+// Series is a named sweep result.
+type Series struct {
+	Name    string
+	Circuit string
+	Device  device.Device
+	M       int
+	Points  []Point
+}
+
+// Write renders the series as an aligned table.
+func (s Series) Write(w io.Writer) {
+	fmt.Fprintf(w, "sweep %s on %s/%s (M=%d)\n", s.Name, s.Circuit, s.Device.Name, s.M)
+	fmt.Fprintf(w, "%10s %8s %9s %10s\n", "value", "devices", "feasible", "time")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%10.3f %8d %9v %10v\n", p.Value, p.K, p.Feasible, p.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// Runner owns a circuit/device pair for a set of sweeps.
+type Runner struct {
+	Circuit string
+	Device  device.Device
+	h       *hypergraph.Hypergraph
+	m       int
+}
+
+// NewRunner generates the circuit once for all sweeps.
+func NewRunner(circuit string, dev device.Device) (*Runner, error) {
+	spec, ok := gen.ByName(circuit)
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown circuit %q", circuit)
+	}
+	h := gen.Generate(spec, dev.Family)
+	return &Runner{Circuit: circuit, Device: dev, h: h, m: device.LowerBound(h, dev)}, nil
+}
+
+// run executes FPART with cfg and records a point.
+func (r *Runner) run(value float64, cfg core.Config) Point {
+	start := time.Now()
+	res, err := core.Partition(r.h, r.Device, cfg)
+	p := Point{Value: value, Elapsed: time.Since(start)}
+	if err != nil {
+		p.K = -1
+		return p
+	}
+	p.K = res.K
+	p.Feasible = res.Feasible
+	if !res.Feasible {
+		p.K += 100
+	}
+	return p
+}
+
+func (r *Runner) series(name string, values []float64, mk func(v float64) core.Config) Series {
+	s := Series{Name: name, Circuit: r.Circuit, Device: r.Device, M: r.m}
+	for _, v := range values {
+		s.Points = append(s.Points, r.run(v, mk(v)))
+	}
+	return s
+}
+
+// LambdaT sweeps the I/O infeasibility weight λ^T (published 0.6), keeping
+// λ^S = 1−λ^T as the paper's weights sum to 1.
+func (r *Runner) LambdaT(values []float64) Series {
+	return r.series("lambdaT", values, func(v float64) core.Config {
+		cfg := core.Default()
+		cfg.Engine.Cost.LambdaT = v
+		cfg.Engine.Cost.LambdaS = 1 - v
+		return cfg
+	})
+}
+
+// LambdaR sweeps the size-deviation penalty λ^R (published 0.1).
+func (r *Runner) LambdaR(values []float64) Series {
+	return r.series("lambdaR", values, func(v float64) core.Config {
+		cfg := core.Default()
+		cfg.Engine.Cost.LambdaR = v
+		return cfg
+	})
+}
+
+// Lower2 sweeps the 2-block window lower edge ε²_min (published 0.95).
+func (r *Runner) Lower2(values []float64) Series {
+	return r.series("window.lower2", values, func(v float64) core.Config {
+		cfg := core.Default()
+		cfg.Engine.Windows.Lower2 = v
+		return cfg
+	})
+}
+
+// LowerMulti sweeps the multi-block window lower edge ε*_min (published 0.3).
+func (r *Runner) LowerMulti(values []float64) Series {
+	return r.series("window.lowerMulti", values, func(v float64) core.Config {
+		cfg := core.Default()
+		cfg.Engine.Windows.LowerMulti = v
+		return cfg
+	})
+}
+
+// Upper sweeps the window upper edge ε_max (published 1.05).
+func (r *Runner) Upper(values []float64) Series {
+	return r.series("window.upper", values, func(v float64) core.Config {
+		cfg := core.Default()
+		cfg.Engine.Windows.Upper = v
+		return cfg
+	})
+}
+
+// StackDepth sweeps D_stack (published 4).
+func (r *Runner) StackDepth(values []int) Series {
+	s := Series{Name: "stackDepth", Circuit: r.Circuit, Device: r.Device, M: r.m}
+	for _, v := range values {
+		cfg := core.Default()
+		if v == 0 {
+			cfg.Engine.StackDepth = -1
+		} else {
+			cfg.Engine.StackDepth = v
+		}
+		s.Points = append(s.Points, r.run(float64(v), cfg))
+	}
+	return s
+}
+
+// NSmall sweeps the strategy threshold N_small (published 15).
+func (r *Runner) NSmall(values []int) Series {
+	s := Series{Name: "nSmall", Circuit: r.Circuit, Device: r.Device, M: r.m}
+	for _, v := range values {
+		cfg := core.Default()
+		cfg.NSmall = v
+		s.Points = append(s.Points, r.run(float64(v), cfg))
+	}
+	return s
+}
+
+// Fill sweeps the device filling ratio δ (published 0.9 for XC3000 parts):
+// the M recomputation per point shows how derating trades devices for
+// routability headroom.
+func (r *Runner) Fill(values []float64) Series {
+	s := Series{Name: "fill", Circuit: r.Circuit, Device: r.Device, M: r.m}
+	for _, v := range values {
+		dev := r.Device.WithFill(v)
+		start := time.Now()
+		res, err := core.Partition(r.h, dev, core.Default())
+		p := Point{Value: v, Elapsed: time.Since(start)}
+		if err != nil {
+			p.K = -1
+		} else {
+			p.K = res.K
+			p.Feasible = res.Feasible
+			if !res.Feasible {
+				p.K += 100
+			}
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Defaults runs the canonical sweep set used by cmd/sweep.
+func (r *Runner) Defaults() []Series {
+	return []Series{
+		r.LambdaT([]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}),
+		r.LambdaR([]float64{0, 0.05, 0.1, 0.2, 0.4}),
+		r.Lower2([]float64{0.5, 0.8, 0.9, 0.95, 1.0}),
+		r.LowerMulti([]float64{0.0, 0.15, 0.3, 0.6, 0.9}),
+		r.Upper([]float64{1.0, 1.05, 1.15, 1.3}),
+		r.StackDepth([]int{0, 2, 4, 8}),
+		r.NSmall([]int{0, 5, 15, 100}),
+		r.Fill([]float64{0.7, 0.8, 0.9, 1.0}),
+	}
+}

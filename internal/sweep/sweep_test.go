@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+)
+
+func runner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner("c3540", device.XC3042)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerUnknownCircuit(t *testing.T) {
+	if _, err := NewRunner("nope", device.XC3020); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestLambdaTSweep(t *testing.T) {
+	r := runner(t)
+	s := r.LambdaT([]float64{0.0, 0.6, 1.0})
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.K <= 0 {
+			t.Errorf("λT=%v: K=%d", p.Value, p.K)
+		}
+	}
+	// The published value must be at least as good as the extremes.
+	pub := s.Points[1].K
+	if pub > s.Points[0].K || pub > s.Points[2].K {
+		t.Logf("λT sensitivity: %v (informational; published not always best per-instance)", s.Points)
+	}
+}
+
+func TestWindowSweeps(t *testing.T) {
+	r := runner(t)
+	for _, s := range []Series{
+		r.Lower2([]float64{0.5, 0.95}),
+		r.LowerMulti([]float64{0.0, 0.3}),
+		r.Upper([]float64{1.0, 1.05}),
+	} {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: points = %d", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if !p.Feasible {
+				t.Errorf("%s value %v infeasible", s.Name, p.Value)
+			}
+		}
+	}
+}
+
+func TestIntSweeps(t *testing.T) {
+	r := runner(t)
+	sd := r.StackDepth([]int{0, 4})
+	ns := r.NSmall([]int{0, 15})
+	if len(sd.Points) != 2 || len(ns.Points) != 2 {
+		t.Fatal("sweep sizes wrong")
+	}
+	// StackDepth 0 must disable stacks without crashing, and both NSmall
+	// strategies must produce feasible results.
+	for _, p := range append(sd.Points, ns.Points...) {
+		if !p.Feasible {
+			t.Errorf("point %v infeasible", p.Value)
+		}
+	}
+}
+
+func TestFillSweepMonotoneBound(t *testing.T) {
+	r := runner(t)
+	s := r.Fill([]float64{0.7, 1.0})
+	if len(s.Points) != 2 {
+		t.Fatal("points wrong")
+	}
+	// Lower fill → more devices (weakly).
+	if s.Points[0].K < s.Points[1].K {
+		t.Errorf("δ=0.7 used fewer devices (%d) than δ=1.0 (%d)", s.Points[0].K, s.Points[1].K)
+	}
+}
+
+func TestSeriesWrite(t *testing.T) {
+	r := runner(t)
+	s := r.LambdaR([]float64{0.1})
+	var buf bytes.Buffer
+	s.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"sweep lambdaR", "c3540", "devices", "0.100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~30 partitionings")
+	}
+	r := runner(t)
+	all := r.Defaults()
+	if len(all) != 8 {
+		t.Fatalf("default sweeps = %d, want 8", len(all))
+	}
+	for _, s := range all {
+		if len(s.Points) == 0 {
+			t.Errorf("%s: empty", s.Name)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package techmap
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fpart/internal/netlist"
+)
+
+func parse(t testing.TB, blif string) *netlist.BlifCircuit {
+	t.Helper()
+	c, err := netlist.ReadBLIF(strings.NewReader(blif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const adderChain = `
+.model chain
+.inputs a b c d e
+.outputs z
+.names a b w1
+11 1
+.names w1 c w2
+11 1
+.names w2 d w3
+11 1
+.names w3 e z
+11 1
+.end
+`
+
+func TestMapChainPacks(t *testing.T) {
+	c := parse(t, adderChain)
+	m3, err := Map(c, XC3000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Map(c, XC2000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=5 must never need more CLBs than K=4 on the same circuit.
+	if m3.NumCLBs() > m2.NumCLBs() {
+		t.Errorf("XC3000 used %d CLBs > XC2000 %d", m3.NumCLBs(), m2.NumCLBs())
+	}
+	// The 4-gate chain has 5 distinct PIs; a single K=5 CLB could hold all
+	// gates input-wise but the chain packer is greedy pairwise; at most 4.
+	if m3.NumCLBs() > 4 || m3.NumCLBs() < 1 {
+		t.Errorf("XC3000 CLBs = %d, want within [1,4]", m3.NumCLBs())
+	}
+	// Every cell placed exactly once.
+	placed := map[int]bool{}
+	for _, cl := range m3.Clusters {
+		for _, ci := range cl {
+			if placed[ci] {
+				t.Fatalf("cell %d in two CLBs", ci)
+			}
+			placed[ci] = true
+		}
+	}
+	if len(placed) != 4 {
+		t.Errorf("placed %d cells, want 4", len(placed))
+	}
+}
+
+func TestMapRespectsInputBound(t *testing.T) {
+	c := parse(t, adderChain)
+	m, err := Map(c, XC2000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := map[string]bool{}
+	for _, g := range c.Gates {
+		driver[g.Output] = true
+	}
+	for _, members := range m.Clusters {
+		in := map[string]bool{}
+		inCluster := map[int]bool{}
+		for _, ci := range members {
+			inCluster[ci] = true
+		}
+		for _, ci := range members {
+			for _, s := range m.cells[ci].ins {
+				internal := false
+				for _, cj := range members {
+					if m.cells[cj].out == s {
+						internal = true
+					}
+				}
+				if !internal {
+					in[s] = true
+				}
+			}
+		}
+		if len(in) > XC2000Arch.K {
+			t.Errorf("cluster %v has %d inputs > K=%d", members, len(in), XC2000Arch.K)
+		}
+	}
+}
+
+func TestMapRejectsWideGate(t *testing.T) {
+	blif := `
+.model wide
+.inputs a b c d e f
+.outputs z
+.names a b c d e f z
+111111 1
+.end
+`
+	c := parse(t, blif)
+	if _, err := Map(c, XC2000Arch); err == nil {
+		t.Error("6-input gate accepted for K=4")
+	}
+	if _, err := Map(c, XC3000Arch); err == nil {
+		t.Error("6-input gate accepted for K=5")
+	}
+}
+
+func TestMapLatchPairing(t *testing.T) {
+	blif := `
+.model seq
+.inputs a b clk
+.outputs q
+.names a b d
+11 1
+.latch d q re clk 0
+.end
+`
+	c := parse(t, blif)
+	m, err := Map(c, XC3000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LUT and its FF should share one CLB.
+	if m.NumCLBs() != 1 {
+		t.Errorf("CLBs = %d, want 1 (LUT+FF pairing)", m.NumCLBs())
+	}
+}
+
+func TestMapFFCapacity(t *testing.T) {
+	// Two latches driven by one gate. XC3000 (2 FFs per CLB) packs
+	// everything into one CLB: the gate's output d is consumed only
+	// internally, and the two Q pins fit the 2-output bound. XC2000
+	// (1 FF per CLB) must split the latches across CLBs.
+	blif := `
+.model ffs
+.inputs a clk
+.outputs q1 q2
+.names a d
+1 1
+.latch d q1 re clk 0
+.latch d q2 re clk 0
+.end
+`
+	c := parse(t, blif)
+	m2, err := Map(c, XC2000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Map(c, XC3000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.NumCLBs() != 1 {
+		t.Errorf("XC3000 CLBs = %d, want 1", m3.NumCLBs())
+	}
+	if m2.NumCLBs() < 2 {
+		t.Errorf("XC2000 CLBs = %d, want >= 2 (1 FF per CLB)", m2.NumCLBs())
+	}
+}
+
+func TestMapCycleDetection(t *testing.T) {
+	blif := `
+.model cyc
+.inputs a
+.outputs z
+.names a y x
+11 1
+.names x z y
+11 1
+.names y z
+1 1
+.end
+`
+	c := parse(t, blif)
+	if _, err := Map(c, XC3000Arch); err == nil {
+		t.Error("combinational cycle accepted")
+	}
+}
+
+func TestMapSequentialLoopOK(t *testing.T) {
+	// A loop through a latch is fine (state machines).
+	blif := `
+.model fsm
+.inputs a clk
+.outputs q
+.names a q d
+11 1
+.latch d q re clk 0
+.end
+`
+	c := parse(t, blif)
+	if _, err := Map(c, XC3000Arch); err != nil {
+		t.Errorf("sequential loop rejected: %v", err)
+	}
+}
+
+func TestMappedHypergraph(t *testing.T) {
+	c := parse(t, adderChain)
+	m, err := Map(c, XC3000Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumInterior() != m.NumCLBs() {
+		t.Errorf("interior = %d, want %d CLBs", h.NumInterior(), m.NumCLBs())
+	}
+	if h.NumPads() != 6 { // 5 inputs + 1 output
+		t.Errorf("pads = %d, want 6", h.NumPads())
+	}
+	if h.TotalSize() != m.NumCLBs() {
+		t.Errorf("size = %d, want %d", h.TotalSize(), m.NumCLBs())
+	}
+}
+
+// randomBlif builds a random DAG circuit for the shape test.
+func randomBlif(r *rand.Rand, gates int) string {
+	var sb strings.Builder
+	sb.WriteString(".model rnd\n.inputs")
+	nIn := 4 + r.Intn(5)
+	for i := 0; i < nIn; i++ {
+		fmt.Fprintf(&sb, " i%d", i)
+	}
+	sb.WriteString("\n.outputs z\n")
+	signals := make([]string, 0, nIn+gates)
+	for i := 0; i < nIn; i++ {
+		signals = append(signals, fmt.Sprintf("i%d", i))
+	}
+	for g := 0; g < gates; g++ {
+		k := 1 + r.Intn(4)
+		ins := map[string]bool{}
+		for len(ins) < k {
+			ins[signals[r.Intn(len(signals))]] = true
+		}
+		out := fmt.Sprintf("w%d", g)
+		sb.WriteString(".names")
+		for s := range ins {
+			// map iteration is fine inside the generator: the circuit it
+			// emits is still a fixed string for the test run
+			fmt.Fprintf(&sb, " %s", s)
+		}
+		fmt.Fprintf(&sb, " %s\n", out)
+		signals = append(signals, out)
+	}
+	fmt.Fprintf(&sb, ".names w%d z\n1 1\n.end\n", gates-1)
+	return sb.String()
+}
+
+func TestMapAreaShapeAcrossK(t *testing.T) {
+	// Table 1 shape: for every circuit, XC3000 (K=5) maps to at most as
+	// many CLBs as XC2000 (K=4).
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		c := parse(t, randomBlif(r, 30+r.Intn(50)))
+		m2, err := Map(c, XC2000Arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m3, err := Map(c, XC3000Arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m3.NumCLBs() > m2.NumCLBs() {
+			t.Errorf("trial %d: K=5 used %d > K=4 %d", trial, m3.NumCLBs(), m2.NumCLBs())
+		}
+		if m2.NumCLBs() == 0 {
+			t.Error("no CLBs")
+		}
+	}
+}
