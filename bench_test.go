@@ -8,6 +8,7 @@ package fpart_test
 // (Table 6's subject).
 
 import (
+	"context"
 	"testing"
 
 	"fpart/internal/bench"
@@ -305,7 +306,7 @@ func BenchmarkPortfolio(b *testing.B) {
 	})
 	b.Run("portfolio4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			r, err := core.Portfolio(h, device.XC3020, nil)
+			r, err := core.Portfolio(context.Background(), h, device.XC3020, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

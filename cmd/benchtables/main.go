@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	benchtables              # all tables (1-6)
+//	benchtables              # all tables (1-7)
 //	benchtables -table 2     # one table
 //
 // Tables 2-5 print the paper's published competitor columns (marked *)
 // next to freshly measured results for the three methods implemented in
-// this repository; Table 6 reports FPART runtimes.
+// this repository; Table 6 reports FPART runtimes. Table 7 is this
+// repository's addition: the FPART effort counters (iterations, passes,
+// moves, window gating, stack restarts) collected through internal/obs.
 package main
 
 import (
@@ -17,11 +19,12 @@ import (
 	"os"
 
 	"fpart/internal/bench"
+	"fpart/internal/device"
 )
 
 func main() {
-	table := flag.Int("table", 0, "table number to regenerate (1-6); 0 = all")
-	formatName := flag.String("format", "text", "rendering for tables 2-5: text, md, csv")
+	table := flag.Int("table", 0, "table number to regenerate (1-7); 0 = all")
+	formatName := flag.String("format", "text", "rendering for tables 2-5 and 7: text, md, csv")
 	flag.Parse()
 
 	format, err := bench.ParseFormat(*formatName)
@@ -39,12 +42,14 @@ func main() {
 			return bench.WriteDeviceTableFormat(os.Stdout, n, format)
 		case 6:
 			return bench.WriteTable6(os.Stdout)
+		case 7:
+			return bench.WriteInstrumentation(os.Stdout, device.XC3020, format)
 		default:
-			return fmt.Errorf("no table %d (valid: 1-6)", n)
+			return fmt.Errorf("no table %d (valid: 1-7)", n)
 		}
 	}
 
-	tables := []int{1, 2, 3, 4, 5, 6}
+	tables := []int{1, 2, 3, 4, 5, 6, 7}
 	if *table != 0 {
 		tables = []int{*table}
 	}

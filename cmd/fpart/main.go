@@ -6,19 +6,24 @@
 //	fpart -device XC3020 design.phg
 //	fpart -device XC3042 -format hgr -method flow design.hgr
 //	fpart -device XC3090 -format blif -arch XC3000 design.blif
-//	fpart -device XC3020 -circuit s9234            # built-in benchmark
-//	fpart -device XC3020 -circuit s9234 -stats     # quality report
-//	fpart -device XC3020 -circuit s9234 -out dir/  # per-block netlists
+//	fpart -device XC3020 -circuit s9234                    # built-in benchmark
+//	fpart -device XC3020 -circuit s9234 -stats             # quality + effort report
+//	fpart -device XC3020 -circuit s9234 -timeout 10s       # bounded run
+//	fpart -device XC3020 -circuit s9234 -trace-format text # event stream on stderr
+//	fpart -device XC3020 -circuit s9234 -out dir/          # per-block netlists
 //
 // BLIF inputs are technology-mapped to CLBs for the architecture selected
 // with -arch before partitioning.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"fpart/internal/core"
 	"fpart/internal/device"
@@ -28,6 +33,7 @@ import (
 	"fpart/internal/kwayx"
 	"fpart/internal/multilevel"
 	"fpart/internal/netlist"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 	"fpart/internal/quality"
 	"fpart/internal/replicate"
@@ -41,12 +47,14 @@ func main() {
 	method := flag.String("method", "fpart", "partitioner: fpart, kwayx, flow, multilevel")
 	circuit := flag.String("circuit", "", "use a built-in synthetic MCNC benchmark instead of a file")
 	assign := flag.Bool("assign", false, "print the full node-to-block assignment")
-	stats := flag.Bool("stats", false, "print the solution-quality report")
+	stats := flag.Bool("stats", false, "print the solution-quality report (and, for -method fpart, the effort counters)")
 	plot := flag.Bool("plot", false, "render the Figure 2 feasibility scatter (blocks in (T,S) space)")
 	outDir := flag.String("out", "", "write each block as a PHG netlist into this directory")
 	saveAssign := flag.String("saveassign", "", "write the node-to-block assignment to this file (verify with cmd/verify)")
 	replicateFlag := flag.Bool("replicate", false, "after partitioning a BLIF input, run the functional replication pass (needs -format blif)")
 	fill := flag.Float64("fill", 0, "override the device filling ratio δ (0 keeps the paper's value)")
+	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit; -method fpart only)")
+	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json (-method fpart only)")
 	flag.Parse()
 
 	dev, ok := device.ByName(*devName)
@@ -70,7 +78,27 @@ func main() {
 	fmt.Printf("circuit %s: %d CLBs, %d pads, %d nets\n", name, st.Interior, st.Pads, st.Nets)
 	fmt.Printf("device %s: S_MAX=%d T_MAX=%d, lower bound M=%d\n", dev.Name, dev.SMax(), dev.TMax(), m)
 
-	p, k, feasible, err := runMethod(*method, h, dev)
+	var sink obs.Sink
+	switch *traceFormat {
+	case "":
+	case "text":
+		sink = obs.NewTextSink(os.Stderr)
+	case "json":
+		sink = obs.NewJSONSink(os.Stderr)
+	default:
+		fail("unknown trace format %q (valid: text, json)", *traceFormat)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	p, k, feasible, runStats, err := runMethod(ctx, *method, h, dev, sink)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fail("timed out after %v (raise -timeout or relax the instance)", *timeout)
+	}
 	if err != nil {
 		fail("%v", err)
 	}
@@ -78,6 +106,9 @@ func main() {
 	fmt.Printf("result: %d devices, feasible=%v\n", k, feasible)
 	if *stats {
 		quality.Analyze(p, m).Write(os.Stdout)
+		if runStats != nil {
+			runStats.Report(os.Stdout)
+		}
 	} else {
 		for b := 0; b < p.NumBlocks(); b++ {
 			id := partition.BlockID(b)
@@ -135,36 +166,40 @@ func main() {
 }
 
 // runMethod dispatches the chosen partitioner and returns its partition.
-func runMethod(method string, h *hypergraph.Hypergraph, dev device.Device) (*partition.Partition, int, bool, error) {
+// The effort counters are non-nil for fpart only; ctx and sink likewise
+// apply to the fpart method (the baselines have no cancellation points).
+func runMethod(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*partition.Partition, int, bool, *core.Stats, error) {
 	switch method {
 	case "fpart":
-		r, err := core.Partition(h, dev, core.Default())
+		cfg := core.Default()
+		cfg.Sink = sink
+		r, err := core.Run(ctx, h, dev, cfg)
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
 		fmt.Printf("FPART: %d iterations, %d passes, %d moves, %v\n",
-			r.Stats.Iterations, r.Stats.Passes, r.Stats.MovesApplied, r.Elapsed.Round(1000000))
-		return r.Partition, r.K, r.Feasible, nil
+			r.Stats.Iterations, r.Stats.Passes, r.Stats.MovesApplied, r.Elapsed.Round(time.Millisecond))
+		return r.Partition, r.K, r.Feasible, &r.Stats, nil
 	case "kwayx":
 		r, err := kwayx.Partition(h, dev, kwayx.Config{})
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
-		return r.Partition, r.K, r.Feasible, nil
+		return r.Partition, r.K, r.Feasible, nil, nil
 	case "flow":
 		r, err := flow.Partition(h, dev, flow.Config{})
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
-		return r.Partition, r.K, r.Feasible, nil
+		return r.Partition, r.K, r.Feasible, nil, nil
 	case "multilevel":
 		r, err := multilevel.Partition(h, dev, multilevel.Config{})
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
-		return r.Partition, r.K, r.Feasible, nil
+		return r.Partition, r.K, r.Feasible, nil, nil
 	default:
-		return nil, 0, false, fmt.Errorf("unknown method %q (valid: fpart, kwayx, flow, multilevel)", method)
+		return nil, 0, false, nil, fmt.Errorf("unknown method %q (valid: fpart, kwayx, flow, multilevel)", method)
 	}
 }
 

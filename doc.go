@@ -17,19 +17,23 @@
 //	internal/gain         FM gain buckets (LIFO, per move direction)
 //	internal/seed         constructive initial bipartitions (§3.2)
 //	internal/sanchis      the guided multi-way improvement engine (§3.3–§3.7)
-//	internal/core         FPART itself — Algorithm 1 (§3.1)
+//	internal/core         FPART itself — Algorithm 1 (§3.1), cancellation,
+//	                      strategy portfolio
+//	internal/obs          observability: structured events, sinks, effort
+//	                      counters, per-phase timings
 //	internal/kwayx        k-way.x recursive-FM baseline [9]
 //	internal/flow         Dinic max-flow + FBB-MW-style baseline [16]
 //	internal/netlist      PHG / hMETIS .hgr / BLIF readers and writers
 //	internal/techmap      gate-to-CLB technology mapping (XC2000 vs XC3000)
 //	internal/gen          synthetic MCNC Partitioning93 benchmark generator
 //	internal/bench        Tables 1–6 harness with the paper's published data
-//	cmd/fpart             CLI partitioner
-//	cmd/benchtables       regenerates the paper's tables
+//	cmd/fpart             CLI partitioner (-stats, -timeout, -trace-format)
+//	cmd/benchtables       regenerates the paper's tables (+ instrumentation)
 //	cmd/gencircuit        emits the synthetic benchmark suite
 //	examples/...          runnable walkthroughs
 //
 // The benchmarks in bench_test.go regenerate each table of the paper; see
-// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
-// results against the published numbers.
+// DESIGN.md for the experiment index, EXPERIMENTS.md for measured results
+// against the published numbers, and ARCHITECTURE.md for the package
+// layering, the Algorithm 1 data flow, and the observability layer.
 package fpart

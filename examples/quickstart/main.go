@@ -1,16 +1,21 @@
 // Quickstart: build a small circuit hypergraph with the library API,
-// partition it onto an XC3020 with FPART, and print the blocks.
+// partition it onto an XC3020 with FPART under a deadline, and print the
+// blocks plus the effort counters.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 )
 
@@ -54,12 +59,21 @@ func main() {
 	fmt.Printf("circuit: %v\n", h)
 	fmt.Printf("device:  %v, lower bound M=%d\n", dev, device.LowerBound(h, dev))
 
-	result, err := core.Partition(h, dev, core.Default())
+	// core.Run is the context-aware entry point: the deadline bounds the
+	// search, and the sink streams one event per algorithm step. Drop both
+	// (or call core.Partition) when you just want the answer.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cfg := core.Default()
+	cfg.Sink = obs.NewTextSink(os.Stdout)
+
+	result, err := core.Run(ctx, h, dev, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("FPART found %d blocks (feasible=%v) in %v\n",
-		result.K, result.Feasible, result.Elapsed.Round(1000000))
+		result.K, result.Feasible, result.Elapsed.Round(time.Millisecond))
+	result.Stats.Report(os.Stdout)
 
 	p := result.Partition
 	for bID := 0; bID < p.NumBlocks(); bID++ {

@@ -70,6 +70,9 @@ type Outcome struct {
 	M        int
 	Feasible bool
 	Elapsed  time.Duration
+	// Stats carries the effort counters of the run. Only FPART reports
+	// them; the baselines leave the zero value.
+	Stats core.Stats
 }
 
 // Run generates the circuit for the device's family and partitions it with
@@ -93,7 +96,7 @@ func RunOn(h *hypergraph.Hypergraph, name string, dev device.Device, m Method) (
 		if err != nil {
 			return out, err
 		}
-		out.K, out.Feasible = r.K, r.Feasible
+		out.K, out.Feasible, out.Stats = r.K, r.Feasible, r.Stats
 	case KwayX:
 		r, err := kwayx.Partition(h, dev, kwayx.Config{})
 		if err != nil {

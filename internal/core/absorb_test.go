@@ -9,6 +9,7 @@ import (
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 )
 
@@ -40,7 +41,8 @@ func fragmented(t *testing.T) (*partition.Partition, partition.BlockID) {
 
 func TestAbsorbSmallestDissolvesFragment(t *testing.T) {
 	p, frag := fragmented(t)
-	if !absorbSmallest(p, func(string, ...any) {}) {
+	var st Stats
+	if !absorbSmallest(p, &st, nil) {
 		t.Fatal("absorption failed on an absorbable fragment")
 	}
 	if p.Nodes(frag) != 0 {
@@ -54,8 +56,11 @@ func TestAbsorbSmallestDissolvesFragment(t *testing.T) {
 	}
 	// Nothing else absorbable: blocks 0 and 1 are 10 and 12 cells; the
 	// device caps at 12, so a second call must refuse and roll back.
-	if absorbSmallest(p, func(string, ...any) {}) {
+	if absorbSmallest(p, &st, nil) {
 		t.Error("absorbed a block that cannot fit anywhere")
+	}
+	if st.Absorbed != 1 {
+		t.Errorf("Absorbed = %d, want 1", st.Absorbed)
 	}
 	if err := p.Validate(); err != nil {
 		t.Fatalf("failed absorption left damage: %v", err)
@@ -82,7 +87,8 @@ func TestAbsorbRollsBackOnFailure(t *testing.T) {
 	p2.Move(v1, b1)
 	p2.Move(v2, b2)
 	// v2 cannot join v0's or v1's block (size 6+1 > 6): absorption fails.
-	if absorbSmallest(p2, func(string, ...any) {}) {
+	var st Stats
+	if absorbSmallest(p2, &st, nil) {
 		t.Error("absorbed into a size-saturated block")
 	}
 	if p2.Nodes(b2) != 1 {
@@ -116,10 +122,9 @@ func TestDisableAbsorbKeepsFragments(t *testing.T) {
 func TestAbsorbTraceLine(t *testing.T) {
 	p, _ := fragmented(t)
 	var buf bytes.Buffer
-	trace := func(format string, args ...any) {
-		buf.WriteString(format)
-	}
-	if absorbSmallest(p, func(format string, args ...any) { trace(format, args...) }) {
+	var st Stats
+	em := obs.NewEmitter(obs.NewTextSink(&buf), "")
+	if absorbSmallest(p, &st, em) {
 		if !strings.Contains(buf.String(), "absorbed") {
 			t.Error("absorption did not trace")
 		}
@@ -145,7 +150,7 @@ func TestRepairShedsAuxViolations(t *testing.T) {
 		p.Move(v, blk) // 5 FFs > cap 2
 	}
 	var st Stats
-	repairNonRemainder(p, 0, &st, func(string, ...any) {})
+	repairNonRemainder(p, 0, &st, nil)
 	if !p.Feasible(blk) {
 		t.Errorf("repair left block aux-infeasible: aux=%d", p.Aux(blk))
 	}

@@ -1,0 +1,220 @@
+package core
+
+// Cancellation, deadline, and event-stream tests for Run and Portfolio.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/obs"
+)
+
+func TestRunPreCancelledReturnsCanceled(t *testing.T) {
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c obs.Collector
+	cfg := Default()
+	cfg.Sink = &c
+	r, err := Run(ctx, h, dev, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r != nil {
+		t.Error("cancelled run returned a result")
+	}
+	if c.Count(obs.Cancelled) != 1 {
+		t.Errorf("Cancelled events = %d, want 1", c.Count(obs.Cancelled))
+	}
+	if c.Count(obs.RunEnd) != 0 {
+		t.Error("cancelled run emitted RunEnd")
+	}
+	// No schedule work happened: no improvement pass completed.
+	if c.Count(obs.ImprovePass) != 0 {
+		t.Errorf("cancelled run completed %d improvement passes", c.Count(obs.ImprovePass))
+	}
+}
+
+func TestRunDeadlineAbortsPromptly(t *testing.T) {
+	// A large generated circuit that needs many iterations: the in-pass
+	// cancellation polling must surface the deadline long before the
+	// schedule could complete.
+	spec, ok := gen.ByName("s38584")
+	if !ok {
+		t.Fatal("spec s38584 missing")
+	}
+	h := gen.Generate(spec, device.XC3000)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, h, device.XC3020, Default())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: a full run takes orders of magnitude longer, and the
+	// engine polls every 64 applied moves.
+	if elapsed > 2*time.Second {
+		t.Errorf("run took %v to notice a 30ms deadline", elapsed)
+	}
+}
+
+func TestRunEventStreamShape(t *testing.T) {
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	var c obs.Collector
+	cfg := Default()
+	cfg.Sink = &c
+	cfg.Label = "shape-test"
+	r, err := Partition(h, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := c.Events()
+	if len(evs) < 4 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	if evs[0].Type != obs.RunStart || evs[0].M != r.M {
+		t.Errorf("first event = %+v, want RunStart with M=%d", evs[0], r.M)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != obs.RunEnd || last.K != r.K || !last.Feasible {
+		t.Errorf("last event = %+v, want feasible RunEnd with K=%d", last, r.K)
+	}
+	if got := c.Count(obs.BipartitionStart); got != r.Stats.Iterations {
+		t.Errorf("BipartitionStart events = %d, want Iterations = %d", got, r.Stats.Iterations)
+	}
+	if got := c.Count(obs.BipartitionEnd); got != r.Stats.Iterations {
+		t.Errorf("BipartitionEnd events = %d, want Iterations = %d", got, r.Stats.Iterations)
+	}
+	if got := c.Count(obs.ImprovePass); got != r.Stats.ImproveCalls {
+		t.Errorf("ImprovePass events = %d, want ImproveCalls = %d", got, r.Stats.ImproveCalls)
+	}
+	if got := c.Count(obs.Absorb); got != r.Stats.Absorbed {
+		t.Errorf("Absorb events = %d, want Absorbed = %d", got, r.Stats.Absorbed)
+	}
+	for i, e := range evs {
+		if e.Source != "shape-test" {
+			t.Fatalf("event %d source = %q, want config label", i, e.Source)
+		}
+		if i > 0 && e.At < evs[i-1].At {
+			t.Fatalf("event %d timestamp regressed: %v after %v", i, e.At, evs[i-1].At)
+		}
+	}
+	// Every BipartitionStart is eventually followed by its BipartitionEnd
+	// before the next one starts.
+	depth := 0
+	for _, e := range evs {
+		switch e.Type {
+		case obs.BipartitionStart:
+			depth++
+		case obs.BipartitionEnd:
+			depth--
+		}
+		if depth < 0 || depth > 1 {
+			t.Fatalf("bipartition events unbalanced (depth %d)", depth)
+		}
+	}
+}
+
+func TestRunStatsCounters(t *testing.T) {
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	r, err := Partition(h, dev, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats
+	if st.Iterations == 0 || st.ImproveCalls == 0 || st.Passes == 0 {
+		t.Errorf("schedule counters zero: %+v", st)
+	}
+	if st.MovesEvaluated == 0 || st.BucketOps == 0 {
+		t.Errorf("engine counters zero: %+v", st)
+	}
+	if st.MovesEvaluated < st.MovesApplied {
+		t.Errorf("evaluated %d < applied %d", st.MovesEvaluated, st.MovesApplied)
+	}
+	if st.PeakBlocks < r.K {
+		t.Errorf("PeakBlocks %d < final K %d", st.PeakBlocks, r.K)
+	}
+	var phase time.Duration
+	for _, d := range st.PhaseTime {
+		if d < 0 {
+			t.Errorf("negative phase time: %v", st.PhaseTime)
+		}
+		phase += d
+	}
+	if phase == 0 {
+		t.Error("no phase time recorded")
+	}
+	if phase > r.Elapsed+time.Millisecond {
+		t.Errorf("phase time %v exceeds elapsed %v", phase, r.Elapsed)
+	}
+}
+
+func TestPortfolioParentCancellation(t *testing.T) {
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Portfolio(ctx, h, dev, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPortfolioSharedSinkAndLabels(t *testing.T) {
+	// Every member writes to the same Collector concurrently; Portfolio
+	// must serialize them (run with -race) and tag each stream.
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	var c obs.Collector
+	cfgs := DefaultPortfolio()
+	for i := range cfgs {
+		cfgs[i].Sink = &c
+	}
+	r, err := Portfolio(context.Background(), h, dev, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, h, r)
+	// Each member emits exactly one terminal event: RunEnd when it ran to
+	// completion, Cancelled when the winner stopped it early.
+	starts := c.Count(obs.RunStart)
+	if starts != len(cfgs) {
+		t.Errorf("RunStart events = %d, want one per member (%d)", starts, len(cfgs))
+	}
+	if terminal := c.Count(obs.RunEnd) + c.Count(obs.Cancelled); terminal != len(cfgs) {
+		t.Errorf("terminal events = %d, want %d", terminal, len(cfgs))
+	}
+	sources := map[string]bool{}
+	for _, e := range c.Events() {
+		sources[e.Source] = true
+	}
+	for i := range cfgs {
+		label := "portfolio[" + string(rune('0'+i)) + "]"
+		if !sources[label] {
+			t.Errorf("no events tagged %q (sources: %v)", label, sources)
+		}
+	}
+}
+
+func TestPortfolioWinnerCancelsLosers(t *testing.T) {
+	// On an instance where the published configuration reaches K = M, the
+	// portfolio must still return that provably optimal result even though
+	// it cancels the remaining members.
+	h := ringOfClusters(t, 2, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 14, Pins: 30, Fill: 1.0}
+	r, err := Portfolio(context.Background(), h, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, h, r)
+	if r.K != r.M {
+		t.Errorf("K = %d, M = %d: expected the bound to be reached here", r.K, r.M)
+	}
+}

@@ -1,16 +1,20 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 )
 
-// ExamplePartition partitions a two-cluster circuit onto a small device.
-func ExamplePartition() {
+// twoClusters builds the example circuit: two 6-cell chains joined by one
+// bridge net — the minimum cut is the bridge.
+func twoClusters() *hypergraph.Hypergraph {
 	var b hypergraph.Builder
 	var left, right []hypergraph.NodeID
 	for i := 0; i < 6; i++ {
@@ -22,17 +26,54 @@ func ExamplePartition() {
 		b.AddNet("rnet", right[i], right[i+1])
 	}
 	b.AddNet("bridge", left[5], right[0])
-	h, err := b.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
+	return b.MustBuild()
+}
 
-	dev := device.Device{Name: "toy", Family: device.XC3000, DatasheetCells: 8, Pins: 16, Fill: 1.0}
-	res, err := core.Partition(h, dev, core.Default())
+var toyDevice = device.Device{Name: "toy", Family: device.XC3000, DatasheetCells: 8, Pins: 16, Fill: 1.0}
+
+// ExamplePartition partitions a two-cluster circuit onto a small device.
+func ExamplePartition() {
+	res, err := core.Partition(twoClusters(), toyDevice, core.Default())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("devices=%d feasible=%v cut=%d\n", res.K, res.Feasible, res.Partition.Cut())
 	// Output:
 	// devices=2 feasible=true cut=1
+}
+
+// ExampleRun traces a run: the sink receives one structured event per
+// algorithm step, and Result.Stats aggregates the effort counters.
+func ExampleRun() {
+	var events obs.Collector
+	cfg := core.Default()
+	cfg.Sink = &events
+
+	res, err := core.Run(context.Background(), twoClusters(), toyDevice, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evs := events.Events()
+	fmt.Printf("first=%s last=%s\n", evs[0].Type, evs[len(evs)-1].Type)
+	fmt.Printf("bipartitions=%d improve-passes=%d\n",
+		events.Count(obs.BipartitionEnd), events.Count(obs.ImprovePass))
+	fmt.Printf("devices=%d iterations=%d\n", res.K, res.Stats.Iterations)
+	// Output:
+	// first=run-start last=run-end
+	// bipartitions=1 improve-passes=3
+	// devices=2 iterations=1
+}
+
+// ExamplePortfolio_cancelled shows cancellation propagating through the
+// strategy portfolio: with the parent context already cancelled, every
+// member aborts and the portfolio surfaces the context error.
+func ExamplePortfolio_cancelled() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a deadline via context.WithTimeout behaves the same way
+
+	_, err := core.Portfolio(ctx, twoClusters(), toyDevice, nil)
+	fmt.Println(errors.Is(err, context.Canceled))
+	// Output:
+	// true
 }

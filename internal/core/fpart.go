@@ -18,17 +18,25 @@
 //	    Improve(P_i, R_k) for every i      // final all-pairs sweep
 //
 // until the remainder itself meets the device constraints.
+//
+// Run is the primary entry point: it accepts a context.Context for
+// cancellation and deadlines, and emits structured events and effort
+// counters through internal/obs (Config.Sink, Result.Stats). Partition is
+// the context-free convenience wrapper; Portfolio races several
+// configurations concurrently, cancelling the losers once a provably
+// optimal winner (feasible with K = M) is in.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 	"fpart/internal/sanchis"
 	"fpart/internal/seed"
@@ -58,9 +66,15 @@ type Config struct {
 	// endgame counterpart to the paper's k = M all-pairs sweep; it can
 	// only reduce K and never breaks feasibility.
 	DisableAbsorb bool
-	// Trace, when non-nil, receives one line per algorithm event
-	// (bipartitions and improvement passes), mirroring Figure 1.
-	Trace io.Writer
+	// Sink, when non-nil, receives one obs.Event per algorithm step
+	// (bipartitions, improvement passes, stack restarts, repairs,
+	// absorptions), mirroring Figure 1. Use obs.NewTextSink for the
+	// classic line trace or obs.NewJSONSink for machine consumption. The
+	// sink is invoked synchronously; Portfolio serializes shared sinks.
+	Sink obs.Sink
+	// Label tags this configuration's events (obs.Event.Source).
+	// Portfolio fills it with "portfolio[i]" when empty.
+	Label string
 }
 
 func (c Config) normalize() Config {
@@ -79,16 +93,11 @@ func (c Config) normalize() Config {
 // Default returns the published configuration.
 func Default() Config { return Config{}.normalize() }
 
-// Stats aggregates algorithm effort counters.
-type Stats struct {
-	Iterations   int // bipartition steps executed
-	ImproveCalls int
-	Passes       int
-	MovesApplied int
-	Restarts     int
-}
+// Stats aggregates algorithm effort counters; it is an alias for obs.Stats
+// (see that package for the field catalogue).
+type Stats = obs.Stats
 
-// Result is the outcome of a Partition call.
+// Result is the outcome of a Run call.
 type Result struct {
 	// Partition holds the final assignment. When Feasible is true every
 	// block meets the device constraints.
@@ -118,8 +127,18 @@ func (r *Result) Blocks() [][]hypergraph.NodeID {
 // never fit the device on its own.
 var ErrUnsplittable = errors.New("core: circuit contains a node larger than the device capacity")
 
-// Partition runs FPART on circuit h targeting device dev.
+// Partition runs FPART on circuit h targeting device dev. It is Run with a
+// background context.
 func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	return Run(context.Background(), h, dev, cfg)
+}
+
+// Run executes FPART on circuit h targeting device dev. When ctx is
+// cancelled or its deadline passes, Run aborts promptly — mid-pass, via the
+// engine's cancellation polling — and returns ctx's error; the partial
+// solution is discarded. Structured events flow to cfg.Sink and effort
+// counters land in Result.Stats.
+func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
 	start := time.Now()
 	if err := dev.Validate(); err != nil {
 		return nil, err
@@ -138,51 +157,85 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 		}
 	}
 	cfg = cfg.normalize()
+	em := obs.NewEmitter(cfg.Sink, cfg.Label)
 
 	p := partition.New(h, dev)
 	m := device.LowerBound(h, dev)
-	eng := sanchis.New(p, cfg.Engine)
+	ecfg := cfg.Engine
+	ecfg.Obs = em
+	eng := sanchis.New(p, ecfg)
 	cost := cfg.Engine.Cost
 	if cost == (partition.CostParams{}) {
 		cost = partition.DefaultCost()
 	}
 	rem := partition.BlockID(0)
 	res := &Result{Partition: p, M: m}
+	res.Stats.PeakBlocks = p.NumBlocks()
 	maxBlocks := cfg.MaxBlocks
 	if maxBlocks == 0 {
 		maxBlocks = 4*m + 32
 	}
 
-	trace := func(format string, args ...any) {
-		if cfg.Trace != nil {
-			fmt.Fprintf(cfg.Trace, format+"\n", args...)
-		}
+	em.Emit(obs.Event{Type: obs.RunStart, M: m})
+	cancelled := func(err error) (*Result, error) {
+		em.Emit(obs.Event{Type: obs.Cancelled})
+		return nil, err
 	}
-	improve := func(label string, blocks ...partition.BlockID) {
-		st := eng.Improve(blocks, rem, m)
+
+	// improve runs one schedule step and folds the engine counters into
+	// the run stats; it returns ctx's error when the step was cut short.
+	improve := func(label string, blocks ...partition.BlockID) error {
+		t0 := time.Now()
+		st, err := eng.ImproveCtx(ctx, blocks, rem, m)
+		res.Stats.PhaseTime[obs.PhaseImprove] += time.Since(t0)
 		res.Stats.ImproveCalls++
 		res.Stats.Passes += st.Passes
+		res.Stats.MovesEvaluated += st.MovesEvaluated
 		res.Stats.MovesApplied += st.MovesApplied
+		res.Stats.MovesGated += st.MovesGated
+		res.Stats.BucketOps += st.BucketOps
 		res.Stats.Restarts += st.Restarts
-		trace("improve %s blocks=%v improved=%v", label, blocks, st.Improved)
+		if em.Enabled() {
+			em.Emit(obs.Event{
+				Type: obs.ImprovePass, Iteration: res.Stats.Iterations,
+				Label: label, Blocks: blockInts(blocks),
+				Passes: st.Passes, Moves: st.MovesApplied, Improved: st.Improved,
+			})
+		}
+		return err
 	}
 
 	for !p.Feasible(rem) {
+		if err := ctx.Err(); err != nil {
+			return cancelled(err)
+		}
 		if p.NumBlocks() >= maxBlocks {
 			break // bail out; Feasible stays false
 		}
 		res.Stats.Iterations++
+		em.Emit(obs.Event{Type: obs.BipartitionStart, Iteration: res.Stats.Iterations})
+		t0 := time.Now()
 		pk, ok := seed.Best(p, rem, dev, cost, m)
+		res.Stats.PhaseTime[obs.PhaseSeed] += time.Since(t0)
 		if !ok {
 			break
 		}
-		trace("iteration %d: bipartition R -> {R, P%d} (size=%d T=%d)",
-			res.Stats.Iterations, pk, p.Size(pk), p.Terminals(pk))
+		if p.NumBlocks() > res.Stats.PeakBlocks {
+			res.Stats.PeakBlocks = p.NumBlocks()
+		}
+		em.Emit(obs.Event{
+			Type: obs.BipartitionEnd, Iteration: res.Stats.Iterations,
+			Block: int(pk), Size: p.Size(pk), Terminals: p.Terminals(pk),
+		})
 
-		improve("pair(R,Pk)", rem, pk)
+		if err := improve("pair(R,Pk)", rem, pk); err != nil {
+			return cancelled(err)
+		}
 		if !cfg.DisableSchedule {
 			if m <= cfg.NSmall {
-				improve("all", allBlocks(p)...)
+				if err := improve("all", allBlocks(p)...); err != nil {
+					return cancelled(err)
+				}
 			}
 			schedule := []struct {
 				label string
@@ -198,19 +251,25 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 				if b == partition.NoBlock || b == prev {
 					continue
 				}
-				improve(s.label, b, rem)
+				if err := improve(s.label, b, rem); err != nil {
+					return cancelled(err)
+				}
 				prev = b
 			}
 			if p.NumBlocks() == m && m <= cfg.NSmall {
 				for b := 0; b < p.NumBlocks(); b++ {
 					if partition.BlockID(b) != rem {
-						improve("final-pair", partition.BlockID(b), rem)
+						if err := improve("final-pair", partition.BlockID(b), rem); err != nil {
+							return cancelled(err)
+						}
 					}
 				}
 			}
 		}
 
-		repairNonRemainder(p, rem, &res.Stats, trace)
+		t0 = time.Now()
+		repairNonRemainder(p, rem, &res.Stats, em)
+		res.Stats.PhaseTime[obs.PhaseRepair] += time.Since(t0)
 
 		if p.Nodes(rem) == 0 {
 			// The remainder emptied out entirely; the partition is final.
@@ -220,19 +279,34 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 
 	res.Feasible = p.Classify() == partition.FeasibleSolution
 	if res.Feasible && !cfg.DisableAbsorb {
-		for absorbSmallest(p, trace) {
+		t0 := time.Now()
+		for ctx.Err() == nil && absorbSmallest(p, &res.Stats, em) {
+		}
+		res.Stats.PhaseTime[obs.PhaseAbsorb] += time.Since(t0)
+		if err := ctx.Err(); err != nil {
+			return cancelled(err)
 		}
 	}
 	res.K = nonEmptyBlocks(p)
 	res.Elapsed = time.Since(start)
+	em.Emit(obs.Event{Type: obs.RunEnd, K: res.K, M: m, Feasible: res.Feasible})
 	return res, nil
+}
+
+// blockInts converts block IDs for an event payload.
+func blockInts(blocks []partition.BlockID) []int {
+	out := make([]int, len(blocks))
+	for i, b := range blocks {
+		out[i] = int(b)
+	}
+	return out
 }
 
 // absorbSmallest tries to dissolve the smallest non-empty block by moving
 // each of its nodes into the feasible block with the strongest net
 // affinity. On failure the partition is restored. Reports whether a block
 // was dissolved.
-func absorbSmallest(p *partition.Partition, trace func(string, ...any)) bool {
+func absorbSmallest(p *partition.Partition, st *Stats, em *obs.Emitter) bool {
 	target := partition.NoBlock
 	for b := 0; b < p.NumBlocks(); b++ {
 		id := partition.BlockID(b)
@@ -306,7 +380,8 @@ func absorbSmallest(p *partition.Partition, trace func(string, ...any)) bool {
 		p.Restore(snap)
 		return false
 	}
-	trace("absorbed block %d", target)
+	st.Absorbed++
+	em.Emit(obs.Event{Type: obs.Absorb, Block: int(target)})
 	return true
 }
 
@@ -315,29 +390,56 @@ func absorbSmallest(p *partition.Partition, trace func(string, ...any)) bool {
 // infeasible, then fewer devices, then fewer total terminals. It realizes
 // the classical "number of runs" FM parameter (§1) as a deterministic
 // strategy portfolio rather than random restarts.
-func Portfolio(h *hypergraph.Hypergraph, dev device.Device, cfgs []Config) (*Result, error) {
+//
+// When a member finishes feasible at the lower bound (K = M — no other
+// configuration can beat it on the device count), the remaining members
+// are cancelled; their context.Canceled errors are absorbed. Cancelling
+// ctx itself aborts every member and returns ctx's error. Member sinks are
+// wrapped with one shared lock, so several configurations may point at the
+// same obs.Sink.
+func Portfolio(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfgs []Config) (*Result, error) {
 	if len(cfgs) == 0 {
 		cfgs = DefaultPortfolio()
 	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	members := make([]Config, len(cfgs))
+	copy(members, cfgs)
+	var sinkMu sync.Mutex
+	for i := range members {
+		members[i].Sink = obs.Locked(&sinkMu, members[i].Sink)
+		if members[i].Label == "" {
+			members[i].Label = fmt.Sprintf("portfolio[%d]", i)
+		}
+	}
+
 	type slot struct {
 		res *Result
 		err error
 	}
-	out := make([]slot, len(cfgs))
+	out := make([]slot, len(members))
 	var wg sync.WaitGroup
-	for i := range cfgs {
+	for i := range members {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].res, out[i].err = Partition(h, dev, cfgs[i])
+			res, err := Run(runCtx, h, dev, members[i])
+			out[i] = slot{res, err}
+			if err == nil && res.Feasible && res.K == res.M {
+				cancel() // provably optimal: stop the losing members
+			}
 		}(i)
 	}
 	wg.Wait()
+
 	var best *Result
 	var firstErr error
 	for _, s := range out {
 		if s.err != nil {
-			if firstErr == nil {
+			// A member cancelled by the winner's cancel() is not a
+			// failure; a parent-context cancellation is handled below.
+			if !errors.Is(s.err, context.Canceled) && !errors.Is(s.err, context.DeadlineExceeded) && firstErr == nil {
 				firstErr = s.err
 			}
 			continue
@@ -347,7 +449,13 @@ func Portfolio(h *hypergraph.Hypergraph, dev device.Device, cfgs []Config) (*Res
 		}
 	}
 	if best == nil {
-		return nil, firstErr
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, context.Canceled
 	}
 	return best, nil
 }
@@ -456,7 +564,7 @@ func maxFreeBlock(p *partition.Partition, rem partition.BlockID, s1, s2 float64)
 // accepted between Algorithm 1 steps (§3.5), and the improvement passes'
 // best-key selection almost always delivers that already; this is the
 // safety net for adversarial inputs.
-func repairNonRemainder(p *partition.Partition, rem partition.BlockID, st *Stats, trace func(string, ...any)) {
+func repairNonRemainder(p *partition.Partition, rem partition.BlockID, st *Stats, em *obs.Emitter) {
 	for b := 0; b < p.NumBlocks(); b++ {
 		id := partition.BlockID(b)
 		if id == rem || p.Feasible(id) {
@@ -469,7 +577,7 @@ func repairNonRemainder(p *partition.Partition, rem partition.BlockID, st *Stats
 			shed++
 			st.MovesApplied++
 		}
-		trace("repair block=%d shed=%d", id, shed)
+		em.Emit(obs.Event{Type: obs.Repair, Block: int(id), Moves: shed})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 )
 
@@ -152,7 +153,7 @@ func TestImprovementScheduleFigure1(t *testing.T) {
 	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
 	var buf bytes.Buffer
 	cfg := Default()
-	cfg.Trace = &buf
+	cfg.Sink = obs.NewTextSink(&buf)
 	r, err := Partition(h, dev, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +188,7 @@ func TestScheduleBigMSkipsAllPass(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Default()
 	cfg.NSmall = 1 // M is 4: strategy switches to the big-k variant
-	cfg.Trace = &buf
+	cfg.Sink = obs.NewTextSink(&buf)
 	r, err := Partition(h, dev, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +210,7 @@ func TestDisableSchedule(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Default()
 	cfg.DisableSchedule = true
-	cfg.Trace = &buf
+	cfg.Sink = obs.NewTextSink(&buf)
 	r, err := Partition(h, dev, cfg)
 	if err != nil {
 		t.Fatal(err)

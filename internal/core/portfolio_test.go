@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fpart/internal/device"
@@ -15,7 +16,7 @@ func TestPortfolioBeatsOrMatchesSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := Portfolio(h, device.XC3020, nil)
+	best, err := Portfolio(context.Background(), h, device.XC3020, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestPortfolioCustomConfigs(t *testing.T) {
 		c.DisableSchedule = true
 		return c
 	}()}
-	r, err := Portfolio(h, dev, cfgs)
+	r, err := Portfolio(context.Background(), h, dev, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestPortfolioCustomConfigs(t *testing.T) {
 func TestPortfolioPropagatesErrors(t *testing.T) {
 	// Empty circuit: every member fails, the error must surface.
 	var b hypergraph.Builder
-	if _, err := Portfolio(b.MustBuild(), device.XC3020, nil); err == nil {
+	if _, err := Portfolio(context.Background(), b.MustBuild(), device.XC3020, nil); err == nil {
 		t.Error("portfolio swallowed errors")
 	}
 }

@@ -1,0 +1,28 @@
+package gain_test
+
+import (
+	"fmt"
+
+	"fpart/internal/gain"
+)
+
+// ExampleBucket walks the FM selection loop: fill, pick the best cell
+// (LIFO among equals), move it, re-gain its neighbours.
+func ExampleBucket() {
+	b := gain.NewBucket(4, 3) // 4 cells, gains in [-3, +3]
+	b.Insert(0, 1)
+	b.Insert(1, 3)
+	b.Insert(2, -2)
+	b.Insert(3, 3)
+
+	v, g, _ := b.Top() // cell 3: same gain as cell 1, inserted later
+	fmt.Printf("best cell=%d gain=%d of %d\n", v, g, b.Len())
+
+	b.Remove(v)    // "move" it: lock and drop from the bucket
+	b.Update(2, 2) // a neighbour's gain changed
+	v, g, _ = b.Top()
+	fmt.Printf("next cell=%d gain=%d of %d\n", v, g, b.Len())
+	// Output:
+	// best cell=3 gain=3 of 4
+	// next cell=1 gain=3 of 3
+}

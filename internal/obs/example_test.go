@@ -1,0 +1,54 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"fpart/internal/obs"
+)
+
+// ExampleTextSink renders a hand-built event stream the way core.Run
+// streams a real one (cmd/fpart -trace-format text).
+func ExampleTextSink() {
+	sink := obs.NewTextSink(os.Stdout)
+	em := obs.NewEmitter(sink, "demo")
+	em.Emit(obs.Event{Type: obs.RunStart, M: 2})
+	em.Emit(obs.Event{Type: obs.BipartitionEnd, Iteration: 1, Block: 1, Size: 6, Terminals: 2})
+	em.Emit(obs.Event{Type: obs.ImprovePass, Label: "pair(R,Pk)", Blocks: []int{0, 1}, Improved: true})
+	em.Emit(obs.Event{Type: obs.RunEnd, K: 2, Feasible: true})
+	// Output:
+	// run start: M=2
+	// iteration 1: bipartition R -> {R, P1} (size=6 T=2)
+	// improve pair(R,Pk) blocks=[0 1] improved=true
+	// run end: K=2 feasible=true
+}
+
+// ExampleCollector retains a stream for inspection — the pattern the
+// repository's tests use to assert event ordering.
+func ExampleCollector() {
+	var c obs.Collector
+	em := obs.NewEmitter(&c, "run")
+	em.Emit(obs.Event{Type: obs.RunStart})
+	em.Emit(obs.Event{Type: obs.ImprovePass, Label: "all"})
+	em.Emit(obs.Event{Type: obs.ImprovePass, Label: "final-pair"})
+	em.Emit(obs.Event{Type: obs.RunEnd})
+
+	evs := c.Events()
+	fmt.Printf("events=%d first=%s last=%s\n", len(evs), evs[0].Type, evs[len(evs)-1].Type)
+	fmt.Printf("improve passes=%d\n", c.Count(obs.ImprovePass))
+	// Output:
+	// events=4 first=run-start last=run-end
+	// improve passes=2
+}
+
+// ExampleStats_Merge folds per-run counters into suite totals, as
+// internal/bench does for the Table 7 instrumentation.
+func ExampleStats_Merge() {
+	a := obs.Stats{Iterations: 4, Passes: 290, MovesApplied: 54078, PeakBlocks: 5}
+	b := obs.Stats{Iterations: 7, Passes: 537, MovesApplied: 99658, PeakBlocks: 8}
+	a.Merge(b)
+	fmt.Printf("iterations=%d passes=%d moves/pass=%.1f peak=%d\n",
+		a.Iterations, a.Passes, a.MovesPerPass(), a.PeakBlocks)
+	// Output:
+	// iterations=11 passes=827 moves/pass=185.9 peak=8
+}

@@ -1,0 +1,115 @@
+package sanchis
+
+// Cancellation and instrumentation tests for ImproveCtx.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fpart/internal/obs"
+	"fpart/internal/partition"
+)
+
+func TestImproveCtxPreCancelled(t *testing.T) {
+	h, _ := clusters(t, 3, 8)
+	p := scrambled(t, h, testDev, 3)
+	before := p.Moves()
+	eng := New(p, Default())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := eng.ImproveCtx(ctx, []partition.BlockID{0, 1, 2}, 0, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Passes != 0 || st.MovesApplied != 0 {
+		t.Errorf("pre-cancelled improve did work: %+v", st)
+	}
+	if p.Moves() != before {
+		t.Error("pre-cancelled improve mutated the partition")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveCtxLeavesValidPartitionOnCancel(t *testing.T) {
+	// Cancelling mid-run must still end on a consistent snapshot: the
+	// engine restores the best solution found before the cut-off.
+	h, _ := clusters(t, 4, 10)
+	p := scrambled(t, h, testDev, 4)
+	eng := New(p, Default())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.ImproveCtx(ctx, []partition.BlockID{0, 1, 2, 3}, 0, 4); err == nil {
+		t.Fatal("cancelled improve returned nil error")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("cancelled improve left corrupt partition: %v", err)
+	}
+}
+
+func TestImproveCompatWrapperMatchesCtx(t *testing.T) {
+	run := func(useCtx bool) (Stats, int) {
+		h, _ := clusters(t, 3, 8)
+		p := scrambled(t, h, testDev, 3)
+		eng := New(p, Default())
+		if useCtx {
+			st, err := eng.ImproveCtx(context.Background(), []partition.BlockID{0, 1, 2}, 0, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st, p.Cut()
+		}
+		return eng.Improve([]partition.BlockID{0, 1, 2}, 0, 3), p.Cut()
+	}
+	a, cutA := run(true)
+	b, cutB := run(false)
+	if a != b || cutA != cutB {
+		t.Errorf("ImproveCtx and Improve diverged: %+v cut=%d vs %+v cut=%d", a, cutA, b, cutB)
+	}
+}
+
+func TestImproveCtxEffortCounters(t *testing.T) {
+	h, _ := clusters(t, 3, 8)
+	p := scrambled(t, h, testDev, 3)
+	eng := New(p, Default())
+	st, err := eng.ImproveCtx(context.Background(), []partition.BlockID{0, 1, 2}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Improved {
+		t.Fatal("scrambled clusters not improved")
+	}
+	if st.Passes == 0 || st.MovesEvaluated == 0 || st.MovesApplied == 0 || st.BucketOps == 0 {
+		t.Errorf("effort counters zero: %+v", st)
+	}
+	if st.MovesEvaluated < st.MovesApplied {
+		t.Errorf("evaluated %d < applied %d", st.MovesEvaluated, st.MovesApplied)
+	}
+	// The default move windows must gate at least some candidates on a
+	// scrambled instance.
+	if st.MovesGated == 0 {
+		t.Log("note: no window-gated moves on this instance")
+	}
+}
+
+func TestStackRestartEventsMatchStats(t *testing.T) {
+	h, _ := clusters(t, 4, 10)
+	p := scrambled(t, h, testDev, 4)
+	var c obs.Collector
+	cfg := Default()
+	cfg.Obs = obs.NewEmitter(&c, "engine")
+	eng := New(p, cfg)
+	st, err := eng.ImproveCtx(context.Background(), []partition.BlockID{0, 1, 2, 3}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Count(obs.StackRestart); got != st.Restarts {
+		t.Errorf("StackRestart events = %d, want Restarts = %d", got, st.Restarts)
+	}
+	verdicts := c.Count(obs.SolutionAccepted) + c.Count(obs.SolutionRejected)
+	if verdicts != st.Restarts {
+		t.Errorf("accept/reject events = %d, want one per restart (%d)", verdicts, st.Restarts)
+	}
+}

@@ -21,10 +21,12 @@
 package sanchis
 
 import (
+	"context"
 	"sort"
 
 	"fpart/internal/gain"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 )
 
@@ -86,6 +88,10 @@ type Config struct {
 	// the infeasible region. Zero disables (the paper's baseline
 	// behaviour: a full pass).
 	EarlyStop int
+	// Obs, when non-nil, receives stack-restart and restart-solution
+	// accept/reject events (§3.6). The nil emitter is inert; see
+	// internal/obs.
+	Obs *obs.Emitter
 }
 
 func (c Config) normalize() Config {
@@ -117,10 +123,13 @@ func Default() Config {
 
 // Stats reports the work done by one Improve call.
 type Stats struct {
-	Passes       int // FM passes executed, including stack restarts
-	MovesApplied int // cell moves applied (before rollbacks)
-	Restarts     int // pass series started from stacked solutions
-	Improved     bool
+	Passes         int // FM passes executed, including stack restarts
+	MovesEvaluated int // candidate moves examined by best-move selection
+	MovesApplied   int // cell moves applied (before rollbacks)
+	MovesGated     int // candidates rejected by the §3.5 move windows
+	BucketOps      int // gain-bucket mutations (inserts, removals, updates)
+	Restarts       int // pass series started from stacked solutions
+	Improved       bool
 }
 
 // Engine runs improvement passes over a Partition. An Engine may be reused
@@ -144,6 +153,9 @@ type Engine struct {
 	epoch   int32
 
 	journal []moveRec
+
+	// st accumulates effort counters for the Improve call in flight.
+	st *Stats
 }
 
 type moveRec struct {
@@ -160,6 +172,7 @@ func New(p *partition.Partition, cfg Config) *Engine {
 		cfg:    cfg,
 		locked: make([]bool, p.Hypergraph().NumNodes()),
 		stamp:  make([]int32, p.Hypergraph().NumNodes()),
+		st:     new(Stats), // discarded scratch outside Improve calls
 	}
 }
 
@@ -373,6 +386,7 @@ func (e *Engine) initPass() {
 			}
 			g := e.cellGain(hypergraph.NodeID(v), b, e.blocks[ti])
 			e.buckets[e.dirIndex(fi, ti)].Insert(int32(v), g)
+			e.st.BucketOps++
 		}
 	}
 }
@@ -451,7 +465,9 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			examined := false
 			for _, vi := range scratch {
 				v := hypergraph.NodeID(vi)
+				e.st.MovesEvaluated++
 				if !e.sizeAdmissible(e.h.Node(v).Size, f, t) {
+					e.st.MovesGated++
 					continue
 				}
 				c := candidate{v: v, from: f, to: t, g1: topG, bal: bal}
@@ -479,7 +495,9 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 					return false
 				}
 				v := hypergraph.NodeID(vi)
+				e.st.MovesEvaluated++
 				if !e.sizeAdmissible(e.h.Node(v).Size, f, t) {
+					e.st.MovesGated++
 					return true
 				}
 				c := candidate{v: v, from: f, to: t, g1: g, bal: bal}
@@ -504,6 +522,7 @@ func (e *Engine) applyMove(c candidate) {
 			continue
 		}
 		e.buckets[e.dirIndex(fi, ti)].Remove(int32(v))
+		e.st.BucketOps++
 	}
 	e.p.Move(v, c.to)
 	e.locked[v] = true
@@ -531,6 +550,7 @@ func (e *Engine) applyMove(c candidate) {
 				}
 				g := e.cellGain(u, b, e.blocks[ti])
 				e.buckets[e.dirIndex(ufi, ti)].Update(int32(u), g)
+				e.st.BucketOps++
 			}
 		}
 	}
@@ -556,8 +576,10 @@ func (e *Engine) key() partition.Key {
 // runPass executes one FM pass over the active blocks: moves cells until no
 // admissible move remains, then rolls back to the best prefix. When collect
 // is non-nil, every prefix whose key improves on the best-so-far (semi) or
-// whose distance improves (infeasible) is offered to the stacks.
-func (e *Engine) runPass(collect *stacks) (improved bool, moves int) {
+// whose distance improves (infeasible) is offered to the stacks. A
+// cancelled ctx ends the pass early; the rollback to the best prefix still
+// runs, so the partition is left consistent.
+func (e *Engine) runPass(ctx context.Context, collect *stacks) (improved bool, moves int) {
 	e.initPass()
 	e.journal = e.journal[:0]
 	start := e.key()
@@ -566,6 +588,11 @@ func (e *Engine) runPass(collect *stacks) (improved bool, moves int) {
 	scratch := make([]int32, 0, e.cfg.TieWidth)
 
 	for {
+		// Poll cancellation every 64 applied moves so even the long
+		// first passes on big circuits abort promptly.
+		if moves&63 == 0 && ctx.Err() != nil {
+			break
+		}
 		c, ok := e.selectBest(scratch)
 		if !ok {
 			break
@@ -687,10 +714,24 @@ func refs(list []stackEntry) []*stackEntry {
 // seen. remainder designates the current remainder block (NoBlock for
 // contexts without one), and m is the device lower bound M.
 func (e *Engine) Improve(blocks []partition.BlockID, remainder partition.BlockID, m int) Stats {
+	st, _ := e.ImproveCtx(context.Background(), blocks, remainder, m)
+	return st
+}
+
+// ImproveCtx is Improve with cancellation: the pass loop polls ctx and
+// aborts promptly when it is cancelled or its deadline passes, restoring
+// the best solution seen so far (the partition is always left consistent)
+// and returning ctx's error alongside the partial Stats.
+func (e *Engine) ImproveCtx(ctx context.Context, blocks []partition.BlockID, remainder partition.BlockID, m int) (Stats, error) {
 	var st Stats
 	if len(blocks) < 2 {
-		return st
+		return st, ctx.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		return st, err // don't even fill the buckets on a dead context
+	}
+	e.st = &st
+	defer func() { e.st = new(Stats) }()
 	e.blocks = blocks
 	e.remainder = remainder
 	e.m = m
@@ -715,10 +756,10 @@ func (e *Engine) Improve(blocks []partition.BlockID, remainder partition.BlockID
 			if col != nil && pass == 0 {
 				c = col
 			}
-			improved, moves := e.runPass(c)
+			improved, moves := e.runPass(ctx, c)
 			st.Passes++
 			st.MovesApplied += moves
-			if !improved {
+			if !improved || ctx.Err() != nil {
 				break
 			}
 		}
@@ -728,19 +769,31 @@ func (e *Engine) Improve(blocks []partition.BlockID, remainder partition.BlockID
 	bestKey := e.key()
 	bestSnap := e.p.Snapshot()
 
-	for _, ent := range append(append([]stackEntry{}, collect.semi...), collect.infeas...) {
-		if !ent.hasSnap {
-			continue
-		}
-		e.p.Restore(ent.snap)
-		st.Restarts++
-		series(nil)
-		if key := e.key(); key.Better(bestKey) {
-			bestKey = key
-			bestSnap = e.p.Snapshot()
+	restart := func(label string, ents []stackEntry) {
+		for _, ent := range ents {
+			if !ent.hasSnap {
+				continue
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			e.p.Restore(ent.snap)
+			st.Restarts++
+			e.cfg.Obs.Emit(obs.Event{Type: obs.StackRestart, Label: label, Moves: ent.prefixLen})
+			series(nil)
+			if key := e.key(); key.Better(bestKey) {
+				bestKey = key
+				bestSnap = e.p.Snapshot()
+				e.cfg.Obs.Emit(obs.Event{Type: obs.SolutionAccepted, Label: label})
+			} else {
+				e.cfg.Obs.Emit(obs.Event{Type: obs.SolutionRejected, Label: label})
+			}
 		}
 	}
+	restart("semi", collect.semi)
+	restart("infeasible", collect.infeas)
+
 	e.p.Restore(bestSnap)
 	st.Improved = bestKey.Better(startKey)
-	return st
+	return st, ctx.Err()
 }

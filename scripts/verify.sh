@@ -1,0 +1,17 @@
+#!/bin/sh
+# The repository's verify gate (see ROADMAP.md):
+# build + vet + gofmt + full tests + race run of the concurrency tests.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+go test ./...
+go test -race ./internal/obs ./internal/core ./internal/sanchis
+echo "verify: all green"
