@@ -92,12 +92,18 @@ func BenchmarkTable6CPUTime(b *testing.B) {
 			b.Run(name+"/"+dev.Name, func(b *testing.B) {
 				spec, _ := gen.ByName(name)
 				h := gen.Generate(spec, dev.Family)
+				var moves, bucketOps int64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Partition(h, dev, core.Default()); err != nil {
+					r, err := core.Partition(h, dev, core.Default())
+					if err != nil {
 						b.Fatal(err)
 					}
+					moves += int64(r.Stats.MovesApplied)
+					bucketOps += int64(r.Stats.BucketOps)
 				}
+				b.ReportMetric(float64(moves)/float64(b.N), "moves/op")
+				b.ReportMetric(float64(bucketOps)/float64(b.N), "bucketops/op")
 			})
 		}
 	}

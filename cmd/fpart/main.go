@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fpart/internal/core"
@@ -55,6 +57,8 @@ func main() {
 	fill := flag.Float64("fill", 0, "override the device filling ratio δ (0 keeps the paper's value)")
 	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit; -method fpart only)")
 	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json (-method fpart only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the partitioning run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after partitioning) to this file")
 	flag.Parse()
 
 	dev, ok := device.ByName(*devName)
@@ -95,7 +99,37 @@ func main() {
 		defer cancel()
 	}
 
+	if *cpuprofile != "" {
+		f, perr := os.Create(*cpuprofile)
+		if perr != nil {
+			fail("%v", perr)
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			fail("%v", perr)
+		}
+		defer f.Close()
+	}
 	p, k, feasible, runStats, err := runMethod(ctx, *method, h, dev, sink)
+	if *cpuprofile != "" {
+		// Stop before the error checks so an aborted run still leaves a
+		// usable profile of the work done.
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, perr := os.Create(*memprofile)
+		if perr != nil {
+			fail("%v", perr)
+		}
+		runtime.GC() // surface only live allocations
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			f.Close()
+			fail("%v", perr)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memprofile)
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		fail("timed out after %v (raise -timeout or relax the instance)", *timeout)
 	}

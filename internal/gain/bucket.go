@@ -131,6 +131,23 @@ func (b *Bucket) Update(v int32, g int) {
 	b.Insert(v, g)
 }
 
+// Adjust shifts the gain of cell v by delta, with the same LIFO reinsertion
+// semantics as Update (v becomes the head of its new gain list). It is the
+// primitive of delta-gain engines, which know the change in a cell's gain
+// without recomputing its absolute value. The cell must be present; a zero
+// delta is a no-op.
+func (b *Bucket) Adjust(v int32, delta int) {
+	if !b.in[v] {
+		panic(fmt.Sprintf("gain: Adjust of absent cell %d", v))
+	}
+	if delta == 0 {
+		return
+	}
+	g := int(b.gain[v]) + delta
+	b.Remove(v)
+	b.Insert(v, g)
+}
+
 func (b *Bucket) shrinkMax() {
 	for b.maxIdx >= 0 && b.heads[b.maxIdx] == none {
 		b.maxIdx--

@@ -293,3 +293,37 @@ func BenchmarkBucketChurn(b *testing.B) {
 		bk.Update(v, r.Intn(2*maxG+1)-maxG)
 	}
 }
+
+func TestAdjustShiftsGainAndMakesHead(t *testing.T) {
+	b := NewBucket(4, 8)
+	b.Insert(0, 2)
+	b.Insert(1, 2)
+	b.Insert(2, 5)
+	b.Adjust(0, 3) // 2 → 5: joins cell 2's list as the new head
+	if g, ok := b.Gain(0); !ok || g != 5 {
+		t.Fatalf("Gain(0) = %d,%v after Adjust, want 5", g, ok)
+	}
+	if v, g, ok := b.Top(); !ok || v != 0 || g != 5 {
+		t.Errorf("Top = (%d,%d,%v), want adjusted cell 0 at the head", v, g, ok)
+	}
+	b.Adjust(0, 0) // zero delta: position and gain untouched
+	if v, _, _ := b.Top(); v != 0 {
+		t.Error("zero-delta Adjust moved the cell")
+	}
+	b.Adjust(2, -5)
+	if g, _ := b.Gain(2); g != 0 {
+		t.Errorf("Gain(2) = %d after Adjust(-5), want 0", g)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d, want 3", b.Len())
+	}
+}
+
+func TestAdjustAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Adjust of absent cell did not panic")
+		}
+	}()
+	NewBucket(4, 3).Adjust(1, 1)
+}

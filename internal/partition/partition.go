@@ -52,6 +52,31 @@ type Partition struct {
 	netCnt [][]netBlock // per net: pins per block (sparse, insertion order)
 	cut    int          // nets with span >= 2
 	moves  int64        // total Move calls, for statistics
+
+	// Incremental solution-cost aggregates, maintained by Move and AddBlock
+	// so that CountFeasible, TerminalSum, Distance, and Classify are O(1)
+	// per query instead of O(k) rescans. All four are exact integer sums
+	// (no float drift): the infeasibility distance factors as
+	// λ^S·sizeOver/S_MAX + λ^T·termOver/T_MAX, and the external-balance
+	// numerator Σ max(0, |Y0| − m·T_i^E) is kept in integer form.
+	feasCount int // blocks meeting the device constraints
+	termSum   int // Σ_i T_i
+	sizeOver  int // Σ_i max(0, S_i − S_MAX)
+	termOver  int // Σ_i max(0, T_i − T_MAX)
+	ebM       int // m for which ebNum is valid; 0 = cache empty
+	ebNum     int // Σ_i max(0, |Y0| − m·T_i^E) for m = ebM
+
+	// Device capacities cached at construction (the device is immutable for
+	// the partition's lifetime): SMax() redoes float arithmetic on every
+	// call, too slow for the per-move aggregate update.
+	smax, tmax, auxCap int
+}
+
+func max0(x int) int {
+	if x < 0 {
+		return 0
+	}
+	return x
 }
 
 // FromAssignment builds a partition of h with k blocks from an explicit
@@ -79,7 +104,8 @@ func FromAssignment(h *hypergraph.Hypergraph, dev device.Device, blocks []BlockI
 
 // New creates a partition with a single block 0 containing every node.
 func New(h *hypergraph.Hypergraph, dev device.Device) *Partition {
-	p := &Partition{h: h, dev: dev, k: 1}
+	p := &Partition{h: h, dev: dev, k: 1,
+		smax: dev.SMax(), tmax: dev.TMax(), auxCap: dev.AuxCap}
 	p.assign = make([]BlockID, h.NumNodes())
 	p.blockSize = []int{h.TotalSize()}
 	p.blockAux = []int{h.TotalAux()}
@@ -89,6 +115,12 @@ func New(h *hypergraph.Hypergraph, dev device.Device) *Partition {
 	p.netCnt = make([][]netBlock, h.NumNets())
 	for e := range p.netCnt {
 		p.netCnt[e] = []netBlock{{b: 0, c: int32(len(h.Pins(hypergraph.NetID(e))))}}
+	}
+	p.termSum = p.Terminals(0)
+	p.sizeOver = max0(p.blockSize[0] - dev.SMax())
+	p.termOver = max0(p.Terminals(0) - dev.TMax())
+	if p.Feasible(0) {
+		p.feasCount = 1
 	}
 	return p
 }
@@ -111,6 +143,10 @@ func (p *Partition) AddBlock() BlockID {
 	p.blockCutInc = append(p.blockCutInc, 0)
 	p.blockPads = append(p.blockPads, 0)
 	p.blockNodes = append(p.blockNodes, 0)
+	p.feasCount++ // an empty block always meets the constraints
+	if p.ebM > 0 {
+		p.ebNum += p.h.NumPads() // max(0, |Y0| − m·0)
+	}
 	return id
 }
 
@@ -174,13 +210,36 @@ func (p *Partition) NodesIn(b BlockID) []hypergraph.NodeID {
 // Move reassigns node v to block `to`, updating all incremental state in
 // O(degree(v) · avg span). Moving to the current block is a no-op.
 func (p *Partition) Move(v hypergraph.NodeID, to BlockID) {
+	p.MoveTrace(v, to, nil)
+}
+
+// NetDelta records how one net incident to a moved node transitioned: its
+// pin counts in the source and destination blocks before the move, and its
+// span before and after. Delta-gain engines consume the trace to update
+// only the gain contributions that can actually change (see
+// internal/sanchis).
+type NetDelta struct {
+	Net        hypergraph.NetID
+	FromPins   int32 // pins in the source block, before the move
+	ToPins     int32 // pins in the destination block, before the move
+	SpanBefore int32
+	SpanAfter  int32
+}
+
+// MoveTrace is Move, additionally appending one NetDelta per incident net
+// to buf (in h.Nets(v) order) and returning it. Pass a reused buffer to
+// avoid allocation; a nil buf records nothing. A same-block no-op move
+// returns buf unchanged.
+func (p *Partition) MoveTrace(v hypergraph.NodeID, to BlockID, buf []NetDelta) []NetDelta {
 	from := p.assign[v]
 	if from == to {
-		return
+		return buf
 	}
 	p.moves++
 	p.assign[v] = to
 	node := p.h.Node(v)
+	oldFromS, oldFromT, oldFromAux := p.blockSize[from], p.Terminals(from), p.blockAux[from]
+	oldToS, oldToT, oldToAux := p.blockSize[to], p.Terminals(to), p.blockAux[to]
 	p.blockSize[from] -= node.Size
 	p.blockSize[to] += node.Size
 	p.blockAux[from] -= node.Aux
@@ -188,6 +247,11 @@ func (p *Partition) Move(v hypergraph.NodeID, to BlockID) {
 	p.blockNodes[from]--
 	p.blockNodes[to]++
 	if node.Kind == hypergraph.Pad {
+		if p.ebM > 0 {
+			pads, m := p.h.NumPads(), p.ebM
+			p.ebNum += max0(pads-m*(p.blockPads[from]-1)) - max0(pads-m*p.blockPads[from])
+			p.ebNum += max0(pads-m*(p.blockPads[to]+1)) - max0(pads-m*p.blockPads[to])
+		}
 		p.blockPads[from]--
 		p.blockPads[to]++
 	}
@@ -205,6 +269,13 @@ func (p *Partition) Move(v hypergraph.NodeID, to BlockID) {
 			case to:
 				ti = i
 			}
+		}
+		if buf != nil {
+			nd := NetDelta{Net: e, FromPins: cnt[fi].c, SpanBefore: int32(spanBefore)}
+			if ti >= 0 {
+				nd.ToPins = cnt[ti].c
+			}
+			buf = append(buf, nd)
 		}
 		cnt[fi].c--
 		if cnt[fi].c == 0 {
@@ -229,6 +300,9 @@ func (p *Partition) Move(v hypergraph.NodeID, to BlockID) {
 			p.netCnt[e] = cnt
 		}
 		spanAfter := len(p.netCnt[e])
+		if buf != nil {
+			buf[len(buf)-1].SpanAfter = int32(spanAfter)
+		}
 
 		wasCut, isCut := spanBefore >= 2, spanAfter >= 2
 		switch {
@@ -249,6 +323,29 @@ func (p *Partition) Move(v hypergraph.NodeID, to BlockID) {
 			p.blockCutInc[from]++
 			p.blockCutInc[to]++
 			p.cut++
+		}
+	}
+
+	p.aggUpdate(from, oldFromS, oldFromT, oldFromAux)
+	p.aggUpdate(to, oldToS, oldToT, oldToAux)
+	return buf
+}
+
+// aggUpdate folds one block's state change into the incremental cost
+// aggregates, given its pre-move size, terminals, and aux demand.
+func (p *Partition) aggUpdate(b BlockID, oldS, oldT, oldAux int) {
+	newS, newT, newAux := p.blockSize[b], p.Terminals(b), p.blockAux[b]
+	smax, tmax := p.smax, p.tmax
+	p.sizeOver += max0(newS-smax) - max0(oldS-smax)
+	p.termOver += max0(newT-tmax) - max0(oldT-tmax)
+	p.termSum += newT - oldT
+	wasFeas := p.fitsFull(oldS, oldT, oldAux)
+	isFeas := p.fitsFull(newS, newT, newAux)
+	if wasFeas != isFeas {
+		if isFeas {
+			p.feasCount++
+		} else {
+			p.feasCount--
 		}
 	}
 }
@@ -289,19 +386,18 @@ func (p *Partition) Restore(s Snapshot) {
 // Feasible reports whether block b meets the device constraints (P ⊨ D),
 // including the secondary-resource bound when the device declares one.
 func (p *Partition) Feasible(b BlockID) bool {
-	return p.dev.FitsFull(p.blockSize[b], p.Terminals(b), p.blockAux[b])
+	return p.fitsFull(p.blockSize[b], p.Terminals(b), p.blockAux[b])
+}
+
+// fitsFull is device.FitsFull against the cached capacities.
+func (p *Partition) fitsFull(size, terminals, aux int) bool {
+	return size <= p.smax && terminals <= p.tmax &&
+		(p.auxCap == 0 || aux <= p.auxCap)
 }
 
 // CountFeasible returns the number of blocks meeting the device constraints.
-func (p *Partition) CountFeasible() int {
-	n := 0
-	for b := 0; b < p.k; b++ {
-		if p.Feasible(BlockID(b)) {
-			n++
-		}
-	}
-	return n
-}
+// It is O(1): the count is maintained incrementally by Move and AddBlock.
+func (p *Partition) CountFeasible() int { return p.feasCount }
 
 // Class is the paper's three-way solution classification (§2).
 type Class uint8
@@ -358,7 +454,7 @@ func DefaultCost() CostParams {
 // BlockDistance returns d_i, the infeasibility distance of block b:
 // λ^S·max(0,(S_i−S_MAX)/S_MAX) + λ^T·max(0,(T_i−T_MAX)/T_MAX).
 func (p *Partition) BlockDistance(b BlockID, cp CostParams) float64 {
-	smax, tmax := p.dev.SMax(), p.dev.TMax()
+	smax, tmax := p.smax, p.tmax
 	var d float64
 	if s := p.blockSize[b]; s > smax {
 		d += cp.LambdaS * float64(s-smax) / float64(smax)
@@ -373,10 +469,17 @@ func (p *Partition) BlockDistance(b BlockID, cp CostParams) float64 {
 // Σ_i d_i plus the size-deviation penalty λ^R·d_k^R when a remainder block
 // and the lower bound M are supplied (§3.3). Pass remainder = NoBlock to
 // skip the penalty term.
+//
+// The block sum is O(1): Σ_i d_i factors as λ^S·Σ max(0,S_i−S_MAX)/S_MAX +
+// λ^T·Σ max(0,T_i−T_MAX)/T_MAX, and both integer overflow sums are
+// maintained incrementally by Move.
 func (p *Partition) Distance(cp CostParams, remainder BlockID, m int) float64 {
 	var d float64
-	for b := 0; b < p.k; b++ {
-		d += p.BlockDistance(BlockID(b), cp)
+	if p.sizeOver > 0 {
+		d += cp.LambdaS * float64(p.sizeOver) / float64(p.smax)
+	}
+	if p.termOver > 0 {
+		d += cp.LambdaT * float64(p.termOver) / float64(p.tmax)
 	}
 	if remainder != NoBlock {
 		d += cp.LambdaR * p.SizeDeviation(remainder, m)
@@ -395,7 +498,7 @@ func (p *Partition) SizeDeviation(remainder BlockID, m int) float64 {
 		den = 1
 	}
 	savg := float64(p.blockSize[remainder]) / float64(den)
-	smax := float64(p.dev.SMax())
+	smax := float64(p.smax)
 	if savg > smax {
 		return savg / smax
 	}
@@ -403,29 +506,29 @@ func (p *Partition) SizeDeviation(remainder BlockID, m int) float64 {
 }
 
 // TerminalSum returns T_SUM = Σ_i T_i, the total pin count of all blocks.
-func (p *Partition) TerminalSum() int {
-	t := 0
-	for b := 0; b < p.k; b++ {
-		t += p.Terminals(BlockID(b))
-	}
-	return t
-}
+// It is O(1): the sum is maintained incrementally by Move.
+func (p *Partition) TerminalSum() int { return p.termSum }
 
 // ExternalBalance returns d_k^E, the external-I/O balancing factor (§3.4):
 // blocks holding fewer external pads than the average T^E_AVG = |Y0|/M are
 // penalized proportionally.
+//
+// With avg = |Y0|/m, the factor equals Σ_i max(0, |Y0| − m·T_i^E) / |Y0|,
+// whose integer numerator is cached per m and updated incrementally by pad
+// moves and AddBlock; repeated calls with the same m are O(1).
 func (p *Partition) ExternalBalance(m int) float64 {
-	if p.h.NumPads() == 0 || m < 1 {
+	pads := p.h.NumPads()
+	if pads == 0 || m < 1 {
 		return 0
 	}
-	avg := float64(p.h.NumPads()) / float64(m)
-	var d float64
-	for b := 0; b < p.k; b++ {
-		if te := float64(p.blockPads[b]); te < avg {
-			d += (avg - te) / avg
+	if p.ebM != m {
+		n := 0
+		for b := 0; b < p.k; b++ {
+			n += max0(pads - m*p.blockPads[b])
 		}
+		p.ebM, p.ebNum = m, n
 	}
-	return d
+	return float64(p.ebNum) / float64(pads)
 }
 
 // Key is the lexicographic solution-comparison key of §3.4:
@@ -537,6 +640,37 @@ func (p *Partition) Validate() error {
 	}
 	if cut != p.cut {
 		return fmt.Errorf("cut %d, recomputed %d", p.cut, cut)
+	}
+	feas, tsum, sover, tover := 0, 0, 0, 0
+	for b := 0; b < p.k; b++ {
+		id := BlockID(b)
+		if p.Feasible(id) {
+			feas++
+		}
+		tsum += p.Terminals(id)
+		sover += max0(p.blockSize[b] - p.dev.SMax())
+		tover += max0(p.Terminals(id) - p.dev.TMax())
+	}
+	if feas != p.feasCount {
+		return fmt.Errorf("feasible count %d, recomputed %d", p.feasCount, feas)
+	}
+	if tsum != p.termSum {
+		return fmt.Errorf("terminal sum %d, recomputed %d", p.termSum, tsum)
+	}
+	if sover != p.sizeOver {
+		return fmt.Errorf("size overflow %d, recomputed %d", p.sizeOver, sover)
+	}
+	if tover != p.termOver {
+		return fmt.Errorf("terminal overflow %d, recomputed %d", p.termOver, tover)
+	}
+	if p.ebM > 0 {
+		n := 0
+		for b := 0; b < p.k; b++ {
+			n += max0(p.h.NumPads() - p.ebM*p.blockPads[b])
+		}
+		if n != p.ebNum {
+			return fmt.Errorf("external-balance numerator %d (m=%d), recomputed %d", p.ebNum, p.ebM, n)
+		}
 	}
 	return nil
 }

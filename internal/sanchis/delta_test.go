@@ -1,0 +1,284 @@
+package sanchis
+
+// Tests for the incremental delta-gain move kernel, its equivalence to the
+// wholesale recompute path, and the parallel initPass.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// randomCircuit builds a random hypergraph with a sprinkling of pads,
+// deterministically from r.
+func randomCircuit(r *rand.Rand) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	n := 10 + r.Intn(40)
+	for i := 0; i < n; i++ {
+		if r.Intn(8) == 0 {
+			b.AddPad("p")
+		} else {
+			b.AddInterior("v", 1)
+		}
+	}
+	for e := 0; e < n+r.Intn(2*n); e++ {
+		d := 2 + r.Intn(4)
+		pins := make([]hypergraph.NodeID, d)
+		for i := range pins {
+			pins[i] = hypergraph.NodeID(r.Intn(n))
+		}
+		b.AddNet("e", pins...)
+	}
+	return b.MustBuild()
+}
+
+// TestDeltaGainMatchesRecompute is the differential proof required by the
+// kernel: from identical seeds, the delta-gain path and the wholesale
+// recompute path must walk bit-identical trajectories — same final
+// assignment, same lexicographic solution key, same move counts — across
+// devices, block counts, and every gain-model variant.
+func TestDeltaGainMatchesRecompute(t *testing.T) {
+	devices := []device.Device{
+		{Name: "tight", DatasheetCells: 12, Pins: 10, Fill: 1.0},
+		{Name: "roomy", DatasheetCells: 20, Pins: 24, Fill: 1.0},
+	}
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"pin-gain", func(c *Config) { c.PinGain = true }},
+		{"cut-objective", func(c *Config) { c.CutObjective = true }},
+		{"deep-levels", func(c *Config) { c.GainLevels = 4 }},
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := randomCircuit(r)
+		k := 2 + r.Intn(4)
+		assign := make([]partition.BlockID, h.NumNodes())
+		for v := range assign {
+			assign[v] = partition.BlockID(r.Intn(k))
+		}
+		for _, dev := range devices {
+			m := device.LowerBound(h, dev)
+			rem := partition.BlockID(k - 1)
+			blocks := make([]partition.BlockID, k)
+			for i := range blocks {
+				blocks[i] = partition.BlockID(i)
+			}
+			for _, vt := range variants {
+				run := func(disable bool) ([]partition.BlockID, partition.Key, Stats) {
+					p, err := partition.FromAssignment(h, dev, assign, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := Default()
+					vt.mut(&cfg)
+					cfg.DisableDeltaGain = disable
+					e := New(p, cfg)
+					st := e.Improve(blocks, rem, m)
+					out := make([]partition.BlockID, h.NumNodes())
+					for v := range out {
+						out[v] = p.Block(hypergraph.NodeID(v))
+					}
+					if err := p.Validate(); err != nil {
+						t.Fatalf("seed %d dev %s %s disable=%v: %v", seed, dev.Name, vt.name, disable, err)
+					}
+					return out, p.Key(cfg.Cost, rem, m), st
+				}
+				gotA, keyA, stA := run(false)
+				gotB, keyB, stB := run(true)
+				if keyA != keyB {
+					t.Errorf("seed %d dev %s %s: key delta=%v recompute=%v", seed, dev.Name, vt.name, keyA, keyB)
+				}
+				if stA.MovesApplied != stB.MovesApplied || stA.Passes != stB.Passes {
+					t.Errorf("seed %d dev %s %s: stats delta=(%d moves, %d passes) recompute=(%d, %d)",
+						seed, dev.Name, vt.name, stA.MovesApplied, stA.Passes, stB.MovesApplied, stB.Passes)
+				}
+				for v := range gotA {
+					if gotA[v] != gotB[v] {
+						t.Fatalf("seed %d dev %s %s: node %d delta=%d recompute=%d",
+							seed, dev.Name, vt.name, v, gotA[v], gotB[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaBucketStateMatchesRecompute drives a pass move by move and
+// checks, after every applied move, that each unlocked active cell's bucket
+// gain equals a fresh recomputation in every direction, and that the delta
+// accumulator returned to its all-zero resting state.
+func TestDeltaBucketStateMatchesRecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	h := randomCircuit(r)
+	dev := device.Device{Name: "d", DatasheetCells: 14, Pins: 12, Fill: 1.0}
+	const k = 3
+	assign := make([]partition.BlockID, h.NumNodes())
+	for v := range assign {
+		assign[v] = partition.BlockID(r.Intn(k))
+	}
+	for _, pin := range []bool{false, true} {
+		p, err := partition.FromAssignment(h, dev, assign, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Default()
+		cfg.PinGain = pin
+		e := New(p, cfg)
+		blocks := []partition.BlockID{0, 1, 2}
+		e.prepare(blocks, 2, k)
+		e.initPass()
+		e.journal = e.journal[:0]
+		scratch := make([]int32, 0, e.cfg.TieWidth)
+		for move := 0; ; move++ {
+			c, ok := e.selectBest(scratch)
+			if !ok {
+				break
+			}
+			e.applyMove(c)
+			for v := 0; v < h.NumNodes(); v++ {
+				if e.locked[v] {
+					continue
+				}
+				b := p.Block(hypergraph.NodeID(v))
+				fi := e.blkIdx[b]
+				for ti := range blocks {
+					if ti == fi {
+						continue
+					}
+					got, in := e.buckets[e.dirIndex(fi, ti)].Gain(int32(v))
+					want := e.cellGain(hypergraph.NodeID(v), b, blocks[ti])
+					if !in || got != want {
+						t.Fatalf("pin=%v move %d: cell %d dir %d→%d: bucket gain %d (present=%v), recomputed %d",
+							pin, move, v, fi, ti, got, in, want)
+					}
+				}
+			}
+			for i, a := range e.accum {
+				if a != 0 {
+					t.Fatalf("pin=%v move %d: accum[%d] = %d, want all-zero between moves", pin, move, i, a)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelInitPassDeterministic forces the parallel gain-fill path on a
+// small fixture (threshold 0) and checks the result is identical to the
+// serial path. Running under the -race leg of scripts/verify.sh, this also
+// proves the worker pool is data-race free.
+func TestParallelInitPassDeterministic(t *testing.T) {
+	run := func(threshold int) ([]partition.BlockID, int) {
+		oldT, oldW := parallelInitThreshold, parallelInitWorkers
+		parallelInitThreshold = threshold
+		parallelInitWorkers = 4 // real goroutines even when GOMAXPROCS is 1
+		defer func() { parallelInitThreshold, parallelInitWorkers = oldT, oldW }()
+		h, _ := clusters(t, 3, 8)
+		dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 40, Fill: 1.0}
+		p := scrambled(t, h, dev, 3)
+		e := New(p, Default())
+		e.Improve([]partition.BlockID{0, 1, 2}, 2, 3)
+		out := make([]partition.BlockID, h.NumNodes())
+		for v := range out {
+			out[v] = p.Block(hypergraph.NodeID(v))
+		}
+		return out, p.Cut()
+	}
+	serialA, cutA := run(1 << 60) // always serial
+	parB, cutB := run(0)          // always parallel
+	if cutA != cutB {
+		t.Fatalf("parallel initPass changed the cut: serial %d, parallel %d", cutA, cutB)
+	}
+	for v := range serialA {
+		if serialA[v] != parB[v] {
+			t.Fatalf("parallel initPass changed assignment of node %d", v)
+		}
+	}
+}
+
+// TestDirBoundMatchesFullScan is the differential proof for the
+// per-direction selection-bound cache: with the cache on and off, identical
+// seeds must walk bit-identical trajectories — the cache may only skip
+// directions that would lose every comparison anyway.
+func TestDirBoundMatchesFullScan(t *testing.T) {
+	devices := []device.Device{
+		{Name: "tight", DatasheetCells: 12, Pins: 10, Fill: 1.0},
+		{Name: "roomy", DatasheetCells: 20, Pins: 24, Fill: 1.0},
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := randomCircuit(r)
+		k := 2 + r.Intn(4)
+		assign := make([]partition.BlockID, h.NumNodes())
+		for v := range assign {
+			assign[v] = partition.BlockID(r.Intn(k))
+		}
+		for _, dev := range devices {
+			m := device.LowerBound(h, dev)
+			rem := partition.BlockID(k - 1)
+			blocks := make([]partition.BlockID, k)
+			for i := range blocks {
+				blocks[i] = partition.BlockID(i)
+			}
+			run := func(disable bool) ([]partition.BlockID, partition.Key, Stats) {
+				old := disableDirBound
+				disableDirBound = disable
+				defer func() { disableDirBound = old }()
+				p, err := partition.FromAssignment(h, dev, assign, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := Default()
+				e := New(p, cfg)
+				st := e.Improve(blocks, rem, m)
+				out := make([]partition.BlockID, h.NumNodes())
+				for v := range out {
+					out[v] = p.Block(hypergraph.NodeID(v))
+				}
+				return out, p.Key(cfg.Cost, rem, m), st
+			}
+			gotA, keyA, stA := run(false)
+			gotB, keyB, stB := run(true)
+			if keyA != keyB {
+				t.Errorf("seed %d dev %s: key cached=%v full=%v", seed, dev.Name, keyA, keyB)
+			}
+			if stA.MovesApplied != stB.MovesApplied || stA.Passes != stB.Passes {
+				t.Errorf("seed %d dev %s: stats cached=(%d moves, %d passes) full=(%d, %d)",
+					seed, dev.Name, stA.MovesApplied, stA.Passes, stB.MovesApplied, stB.Passes)
+			}
+			for v := range gotA {
+				if gotA[v] != gotB[v] {
+					t.Fatalf("seed %d dev %s: node %d cached=%d full=%d",
+						seed, dev.Name, v, gotA[v], gotB[v])
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaGainStatsReduceBucketOps documents the point of the kernel: on a
+// non-trivial multi-block instance the delta path performs strictly fewer
+// bucket mutations than wholesale recomputation.
+func TestDeltaGainStatsReduceBucketOps(t *testing.T) {
+	run := func(disable bool) Stats {
+		h, _ := clusters(t, 4, 8)
+		dev := device.Device{Name: "d", DatasheetCells: 10, Pins: 40, Fill: 1.0}
+		p := scrambled(t, h, dev, 4)
+		cfg := Default()
+		cfg.DisableDeltaGain = disable
+		e := New(p, cfg)
+		return e.Improve([]partition.BlockID{0, 1, 2, 3}, 3, 4)
+	}
+	delta, whole := run(false), run(true)
+	if delta.MovesApplied != whole.MovesApplied {
+		t.Fatalf("paths diverged: %d vs %d moves", delta.MovesApplied, whole.MovesApplied)
+	}
+	if delta.BucketOps >= whole.BucketOps {
+		t.Errorf("delta path did not reduce bucket ops: %d vs %d", delta.BucketOps, whole.BucketOps)
+	}
+}

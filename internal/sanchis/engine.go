@@ -22,7 +22,10 @@ package sanchis
 
 import (
 	"context"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"fpart/internal/gain"
 	"fpart/internal/hypergraph"
@@ -88,6 +91,11 @@ type Config struct {
 	// the infeasible region. Zero disables (the paper's baseline
 	// behaviour: a full pass).
 	EarlyStop int
+	// DisableDeltaGain replaces the incremental delta-gain move kernel
+	// with the wholesale per-neighbour gain recomputation it superseded.
+	// The two paths produce bit-identical pass trajectories; the switch
+	// exists for verification (differential tests) and ablation benches.
+	DisableDeltaGain bool
 	// Obs, when non-nil, receives stack-restart and restart-solution
 	// accept/reject events (§3.6). The nil emitter is inert; see
 	// internal/obs.
@@ -147,12 +155,57 @@ type Engine struct {
 	m         int
 	allowOver bool
 
+	// §3.5 window limits as integers, fixed per Improve call (prepare):
+	// a destination may not grow past winUpInt, a source may not shrink
+	// below winLowInt. See dirWindowFor for the exactness argument.
+	winUpInt, winLowInt int
+
+	// szOf[v] = h.Node(v).Size, packed for cache locality in the
+	// admissibility test of the selection loop.
+	szOf []int32
+
 	buckets []*gain.Bucket
 	locked  []bool
 	stamp   []int32
 	epoch   int32
 
 	journal []moveRec
+
+	// delta-gain kernel scratch (sized in ImproveCtx). accum holds the
+	// pending gain delta of every (cell, outgoing-direction slot) pair; it
+	// is all-zero between applyMove calls. touched lists the cells with
+	// pending deltas in first-touch order, netBuf receives the per-net
+	// transition trace of the move being applied.
+	accum   []int32
+	touched []int32
+	netBuf  []partition.NetDelta
+
+	// tie-breaking scratch: Krishnamurthy level vectors for the candidate
+	// and incumbent in selectBest, and the bounded top-gain-list scan
+	// buffer. Reused across passes to avoid per-comparison allocation.
+	lvCand, lvBest []int
+	topScratch     []int32
+
+	// dirBound caches, per direction, a proven upper bound on anything the
+	// direction can contribute to best-move selection; applyMove dirties
+	// the directions whose source or destination is a move endpoint and
+	// initPass resets all. See selectBest.
+	dirBound []dirBound
+
+	// level-2 gain memo: one entry per (cell, outgoing-direction slot),
+	// valid while g2stamp matches the cell's revision counter. cellRev is
+	// bumped for every cell whose level-2 gain may have changed: the moved
+	// cell's net neighbourhood after each applied move (pin counts and the
+	// fresh lock both live on nets incident to the moved cell) and every
+	// cell at pass start, when the locks reset.
+	g2cache []int32
+	g2stamp []int32
+	cellRev []int32
+
+	// parallel initPass scratch: the active cells of the pass and their
+	// per-direction seed gains.
+	activeV []int32
+	gainBuf []int32
 
 	// st accumulates effort counters for the Improve call in flight.
 	st *Stats
@@ -247,10 +300,17 @@ func (e *Engine) gainPin(v hypergraph.NodeID, f, t partition.BlockID) int {
 // gainLevels computes Krishnamurthy gains λ_2..λ_L for moving v from F to
 // T, restricted to nets with no pins outside {F, T}. λ_i counts nets whose
 // F-side binding number is i minus nets whose T-side binding number is
-// i−1; locked pins poison a side (binding number ∞).
-func (e *Engine) gainLevels(v hypergraph.NodeID, f, t partition.BlockID, maxLevel int) []int {
-	out := make([]int, maxLevel-1) // levels 2..maxLevel
+// i−1; locked pins poison a side (binding number ∞). The result is built
+// in out (a reusable scratch buffer) and aliases it.
+func (e *Engine) gainLevels(v hypergraph.NodeID, f, t partition.BlockID, maxLevel int, out []int) []int {
+	out = out[:0]
+	for lvl := 2; lvl <= maxLevel; lvl++ { // levels 2..maxLevel
+		out = append(out, 0)
+	}
 	for _, net := range e.h.Nets(v) {
+		if e.p.Span(net) > 2 {
+			continue // pins in a third block, cheap O(1) pre-filter
+		}
 		pins := e.h.Pins(net)
 		pf := e.p.PinCount(net, f)
 		pt := e.p.PinCount(net, t)
@@ -289,6 +349,25 @@ func (e *Engine) cellGain(v hypergraph.NodeID, f, t partition.BlockID) int {
 	return e.gain1(v, f, t)
 }
 
+// gain2Of returns gain2 through the per-(cell, direction) memo. A move
+// changes the level-2 gain of exactly the cells sharing a net with the
+// moved cell, so deltaUpdate (and the recompute path) invalidate that
+// neighbourhood and everything else stays cached across selectBest calls.
+func (e *Engine) gain2Of(v hypergraph.NodeID, f, t partition.BlockID) int {
+	s := e.blkIdx[t]
+	if fi := e.blkIdx[f]; s > fi {
+		s--
+	}
+	idx := int(v)*(e.nb()-1) + s
+	if e.g2stamp[idx] == e.cellRev[v] {
+		return int(e.g2cache[idx])
+	}
+	g := e.gain2(v, f, t)
+	e.g2cache[idx] = int32(g)
+	e.g2stamp[idx] = e.cellRev[v]
+	return g
+}
+
 // gain2 returns the second-level Krishnamurthy gain of moving v from F to T,
 // restricted to nets with no pins outside {F, T} (nets spanning other blocks
 // cannot change cut state through F→T moves). Locked pins make a side
@@ -296,6 +375,9 @@ func (e *Engine) cellGain(v hypergraph.NodeID, f, t partition.BlockID) int {
 func (e *Engine) gain2(v hypergraph.NodeID, f, t partition.BlockID) int {
 	g := 0
 	for _, net := range e.h.Nets(v) {
+		if e.p.Span(net) > 2 {
+			continue // pins in a third block, cheap O(1) pre-filter
+		}
 		pins := e.h.Pins(net)
 		pf := e.p.PinCount(net, f)
 		pt := e.p.PinCount(net, t)
@@ -323,36 +405,88 @@ func (e *Engine) gain2(v hypergraph.NodeID, f, t partition.BlockID) int {
 	return g
 }
 
-// sizeAdmissible applies the feasible move region of §3.5 to moving a cell
-// of the given size from F to T.
-func (e *Engine) sizeAdmissible(sz int, f, t partition.BlockID) bool {
+// dirWindow is the feasible move region of §3.5 for one (F, T) direction,
+// hoisted out of the per-candidate admissibility test. Block sizes are
+// frozen at construction, which is valid for the duration of one selectBest
+// scan of the direction (sizes only change when a move is applied).
+type dirWindow struct {
+	szMax int
+}
+
+// dirWindowFor freezes the §3.5 bounds for moves from F to T, reduced to
+// the largest admissible cell size. The integer limits winUpInt/winLowInt
+// (prepare) are exact equivalents of the float comparisons sizeAdmissible
+// has always used: float64(sizeT+sz) > upLim rejects iff sizeT+sz > ⌊upLim⌋,
+// and float64(sizeF−sz) < lowLim rejects iff sizeF−sz < ⌈lowLim⌉ — integer
+// block sizes are exactly representable, so the reduction cannot flip a
+// borderline decision.
+func (e *Engine) dirWindowFor(f, t partition.BlockID) dirWindow {
+	w := dirWindow{szMax: math.MaxInt}
 	if e.cfg.DisableWindows {
-		return true
+		return w
 	}
-	smax := float64(e.p.Device().SMax())
 	if t != e.remainder {
-		limit := smax // strict feasibility once M is reached (§3.5 rule 1)
-		if e.allowOver {
-			limit = smax * e.cfg.Windows.Upper
-		}
-		if float64(e.p.Size(t)+sz) > limit {
-			return false
-		}
+		w.szMax = e.winUpInt - e.p.Size(t)
 	}
 	if f != e.remainder {
-		lower := e.cfg.Windows.LowerMulti
-		if e.nb() == 2 {
-			lower = e.cfg.Windows.Lower2
-		}
-		if float64(e.p.Size(f)-sz) < lower*smax {
-			return false
+		if v := e.p.Size(f) - e.winLowInt; v < w.szMax {
+			w.szMax = v
 		}
 	}
-	return true
+	return w
 }
+
+// admits reports whether moving a cell of the given size stays inside the
+// window.
+func (w dirWindow) admits(sz int) bool { return sz <= w.szMax }
+
+// windowLimits derives the integer §3.5 limits from the current Improve
+// context (allowOver, the active block set). prepare caches the result in
+// winUpInt/winLowInt for the selection loop; those fields only go stale if
+// the context changes without a prepare call, which production code never
+// does.
+func (e *Engine) windowLimits() (upInt, lowInt int) {
+	smax := float64(e.p.Device().SMax())
+	up := smax // strict feasibility once M is reached (§3.5 rule 1)
+	if e.allowOver {
+		up = smax * e.cfg.Windows.Upper
+	}
+	lower := e.cfg.Windows.LowerMulti
+	if len(e.blocks) == 2 {
+		lower = e.cfg.Windows.Lower2
+	}
+	return int(math.Floor(up)), int(math.Ceil(lower * smax))
+}
+
+// sizeAdmissible applies the feasible move region of §3.5 to moving a cell
+// of the given size from F to T. Off the hot path (selectBest goes through
+// dirWindowFor directly), it re-derives the limits from the engine's
+// current fields rather than trusting the prepare-time cache.
+func (e *Engine) sizeAdmissible(sz int, f, t partition.BlockID) bool {
+	e.winUpInt, e.winLowInt = e.windowLimits()
+	return e.dirWindowFor(f, t).admits(sz)
+}
+
+// parallelInitThreshold is the minimum number of (cell, direction) gain
+// computations before initPass fans its gain computation out across a
+// worker pool; below it the goroutine overhead outweighs the work. A
+// package variable so tests can force the parallel path on small fixtures.
+var parallelInitThreshold = 4096
+
+// parallelInitWorkers overrides the initPass worker count when positive;
+// zero selects min(GOMAXPROCS, 8). Tests set it to exercise the worker
+// pool on machines where GOMAXPROCS is 1.
+var parallelInitWorkers = 0
 
 // initPass fills the direction buckets with every unlocked cell of every
 // active block and clears locks.
+//
+// Seed gains are pure reads of the partition — independent per (cell,
+// direction) — so they are computed into gainBuf by a bounded worker pool
+// when the pass is large enough. Bucket insertion stays serial and follows
+// the exact (cell ascending, direction ascending) order the serial path
+// used, so the LIFO seed order of every gain list is identical regardless
+// of worker count.
 func (e *Engine) initPass() {
 	n := e.h.NumNodes()
 	maxG := e.h.MaxDegree()
@@ -374,18 +508,80 @@ func (e *Engine) initPass() {
 	for i := range e.locked {
 		e.locked[i] = false
 	}
+	for i := range e.cellRev {
+		e.cellRev[i]++ // locks reset: every cached level-2 gain is stale
+	}
+	if cap(e.dirBound) < nd {
+		e.dirBound = make([]dirBound, nd)
+	}
+	e.dirBound = e.dirBound[:nd]
+	for i := range e.dirBound {
+		e.dirBound[i] = dirBound{}
+	}
+
+	e.activeV = e.activeV[:0]
 	for v := 0; v < n; v++ {
-		b := e.p.Block(hypergraph.NodeID(v))
-		fi := e.blkIdx[b]
-		if fi < 0 {
-			continue
+		if e.blkIdx[e.p.Block(hypergraph.NodeID(v))] >= 0 {
+			e.activeV = append(e.activeV, int32(v))
 		}
-		for ti := range e.blocks {
-			if ti == fi {
-				continue
+	}
+	slots := e.nb() - 1
+	need := len(e.activeV) * slots
+	if cap(e.gainBuf) < need {
+		e.gainBuf = make([]int32, need)
+	}
+	e.gainBuf = e.gainBuf[:need]
+
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := hypergraph.NodeID(e.activeV[i])
+			b := e.p.Block(v)
+			fi := e.blkIdx[b]
+			o := i * slots
+			s := 0
+			for ti := range e.blocks {
+				if ti == fi {
+					continue
+				}
+				e.gainBuf[o+s] = int32(e.cellGain(v, b, e.blocks[ti]))
+				s++
 			}
-			g := e.cellGain(hypergraph.NodeID(v), b, e.blocks[ti])
-			e.buckets[e.dirIndex(fi, ti)].Insert(int32(v), g)
+		}
+	}
+	workers := parallelInitWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if need < parallelInitThreshold || workers < 2 {
+		fill(0, len(e.activeV))
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(e.activeV) + workers - 1) / workers
+		for lo := 0; lo < len(e.activeV); lo += chunk {
+			hi := lo + chunk
+			if hi > len(e.activeV) {
+				hi = len(e.activeV)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fill(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	for i, vi := range e.activeV {
+		fi := e.blkIdx[e.p.Block(hypergraph.NodeID(vi))]
+		base := fi * slots
+		o := i * slots
+		// Ascending slot order equals ascending direction order: dirIndex
+		// is monotone in the destination index for a fixed source.
+		for s := 0; s < slots; s++ {
+			e.buckets[base+s].Insert(vi, int(e.gainBuf[o+s]))
 			e.st.BucketOps++
 		}
 	}
@@ -403,6 +599,39 @@ type candidate struct {
 	bal   int   // S_FROM - S_TO at selection time
 }
 
+// dirBound is the cached selection bound of one direction: a proof,
+// recorded after a full evaluation, that every candidate the direction can
+// contribute compares ≤ (g1, g2, bal) under the selection order. The bound
+// stays valid until a move dirties the direction — a clean direction's
+// bucket, windows, balance, locks, and level-2 gains are all untouched —
+// and while it holds, a direction that cannot beat the incumbent is
+// skipped without rescanning its gain list.
+type dirBound struct {
+	valid       bool
+	g1, g2, bal int32
+}
+
+// disableDirBound turns the per-direction selection-bound cache off; the
+// differential test proves the cache never changes a selection.
+var disableDirBound = false
+
+// boundSkip reports whether a direction with bound b is provably unable to
+// beat the incumbent best (strictly better in (g1, g2, bal) is required to
+// win, so a bound ≤ the incumbent's key means skip).
+func (e *Engine) boundSkip(b dirBound, best *candidate) bool {
+	if b.g1 != int32(best.g1) {
+		return b.g1 < int32(best.g1)
+	}
+	if !best.hasG2 {
+		best.g2 = e.gain2Of(best.v, best.from, best.to)
+		best.hasG2 = true
+	}
+	if b.g2 != int32(best.g2) {
+		return b.g2 < int32(best.g2)
+	}
+	return b.bal <= int32(best.bal)
+}
+
 // selectBest scans all directions for the best admissible move under the
 // ordering (g1, g2, S_FROM−S_TO). Returns ok=false when no admissible move
 // exists.
@@ -417,11 +646,16 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			return c.g1 > best.g1
 		}
 		if e.cfg.GainLevels >= 3 {
+			// c is always a fresh candidate (lv nil on entry) and best.lv
+			// is only ever written here, so the two engine scratch buffers
+			// never alias: lvCand backs c.lv, lvBest backs best.lv.
 			if c.lv == nil {
-				c.lv = e.gainLevels(c.v, c.from, c.to, e.cfg.GainLevels)
+				e.lvCand = e.gainLevels(c.v, c.from, c.to, e.cfg.GainLevels, e.lvCand)
+				c.lv = e.lvCand
 			}
 			if best.lv == nil {
-				best.lv = e.gainLevels(best.v, best.from, best.to, e.cfg.GainLevels)
+				e.lvBest = e.gainLevels(best.v, best.from, best.to, e.cfg.GainLevels, e.lvBest)
+				best.lv = e.lvBest
 			}
 			for i := range c.lv {
 				if c.lv[i] != best.lv[i] {
@@ -430,11 +664,11 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			}
 		} else if e.cfg.UseLevel2 {
 			if !c.hasG2 {
-				c.g2 = e.gain2(c.v, c.from, c.to)
+				c.g2 = e.gain2Of(c.v, c.from, c.to)
 				c.hasG2 = true
 			}
 			if !best.hasG2 {
-				best.g2 = e.gain2(best.v, best.from, best.to)
+				best.g2 = e.gain2Of(best.v, best.from, best.to)
 				best.hasG2 = true
 			}
 			if c.g2 != best.g2 {
@@ -443,13 +677,17 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 		}
 		return c.bal > best.bal
 	}
+	// The bound cache assumes the selection order is exactly (g1, g2, bal);
+	// deeper Krishnamurthy levels compare lv vectors instead, so it is
+	// restricted to the published configuration.
+	useBound := e.cfg.UseLevel2 && e.cfg.GainLevels < 3 && !disableDirBound && len(e.dirBound) > 0
 	for fi := range e.blocks {
 		for ti := range e.blocks {
 			if ti == fi {
 				continue
 			}
-			f, t := e.blocks[fi], e.blocks[ti]
-			bk := e.buckets[e.dirIndex(fi, ti)]
+			d := e.dirIndex(fi, ti)
+			bk := e.buckets[d]
 			topG, ok := bk.MaxGain()
 			if !ok {
 				continue
@@ -457,7 +695,12 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			if found && topG < best.g1 {
 				continue // cannot beat the current best on g1
 			}
+			if useBound && found && e.dirBound[d].valid && e.boundSkip(e.dirBound[d], &best) {
+				continue // cached bound: cannot beat the current best
+			}
+			f, t := e.blocks[fi], e.blocks[ti]
 			bal := e.p.Size(f) - e.p.Size(t)
+			win := e.dirWindowFor(f, t)
 			// Examine the top gain list first (bounded), then descend
 			// until one admissible cell is found.
 			scratch = scratch[:0]
@@ -466,53 +709,145 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			for _, vi := range scratch {
 				v := hypergraph.NodeID(vi)
 				e.st.MovesEvaluated++
-				if !e.sizeAdmissible(e.h.Node(v).Size, f, t) {
+				if !win.admits(int(e.szOf[v])) {
 					e.st.MovesGated++
 					continue
 				}
 				c := candidate{v: v, from: f, to: t, g1: topG, bal: bal}
 				if better(c) {
 					if !c.hasG2 && e.cfg.UseLevel2 {
-						c.g2 = e.gain2(c.v, c.from, c.to)
+						c.g2 = e.gain2Of(c.v, c.from, c.to)
 						c.hasG2 = true
 					}
 					best, found = c, true
 				}
 				examined = true
 			}
-			if examined {
+			stoppedByLimit, stoppedByBound := false, false
+			if !examined {
+				// Whole top list inadmissible: descend in gain order for
+				// the first admissible cell (bounded scan).
+				limit := 64
+				bk.ScanFrom(func(vi int32, g int) bool {
+					limit--
+					if limit < 0 {
+						stoppedByLimit = true
+						return false
+					}
+					if found && g < best.g1 {
+						stoppedByBound = true
+						return false
+					}
+					v := hypergraph.NodeID(vi)
+					e.st.MovesEvaluated++
+					if !win.admits(int(e.szOf[v])) {
+						e.st.MovesGated++
+						return true
+					}
+					c := candidate{v: v, from: f, to: t, g1: g, bal: bal}
+					if better(c) {
+						best, found = c, true
+					}
+					examined = true
+					return false // direction contributes its best admissible only
+				})
+			}
+			if !useBound {
 				continue
 			}
-			// Whole top list inadmissible: descend in gain order for the
-			// first admissible cell (bounded scan).
-			limit := 64
-			bk.ScanFrom(func(vi int32, g int) bool {
-				limit--
-				if limit < 0 {
-					return false
+			switch {
+			case examined:
+				// Every candidate the direction contributes compared ≤ the
+				// best standing right after the direction was processed.
+				if !best.hasG2 {
+					best.g2 = e.gain2Of(best.v, best.from, best.to)
+					best.hasG2 = true
 				}
-				if found && g < best.g1 {
-					return false
-				}
-				v := hypergraph.NodeID(vi)
-				e.st.MovesEvaluated++
-				if !e.sizeAdmissible(e.h.Node(v).Size, f, t) {
-					e.st.MovesGated++
-					return true
-				}
-				c := candidate{v: v, from: f, to: t, g1: g, bal: bal}
-				if better(c) {
-					best, found = c, true
-				}
-				return false // direction contributes its best admissible only
-			})
+				e.dirBound[d] = dirBound{valid: true, g1: int32(best.g1), g2: int32(best.g2), bal: int32(best.bal)}
+			case stoppedByBound:
+				// Nothing admissible at or above best.g1: the direction's
+				// best contribution sits strictly below it.
+				e.dirBound[d] = dirBound{valid: true, g1: int32(best.g1) - 1, g2: math.MaxInt32, bal: math.MaxInt32}
+			case stoppedByLimit:
+				// Scan truncated: no bound learned, keep any prior one.
+			default:
+				// Gain list exhausted with nothing admissible: the direction
+				// cannot contribute at all while it stays clean.
+				e.dirBound[d] = dirBound{valid: true, g1: math.MinInt32, g2: math.MinInt32, bal: math.MinInt32}
+			}
 		}
 	}
 	return best, found
 }
 
-// applyMove commits the move, locks the cell, and refreshes the gains of
+// cutContrib returns the contribution of one net to the cut gain of a cell
+// sitting in block A, moving toward a destination block, given the net's
+// pin count in A, its pin count in the destination, and its span. It
+// mirrors the per-net case analysis of gain1 exactly (including the
+// else-chain: a single-pin net has pcA == 1 and span == 1 and contributes
+// nothing).
+func cutContrib(pcA, pcDest, span int32) int32 {
+	if pcA == 1 {
+		if span == 2 && pcDest > 0 {
+			return 1
+		}
+		return 0
+	}
+	if span == 1 {
+		return -1
+	}
+	return 0
+}
+
+// pinContrib is cutContrib's counterpart for the PinGain model, mirroring
+// the per-net body of gainPin.
+func pinContrib(pcA, pcDest, span int32) int32 {
+	fromLeft := pcA == 1
+	toJoined := pcDest == 0
+	spanAfter := span
+	if fromLeft {
+		spanAfter--
+	}
+	if toJoined {
+		spanAfter++
+	}
+	wasCut, isCut := span >= 2, spanAfter >= 2
+	switch {
+	case wasCut && isCut:
+		var g int32
+		if fromLeft {
+			g++
+		}
+		if toJoined {
+			g--
+		}
+		return g
+	case wasCut && !isCut:
+		return 2
+	case !wasCut && isCut:
+		return -2
+	}
+	return 0
+}
+
+// applyMove commits the move, locks the cell, and updates the gains of
 // affected unlocked cells.
+//
+// The default path is the incremental delta-gain kernel: for every net
+// incident to the moved cell it re-evaluates — from the net's pin-count
+// transition alone — the per-net gain contribution of each unlocked
+// neighbour, in only the directions that can change. For both gain models
+// the per-net contribution of a cell in block A toward block B is a
+// function of (pins(A), pins(B), span); a move F→T changes the pin counts
+// of F and T only, so contributions change only where A ∈ {F, T} (source
+// counts changed) or B ∈ {F, T} (destination counts changed). A direction
+// between two uninvolved blocks cannot change: the net always has a pin on
+// the moved cell (in F before, T after), which rules out the span == 1 and
+// span == 2 configurations those contributions would need to differ. Span
+// transitions are captured exactly by the partition's NetDelta trace, so
+// no fallback recompute is needed; the wholesale path survives as
+// Config.DisableDeltaGain and produces bit-identical trajectories (the
+// differential tests assert this).
 func (e *Engine) applyMove(c candidate) {
 	v := c.v
 	fi := e.blkIdx[c.from]
@@ -524,14 +859,42 @@ func (e *Engine) applyMove(c candidate) {
 		e.buckets[e.dirIndex(fi, ti)].Remove(int32(v))
 		e.st.BucketOps++
 	}
+	// Dirty the selection-bound cache: only directions whose source or
+	// destination is a move endpoint see their buckets, sizes, locks, or
+	// level-2 gains change (the same locality argument the delta kernel
+	// rests on), so only those bounds are dropped.
+	if len(e.dirBound) > 0 {
+		ti := e.blkIdx[c.to]
+		for j := range e.blocks {
+			if j != fi {
+				e.dirBound[e.dirIndex(fi, j)] = dirBound{}
+				e.dirBound[e.dirIndex(j, fi)] = dirBound{}
+			}
+			if j != ti {
+				e.dirBound[e.dirIndex(ti, j)] = dirBound{}
+				e.dirBound[e.dirIndex(j, ti)] = dirBound{}
+			}
+		}
+	}
+	if e.cfg.DisableDeltaGain {
+		e.applyMoveRecompute(c)
+		return
+	}
+	e.netBuf = e.p.MoveTrace(v, c.to, e.netBuf[:0])
+	e.locked[v] = true
+	e.journal = append(e.journal, moveRec{v: v, from: c.from, to: c.to})
+	e.deltaUpdate(v, c.from, c.to)
+}
+
+// applyMoveRecompute is the wholesale update the delta kernel superseded:
+// refresh the gains of every unlocked active cell sharing a net with v, in
+// every direction, by recomputation. Kept behind Config.DisableDeltaGain
+// for differential testing and ablation.
+func (e *Engine) applyMoveRecompute(c candidate) {
+	v := c.v
 	e.p.Move(v, c.to)
 	e.locked[v] = true
 	e.journal = append(e.journal, moveRec{v: v, from: c.from, to: c.to})
-
-	// Refresh gains of every unlocked active cell sharing a net with v.
-	// Gains in all directions can shift because "pins outside {F,T}"
-	// conditions reference every block, so recompute the touched cells'
-	// gains wholesale; each cell is refreshed once per applied move.
 	e.epoch++
 	for _, net := range e.h.Nets(v) {
 		for _, u := range e.h.Pins(net) {
@@ -539,6 +902,7 @@ func (e *Engine) applyMove(c candidate) {
 				continue
 			}
 			e.stamp[u] = e.epoch
+			e.cellRev[u]++ // level-2 memo: neighbourhood changed
 			b := e.p.Block(u)
 			ufi := e.blkIdx[b]
 			if ufi < 0 {
@@ -550,6 +914,175 @@ func (e *Engine) applyMove(c candidate) {
 				}
 				g := e.cellGain(u, b, e.blocks[ti])
 				e.buckets[e.dirIndex(ufi, ti)].Update(int32(u), g)
+				e.st.BucketOps++
+			}
+		}
+	}
+}
+
+// deltaUpdate folds the netBuf trace of a just-applied move v: from→to
+// into the gain buckets. Phase 1 accumulates per-(cell, direction) gain
+// deltas; phase 2 applies each non-zero delta with a single bucket
+// adjustment. Cells are processed in first-touch order and directions in
+// ascending order, matching the mutation sequence of the recompute path
+// (whose Update short-circuits unchanged gains), so the LIFO lists evolve
+// identically on both paths.
+func (e *Engine) deltaUpdate(v hypergraph.NodeID, from, to partition.BlockID) {
+	nb := e.nb()
+	slots := nb - 1
+	fi := e.blkIdx[from]
+	ti := e.blkIdx[to]
+	contrib := cutContrib
+	if e.cfg.PinGain {
+		contrib = pinContrib
+	}
+	e.epoch++
+	e.touched = e.touched[:0]
+	for i, net := range e.h.Nets(v) {
+		nd := &e.netBuf[i]
+		pcFb, pcTb := nd.FromPins, nd.ToPins
+		pcFa, pcTa := pcFb-1, pcTb+1
+		spanB, spanA := nd.SpanBefore, nd.SpanAfter
+		if spanB == spanA && pcFb >= 3 && pcTb >= 2 {
+			// No critical transition: the source keeps ≥2 pins, the
+			// destination already had ≥2, and the span is unchanged, so
+			// both contrib models return identical values before and
+			// after for every pin and direction. Only the level-2 memo
+			// goes stale (pin counts and v's lock changed on this net):
+			// stamp the pins so the flush loop bumps their revision.
+			for _, u := range e.h.Pins(net) {
+				if u == v || e.locked[u] {
+					continue
+				}
+				if e.stamp[u] != e.epoch {
+					e.stamp[u] = e.epoch
+					e.touched = append(e.touched, int32(u))
+				}
+			}
+			continue
+		}
+		for _, u := range e.h.Pins(net) {
+			if u == v || e.locked[u] {
+				continue
+			}
+			if e.stamp[u] != e.epoch {
+				e.stamp[u] = e.epoch
+				e.touched = append(e.touched, int32(u))
+			}
+			b := e.p.Block(u)
+			ufi := e.blkIdx[b]
+			if ufi < 0 {
+				continue
+			}
+			base := int(u) * slots
+			switch b {
+			case from:
+				if pcFb >= 3 && spanB == spanA {
+					continue // pcA stays ≥2 on both sides: no critical transition
+				}
+				// Source-side pin count changed: every direction shifts.
+				for tj := 0; tj < nb; tj++ {
+					if tj == ufi {
+						continue
+					}
+					s := tj
+					if tj > ufi {
+						s--
+					}
+					var before, after int32
+					if tj == ti {
+						before = contrib(pcFb, pcTb, spanB)
+						after = contrib(pcFa, pcTa, spanA)
+					} else {
+						pcD := int32(e.p.PinCount(net, e.blocks[tj]))
+						before = contrib(pcFb, pcD, spanB)
+						after = contrib(pcFa, pcD, spanA)
+					}
+					e.accum[base+s] += after - before
+				}
+			case to:
+				if pcTb >= 2 && spanB == spanA {
+					continue // pcA stays ≥2 on both sides: no critical transition
+				}
+				for tj := 0; tj < nb; tj++ {
+					if tj == ufi {
+						continue
+					}
+					s := tj
+					if tj > ufi {
+						s--
+					}
+					var before, after int32
+					if tj == fi {
+						before = contrib(pcTb, pcFb, spanB)
+						after = contrib(pcTa, pcFa, spanA)
+					} else {
+						pcD := int32(e.p.PinCount(net, e.blocks[tj]))
+						before = contrib(pcTb, pcD, spanB)
+						after = contrib(pcTa, pcD, spanA)
+					}
+					e.accum[base+s] += after - before
+				}
+			default:
+				// Uninvolved source block: only the directions toward the
+				// move's endpoints can change, and only when the move
+				// created or destroyed a side — otherwise the pcDest>0 /
+				// pcDest==0 flags are identical before and after. A span
+				// swap (source's last pin leaves while the destination
+				// joins, pcFb==1 ∧ pcTb==0) keeps the span yet flips both
+				// flags, so it must not take the shortcut.
+				if spanB == spanA && pcFb > 1 {
+					continue
+				}
+				pcA := int32(e.p.PinCount(net, b))
+				s := fi
+				if fi > ufi {
+					s--
+				}
+				e.accum[base+s] += contrib(pcA, pcFa, spanA) - contrib(pcA, pcFb, spanB)
+				s = ti
+				if ti > ufi {
+					s--
+				}
+				e.accum[base+s] += contrib(pcA, pcTa, spanA) - contrib(pcA, pcTb, spanB)
+			}
+		}
+	}
+
+	for _, ui := range e.touched {
+		u := hypergraph.NodeID(ui)
+		e.cellRev[u]++ // level-2 memo: neighbourhood changed
+		b := e.p.Block(u)
+		ufi := e.blkIdx[b]
+		if ufi < 0 {
+			continue
+		}
+		base := int(ui) * slots
+		row := ufi * slots
+		if b == from || b == to {
+			for s := 0; s < slots; s++ {
+				if d := e.accum[base+s]; d != 0 {
+					e.accum[base+s] = 0
+					e.buckets[row+s].Adjust(ui, int(d))
+					e.st.BucketOps++
+				}
+			}
+			continue
+		}
+		// Visit the two candidate directions in ascending destination
+		// order, matching the recompute path's direction sweep.
+		lo, hi := fi, ti
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, tj := range [2]int{lo, hi} {
+			s := tj
+			if tj > ufi {
+				s--
+			}
+			if d := e.accum[base+s]; d != 0 {
+				e.accum[base+s] = 0
+				e.buckets[row+s].Adjust(ui, int(d))
 				e.st.BucketOps++
 			}
 		}
@@ -585,7 +1118,10 @@ func (e *Engine) runPass(ctx context.Context, collect *stacks) (improved bool, m
 	start := e.key()
 	best := start
 	bestLen := 0
-	scratch := make([]int32, 0, e.cfg.TieWidth)
+	if cap(e.topScratch) < e.cfg.TieWidth {
+		e.topScratch = make([]int32, 0, e.cfg.TieWidth)
+	}
+	scratch := e.topScratch
 
 	for {
 		// Poll cancellation every 64 applied moves so even the long
@@ -605,7 +1141,7 @@ func (e *Engine) runPass(ctx context.Context, collect *stacks) (improved bool, m
 			bestLen = len(e.journal)
 		}
 		if collect != nil {
-			collect.offer(e.p, key, len(e.journal))
+			collect.offer(e.p.NumBlocks(), key, len(e.journal))
 		}
 		if e.cfg.EarlyStop > 0 && len(e.journal)-bestLen > e.cfg.EarlyStop {
 			break // §5 future work (b): stop drifting from the feasible region
@@ -635,13 +1171,15 @@ type stacks struct {
 
 // offer records a prefix in the appropriate stack if it ranks well enough.
 // Snapshots are not taken here; materialize replays the journal once at the
-// end of the collecting pass.
-func (s *stacks) offer(p *partition.Partition, key partition.Key, prefixLen int) {
+// end of the collecting pass. The solution class is derived from the key's
+// feasible-block count (k − F ≥ 2 ⇔ infeasible), which holds under both
+// the §3.4 key and the CutObjective key — no partition scan needed.
+func (s *stacks) offer(k int, key partition.Key, prefixLen int) {
 	if s.depth == 0 {
 		return
 	}
 	entry := stackEntry{key: key, dist: key.D, prefixLen: prefixLen}
-	if p.Classify() == partition.InfeasibleSolution {
+	if k-key.F >= 2 {
 		s.infeas = insertRanked(s.infeas, entry, s.depth, func(a, b stackEntry) bool {
 			return a.dist < b.dist
 		})
@@ -718,6 +1256,68 @@ func (e *Engine) Improve(blocks []partition.BlockID, remainder partition.BlockID
 	return st
 }
 
+// prepare initializes the per-Improve state: the active block set and its
+// index, the move-window context, and every scratch buffer the pass loop
+// reuses. Split out of ImproveCtx so tests can drive individual passes.
+func (e *Engine) prepare(blocks []partition.BlockID, remainder partition.BlockID, m int) {
+	e.blocks = blocks
+	e.remainder = remainder
+	e.m = m
+	e.allowOver = e.p.NumBlocks() <= m
+	e.winUpInt, e.winLowInt = e.windowLimits()
+	if cap(e.blkIdx) < e.p.NumBlocks() {
+		e.blkIdx = make([]int, e.p.NumBlocks())
+	}
+	e.blkIdx = e.blkIdx[:e.p.NumBlocks()]
+	for i := range e.blkIdx {
+		e.blkIdx[i] = -1
+	}
+	for i, b := range blocks {
+		e.blkIdx[b] = i
+	}
+	// Size the delta-gain accumulator: one pending delta per (cell,
+	// outgoing-direction slot). It is all-zero between moves by invariant;
+	// re-zero defensively because the slot layout changes with the active
+	// block count.
+	slots := len(blocks) - 1
+	if need := e.h.NumNodes() * slots; cap(e.accum) < need {
+		e.accum = make([]int32, need)
+	} else {
+		e.accum = e.accum[:need]
+		for i := range e.accum {
+			e.accum[i] = 0
+		}
+	}
+	if cap(e.touched) < e.h.NumNodes() {
+		e.touched = make([]int32, 0, e.h.NumNodes())
+	}
+	// Level-2 gain memo, laid out like accum. No clearing needed: entries
+	// are only trusted when their stamp matches the cell revision, and
+	// initPass advances every revision past any stamp written earlier.
+	if need := e.h.NumNodes() * slots; cap(e.g2cache) < need {
+		e.g2cache = make([]int32, need)
+		e.g2stamp = make([]int32, need)
+	} else {
+		e.g2cache = e.g2cache[:need]
+		e.g2stamp = e.g2stamp[:need]
+	}
+	if cap(e.cellRev) < e.h.NumNodes() {
+		e.cellRev = make([]int32, e.h.NumNodes())
+	}
+	e.cellRev = e.cellRev[:e.h.NumNodes()]
+	if e.netBuf == nil {
+		// Must be non-nil even when empty: MoveTrace records nothing into
+		// a nil buffer.
+		e.netBuf = make([]partition.NetDelta, 0, e.h.MaxDegree())
+	}
+	if len(e.szOf) != e.h.NumNodes() {
+		e.szOf = make([]int32, e.h.NumNodes())
+		for v := range e.szOf {
+			e.szOf[v] = int32(e.h.Node(hypergraph.NodeID(v)).Size)
+		}
+	}
+}
+
 // ImproveCtx is Improve with cancellation: the pass loop polls ctx and
 // aborts promptly when it is cancelled or its deadline passes, restoring
 // the best solution seen so far (the partition is always left consistent)
@@ -732,20 +1332,7 @@ func (e *Engine) ImproveCtx(ctx context.Context, blocks []partition.BlockID, rem
 	}
 	e.st = &st
 	defer func() { e.st = new(Stats) }()
-	e.blocks = blocks
-	e.remainder = remainder
-	e.m = m
-	e.allowOver = e.p.NumBlocks() <= m
-	if cap(e.blkIdx) < e.p.NumBlocks() {
-		e.blkIdx = make([]int, e.p.NumBlocks())
-	}
-	e.blkIdx = e.blkIdx[:e.p.NumBlocks()]
-	for i := range e.blkIdx {
-		e.blkIdx[i] = -1
-	}
-	for i, b := range blocks {
-		e.blkIdx[b] = i
-	}
+	e.prepare(blocks, remainder, m)
 
 	collect := &stacks{depth: e.cfg.StackDepth, cost: e.cfg.Cost}
 	startKey := e.key()

@@ -17,7 +17,7 @@ func TestGainLevelsMatchesGain2AtLevel2(t *testing.T) {
 	for v := 0; v < h.NumNodes(); v++ {
 		id := hypergraph.NodeID(v)
 		from := p.Block(id)
-		lv := e.gainLevels(id, from, 1-from, 3)
+		lv := e.gainLevels(id, from, 1-from, 3, nil)
 		g2 := e.gain2(id, from, 1-from)
 		if lv[0] != g2 {
 			t.Fatalf("node %d: gainLevels[0]=%d, gain2=%d", v, lv[0], g2)
@@ -42,7 +42,7 @@ func TestGainLevelsDepth(t *testing.T) {
 	blk := p.AddBlock()
 	p.Move(x, blk)
 	e := New(p, Default())
-	lv := e.gainLevels(a, 0, blk, 4)
+	lv := e.gainLevels(a, 0, blk, 4, nil)
 	if lv[0] != -1 || lv[1] != 1 || lv[2] != 0 {
 		t.Errorf("gainLevels = %v, want [-1 1 0]", lv)
 	}

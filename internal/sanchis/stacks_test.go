@@ -19,7 +19,7 @@ func TestStacksOfferClassification(t *testing.T) {
 	// All three blocks violate terminals: infeasible solution goes to the
 	// infeasible stack.
 	key := p.Key(partition.DefaultCost(), 2, 3)
-	s.offer(p, key, 1)
+	s.offer(p.NumBlocks(), key, 1)
 	if len(s.infeas) != 1 || len(s.semi) != 0 {
 		t.Fatalf("infeasible solution misrouted: semi=%d infeas=%d", len(s.semi), len(s.infeas))
 	}
@@ -29,7 +29,7 @@ func TestStacksOfferClassification(t *testing.T) {
 		p.Move(hypergraph.NodeID(v), 0)
 	}
 	key = p.Key(partition.DefaultCost(), 0, 3)
-	s.offer(p, key, 2)
+	s.offer(p.NumBlocks(), key, 2)
 	if len(s.semi) != 1 {
 		t.Fatalf("semi-feasible solution misrouted: semi=%d infeas=%d", len(s.semi), len(s.infeas))
 	}
@@ -39,7 +39,7 @@ func TestStacksDepthZeroDropsEverything(t *testing.T) {
 	h, _ := clusters(t, 2, 4)
 	p := scrambled(t, h, testDev, 2)
 	s := &stacks{depth: 0}
-	s.offer(p, p.Key(partition.DefaultCost(), 1, 2), 1)
+	s.offer(p.NumBlocks(), p.Key(partition.DefaultCost(), 1, 2), 1)
 	if len(s.semi)+len(s.infeas) != 0 {
 		t.Error("depth-0 stack accepted an entry")
 	}

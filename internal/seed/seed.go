@@ -33,13 +33,17 @@ import (
 // to the cluster when the cluster holds at least one of its pins and the net
 // has pins outside the cluster — elsewhere in the remainder or in an
 // already-carved block.
+//
+// Node and net IDs are dense, so membership and the per-net counters live
+// in flat slices; the map-based version this replaced spent most of the
+// seeding phase hashing and iterating.
 type tracker struct {
 	p      *partition.Partition
 	h      *hypergraph.Hypergraph
 	rem    partition.BlockID
-	inC    map[hypergraph.NodeID]bool
-	pinsIn map[hypergraph.NetID]int // cluster pins per net (only nets touched)
-	remPin map[hypergraph.NetID]int // remainder pins per net (memoized)
+	inC    []bool  // cluster membership per node
+	pinsIn []int32 // cluster pins per net
+	remPin []int32 // remainder pins per net (memoized; -1 unknown)
 	size   int
 	aux    int
 	term   int
@@ -49,23 +53,28 @@ type tracker struct {
 }
 
 func newTracker(p *partition.Partition, rem partition.BlockID) *tracker {
-	return &tracker{
+	h := p.Hypergraph()
+	t := &tracker{
 		p:      p,
-		h:      p.Hypergraph(),
+		h:      h,
 		rem:    rem,
-		inC:    make(map[hypergraph.NodeID]bool),
-		pinsIn: make(map[hypergraph.NetID]int),
-		remPin: make(map[hypergraph.NetID]int),
+		inC:    make([]bool, h.NumNodes()),
+		pinsIn: make([]int32, h.NumNets()),
+		remPin: make([]int32, h.NumNets()),
 	}
+	for i := range t.remPin {
+		t.remPin[i] = -1
+	}
+	return t
 }
 
 // remainderPins returns the number of pins net e has inside the remainder.
 func (t *tracker) remainderPins(e hypergraph.NetID) int {
-	if c, ok := t.remPin[e]; ok {
-		return c
+	if c := t.remPin[e]; c >= 0 {
+		return int(c)
 	}
 	c := t.p.PinCount(e, t.rem)
-	t.remPin[e] = c
+	t.remPin[e] = int32(c)
 	return c
 }
 
@@ -93,7 +102,7 @@ func (t *tracker) Probe(v hypergraph.NodeID) (size, term int) {
 		term++
 	}
 	for _, e := range t.h.Nets(v) {
-		before := t.pinsIn[e]
+		before := int(t.pinsIn[e])
 		wasC := t.contributes(e, before)
 		isC := t.contributes(e, before+1)
 		if isC && !wasC {
@@ -118,7 +127,7 @@ func (t *tracker) Add(v hypergraph.NodeID) {
 	t.nodes++
 	t.inC[v] = true
 	for _, e := range t.h.Nets(v) {
-		before := t.pinsIn[e]
+		before := int(t.pinsIn[e])
 		after := before + 1
 		rp := t.remainderPins(e)
 		wasSplit := before > 0 && before < rp
@@ -128,7 +137,7 @@ func (t *tracker) Add(v hypergraph.NodeID) {
 		} else if !isSplit && wasSplit {
 			t.intCut--
 		}
-		t.pinsIn[e] = after
+		t.pinsIn[e] = int32(after)
 	}
 }
 
@@ -137,9 +146,13 @@ func (t *tracker) Contains(v hypergraph.NodeID) bool { return t.inC[v] }
 
 // restrictedBFS returns hop distances from seedNode over remainder nodes
 // only; -1 for unreached.
-func restrictedBFS(p *partition.Partition, rem partition.BlockID, seedNode hypergraph.NodeID) map[hypergraph.NodeID]int {
+func restrictedBFS(p *partition.Partition, rem partition.BlockID, seedNode hypergraph.NodeID) []int32 {
 	h := p.Hypergraph()
-	dist := map[hypergraph.NodeID]int{seedNode: 0}
+	dist := make([]int32, h.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[seedNode] = 0
 	queue := []hypergraph.NodeID{seedNode}
 	for len(queue) > 0 {
 		v := queue[0]
@@ -149,7 +162,7 @@ func restrictedBFS(p *partition.Partition, rem partition.BlockID, seedNode hyper
 				if p.Block(u) != rem {
 					continue
 				}
-				if _, ok := dist[u]; !ok {
+				if dist[u] < 0 {
 					dist[u] = dist[v] + 1
 					queue = append(queue, u)
 				}
@@ -189,8 +202,8 @@ func seeds(p *partition.Partition, rem partition.BlockID) (s1, s2 hypergraph.Nod
 		if v == s1 {
 			continue
 		}
-		d, reached := dist[v]
-		if !reached {
+		d := int(dist[v])
+		if d < 0 {
 			if h.Node(v).Kind != hypergraph.Interior {
 				continue
 			}
@@ -221,7 +234,7 @@ func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.D
 	smax := dev.SMax()
 
 	mk := func(s hypergraph.NodeID) *grow {
-		g := &grow{t: newTracker(p, rem), frontier: make(map[hypergraph.NodeID]bool)}
+		g := &grow{t: newTracker(p, rem), inFront: make([]bool, h.NumNodes())}
 		g.add(p, h, rem, s)
 		return g
 	}
@@ -255,13 +268,15 @@ func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.D
 				bestCost, bestV = cost, v
 			}
 		}
-		for v := range g.frontier {
+		keep := g.frontier[:0]
+		for _, v := range g.frontier {
 			if taken(v) {
-				delete(g.frontier, v)
-				continue
+				continue // compact out: taken nodes never return
 			}
+			keep = append(keep, v)
 			consider(v)
 		}
+		g.frontier = keep
 		if bestV < 0 && len(g.frontier) == 0 {
 			for _, v := range p.NodesIn(rem) {
 				if !taken(v) {
@@ -297,22 +312,26 @@ func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.D
 func (g *grow) add(p *partition.Partition, h *hypergraph.Hypergraph, rem partition.BlockID, v hypergraph.NodeID) {
 	g.t.Add(v)
 	g.members = append(g.members, v)
-	delete(g.frontier, v)
 	for _, e := range h.Nets(v) {
 		for _, u := range h.Pins(e) {
-			if u != v && p.Block(u) == rem && !g.t.Contains(u) {
-				g.frontier[u] = true
+			if u != v && !g.inFront[u] && p.Block(u) == rem && !g.t.Contains(u) {
+				g.inFront[u] = true
+				g.frontier = append(g.frontier, u)
 			}
 		}
 	}
 }
 
 // grow tracks one of the two simultaneously growing blocks of the greedy
-// cone merge.
+// cone merge. The frontier is an insertion-ordered slice deduplicated by
+// inFront; entries that joined a cluster are compacted out during scans.
+// Candidate selection breaks ties by a total order (cost, then node ID), so
+// scan order does not affect the pick.
 type grow struct {
 	t        *tracker
 	members  []hypergraph.NodeID
-	frontier map[hypergraph.NodeID]bool
+	frontier []hypergraph.NodeID
+	inFront  []bool
 	done     bool
 }
 
@@ -346,6 +365,66 @@ func RatioCutSweep(p *partition.Partition, rem partition.BlockID, dev device.Dev
 	return bestSet, true
 }
 
+// attEntry is one lazy max-heap entry of a sweep: a node and the
+// attraction it had when pushed.
+type attEntry struct {
+	a  int32
+	id hypergraph.NodeID
+}
+
+// attHeap is a binary max-heap ordered by (attraction desc, node ID asc),
+// with lazy deletion: every attraction increment pushes a fresh entry, and
+// pops skip entries that are stale (superseded value) or already clustered.
+// The top valid entry is therefore exactly the node a full scan with the
+// same tie-break would select.
+type attHeap []attEntry
+
+func attBefore(x, y attEntry) bool {
+	if x.a != y.a {
+		return x.a > y.a
+	}
+	return x.id < y.id
+}
+
+func (hp *attHeap) push(e attEntry) {
+	*hp = append(*hp, e)
+	i := len(*hp) - 1
+	for i > 0 {
+		par := (i - 1) / 2
+		if !attBefore((*hp)[i], (*hp)[par]) {
+			break
+		}
+		(*hp)[i], (*hp)[par] = (*hp)[par], (*hp)[i]
+		i = par
+	}
+}
+
+func (hp *attHeap) pop() attEntry {
+	h := *hp
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*hp = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < len(h) && attBefore(h[l], h[next]) {
+			next = l
+		}
+		if r < len(h) && attBefore(h[r], h[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return top
+}
+
 // sweepFrom grows a cluster from seed node s, moving at each step the
 // unclustered remainder node with the strongest attraction (most incident
 // pins already in the cluster; ties to smaller BFS frontier order), and
@@ -353,17 +432,18 @@ func RatioCutSweep(p *partition.Partition, rem partition.BlockID, dev device.Dev
 func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device, s hypergraph.NodeID, remNodes []hypergraph.NodeID, totalSize int) (set []hypergraph.NodeID, ratio float64, found bool) {
 	h := p.Hypergraph()
 	t := newTracker(p, rem)
-	attract := make(map[hypergraph.NodeID]int)
+	attract := make([]int32, h.NumNodes())
+	var heap attHeap
 	var members []hypergraph.NodeID
 
 	add := func(v hypergraph.NodeID) {
 		t.Add(v)
 		members = append(members, v)
-		delete(attract, v)
 		for _, e := range h.Nets(v) {
 			for _, u := range h.Pins(e) {
 				if u != v && p.Block(u) == rem && !t.Contains(u) {
 					attract[u]++
+					heap.push(attEntry{a: attract[u], id: u})
 				}
 			}
 		}
@@ -377,11 +457,13 @@ func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device,
 		// Pick the most attracted node; fall back to the lowest-ID
 		// unclustered node for disconnected remainders.
 		var v hypergraph.NodeID = -1
-		bestA := -1
-		for u, a := range attract {
-			if a > bestA || (a == bestA && u < v) {
-				bestA, v = a, u
+		for len(heap) > 0 {
+			e := heap.pop()
+			if t.Contains(e.id) || attract[e.id] != e.a {
+				continue // lazy deletion: clustered or superseded entry
 			}
+			v = e.id
+			break
 		}
 		if v < 0 {
 			for _, u := range remNodes {
@@ -427,7 +509,7 @@ func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device,
 // baseline's min-cut side).
 func Grow(p *partition.Partition, rem partition.BlockID, dev device.Device, init []hypergraph.NodeID) []hypergraph.NodeID {
 	h := p.Hypergraph()
-	g := &grow{t: newTracker(p, rem), frontier: make(map[hypergraph.NodeID]bool)}
+	g := &grow{t: newTracker(p, rem), inFront: make([]bool, h.NumNodes())}
 	for _, v := range init {
 		g.add(p, h, rem, v)
 	}
@@ -448,13 +530,15 @@ func Grow(p *partition.Partition, rem partition.BlockID, dev device.Device, init
 				bestCost, bestV = cost, v
 			}
 		}
-		for v := range g.frontier {
+		keep := g.frontier[:0]
+		for _, v := range g.frontier {
 			if g.t.Contains(v) {
-				delete(g.frontier, v)
-				continue
+				continue // compact out: clustered nodes never return
 			}
+			keep = append(keep, v)
 			consider(v)
 		}
+		g.frontier = keep
 		if bestV < 0 && len(g.frontier) == 0 {
 			// Frontier exhausted (disconnected remainder or stranded
 			// pads): jump to the best admissible node anywhere.

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Record the Table 6 wall-clock benchmarks (BenchmarkTable6CPUTime) as a
+# JSON perf-trajectory artifact: per circuit/device the best ns/op across
+# -count repetitions plus the MovesApplied and BucketOps effort counters.
+#
+# Usage:
+#   scripts/bench.sh [-count N] [-benchtime T] [-out FILE] [-baseline RAW] [-input RAW]
+#
+#   -count N      repetitions per benchmark (default 3; best run is kept)
+#   -benchtime T  go test -benchtime value (default 2x)
+#   -out FILE     output JSON (default BENCH_PR2.json)
+#   -baseline RAW a previous raw `go test -bench` capture; when given, the
+#                 output embeds baseline ns/op and the speedup per instance
+#   -input RAW    summarize an existing raw capture instead of benchmarking.
+#                 On hosts with drifting clock speed, capture baseline and
+#                 candidate interleaved (alternate `go test -c` binaries per
+#                 -count round), then feed both captures through this mode.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT=3
+BENCHTIME=2x
+OUT=BENCH_PR2.json
+BASELINE=
+INPUT=
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -count) COUNT=$2; shift 2 ;;
+        -benchtime) BENCHTIME=$2; shift 2 ;;
+        -out) OUT=$2; shift 2 ;;
+        -baseline) BASELINE=$2; shift 2 ;;
+        -input) INPUT=$2; shift 2 ;;
+        *) echo "usage: scripts/bench.sh [-count N] [-benchtime T] [-out FILE] [-baseline RAW] [-input RAW]" >&2; exit 2 ;;
+    esac
+done
+
+if [ -n "$INPUT" ]; then
+    RAW=$INPUT
+else
+    RAW=$(mktemp)
+    trap 'rm -f "$RAW"' EXIT
+    go test -run '^$' -bench 'BenchmarkTable6CPUTime' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+fi
+
+awk -v baseline_file="$BASELINE" '
+function key_of(name,    parts, dev) {
+    split(name, parts, "/")
+    dev = parts[3]
+    sub(/-[0-9]+$/, "", dev)
+    return parts[2] "/" dev
+}
+function parse_line(dest_ns, dest_mv, dest_bo,    k, ns, i) {
+    k = key_of($1)
+    ns = $3 + 0
+    if (!(k in dest_ns) || ns < dest_ns[k]) dest_ns[k] = ns
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "moves/op") dest_mv[k] = $i + 0
+        if ($(i + 1) == "bucketops/op") dest_bo[k] = $i + 0
+    }
+    return k
+}
+BEGIN {
+    if (baseline_file != "") {
+        while ((getline line < baseline_file) > 0) {
+            if (line !~ /^BenchmarkTable6CPUTime\//) continue
+            split(line, f, /[ \t]+/)
+            bk = key_of(f[1])
+            bns = f[3] + 0
+            if (!(bk in base) || bns < base[bk]) base[bk] = bns
+        }
+        close(baseline_file)
+    }
+}
+/^BenchmarkTable6CPUTime\// {
+    k = parse_line(best, moves, bops)
+    if (!(k in seen)) { order[++n] = k; seen[k] = 1 }
+}
+END {
+    printf "{\n  \"benchmark\": \"BenchmarkTable6CPUTime\",\n"
+    printf "  \"metric\": \"best ns/op of %s runs\",\n", (n ? "the recorded" : "0")
+    printf "  \"instances\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        split(k, kp, "/")
+        printf "    {\"circuit\": \"%s\", \"device\": \"%s\", \"ns_per_op\": %.0f", kp[1], kp[2], best[k]
+        if (k in moves) printf ", \"moves_applied\": %.0f", moves[k]
+        if (k in bops) printf ", \"bucket_ops\": %.0f", bops[k]
+        if (k in base) printf ", \"baseline_ns_per_op\": %.0f, \"speedup\": %.2f", base[k], base[k] / best[k]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}
+' "$RAW" > "$OUT"
+echo "wrote $OUT"
