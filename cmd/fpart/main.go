@@ -13,7 +13,8 @@
 //	fpart -device XC3020 -circuit s9234 -out dir/          # per-block netlists
 //
 // BLIF inputs are technology-mapped to CLBs for the architecture selected
-// with -arch before partitioning.
+// with -arch before partitioning. Circuit loading and method dispatch are
+// shared with the fpartd service via internal/driver.
 package main
 
 import (
@@ -23,30 +24,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
-	"fpart/internal/core"
 	"fpart/internal/device"
-	"fpart/internal/flow"
-	"fpart/internal/gen"
+	"fpart/internal/driver"
 	"fpart/internal/hypergraph"
-	"fpart/internal/kwayx"
-	"fpart/internal/multilevel"
 	"fpart/internal/netlist"
 	"fpart/internal/obs"
 	"fpart/internal/partition"
 	"fpart/internal/quality"
 	"fpart/internal/replicate"
-	"fpart/internal/techmap"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fpart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole invocation so deferred cleanup (profile teardown)
+// survives error exits — a bare os.Exit in the middle of main would skip
+// it and truncate the CPU profile.
+func run() error {
 	devName := flag.String("device", "XC3020", "target device: XC3020, XC3042, XC3090, XC2064")
 	format := flag.String("format", "phg", "input format: phg, hgr, blif")
 	arch := flag.String("arch", "", "CLB architecture for BLIF mapping: XC2000 or XC3000 (default: the device's family)")
-	method := flag.String("method", "fpart", "partitioner: fpart, kwayx, flow, multilevel")
+	method := flag.String("method", "fpart", "partitioner: fpart, portfolio, kwayx, flow, multilevel")
 	circuit := flag.String("circuit", "", "use a built-in synthetic MCNC benchmark instead of a file")
 	assign := flag.Bool("assign", false, "print the full node-to-block assignment")
 	stats := flag.Bool("stats", false, "print the solution-quality report (and, for -method fpart, the effort counters)")
@@ -55,31 +59,40 @@ func main() {
 	saveAssign := flag.String("saveassign", "", "write the node-to-block assignment to this file (verify with cmd/verify)")
 	replicateFlag := flag.Bool("replicate", false, "after partitioning a BLIF input, run the functional replication pass (needs -format blif)")
 	fill := flag.Float64("fill", 0, "override the device filling ratio δ (0 keeps the paper's value)")
-	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit; -method fpart only)")
-	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json (-method fpart only)")
+	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit; fpart and portfolio only)")
+	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json (fpart and portfolio only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the partitioning run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after partitioning) to this file")
 	flag.Parse()
 
 	dev, ok := device.ByName(*devName)
 	if !ok {
-		fail("unknown device %q (valid: XC3020, XC3042, XC3090, XC2064)", *devName)
+		return fmt.Errorf("unknown device %q (valid: XC3020, XC3042, XC3090, XC2064)", *devName)
 	}
 	if *fill != 0 {
 		dev = dev.WithFill(*fill)
 	}
 
-	h, name, mapped, err := loadCircuit(*circuit, flag.Arg(0), *format, *arch, dev)
+	c, err := driver.Load(driver.Source{
+		Builtin: *circuit,
+		Path:    flag.Arg(0),
+		Format:  *format,
+		Arch:    *arch,
+	}, dev)
 	if err != nil {
-		fail("%v", err)
+		if *circuit == "" && flag.Arg(0) == "" {
+			return fmt.Errorf("no input file (or use -circuit <name>)")
+		}
+		return err
 	}
-	if *replicateFlag && mapped == nil {
-		fail("-replicate requires -format blif (functional direction information)")
+	h := c.Hypergraph
+	if *replicateFlag && c.Mapped == nil {
+		return fmt.Errorf("-replicate requires -format blif (functional direction information)")
 	}
 
 	st := h.ComputeStats()
 	m := device.LowerBound(h, dev)
-	fmt.Printf("circuit %s: %d CLBs, %d pads, %d nets\n", name, st.Interior, st.Pads, st.Nets)
+	fmt.Printf("circuit %s: %d CLBs, %d pads, %d nets\n", c.Name, st.Interior, st.Pads, st.Nets)
 	fmt.Printf("device %s: S_MAX=%d T_MAX=%d, lower bound M=%d\n", dev.Name, dev.SMax(), dev.TMax(), m)
 
 	var sink obs.Sink
@@ -90,7 +103,7 @@ func main() {
 	case "json":
 		sink = obs.NewJSONSink(os.Stderr)
 	default:
-		fail("unknown trace format %q (valid: text, json)", *traceFormat)
+		return fmt.Errorf("unknown trace format %q (valid: text, json)", *traceFormat)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -99,49 +112,32 @@ func main() {
 		defer cancel()
 	}
 
-	if *cpuprofile != "" {
-		f, perr := os.Create(*cpuprofile)
-		if perr != nil {
-			fail("%v", perr)
-		}
-		if perr := pprof.StartCPUProfile(f); perr != nil {
-			f.Close()
-			fail("%v", perr)
-		}
-		defer f.Close()
+	stopProfiles, err := driver.StartProfiles(*cpuprofile, *memprofile, driver.StderrNotify)
+	if err != nil {
+		return err
 	}
-	p, k, feasible, runStats, err := runMethod(ctx, *method, h, dev, sink)
-	if *cpuprofile != "" {
-		// Stop before the error checks so an aborted run still leaves a
-		// usable profile of the work done.
-		pprof.StopCPUProfile()
-		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
-	}
-	if *memprofile != "" {
-		f, perr := os.Create(*memprofile)
-		if perr != nil {
-			fail("%v", perr)
-		}
-		runtime.GC() // surface only live allocations
-		if perr := pprof.WriteHeapProfile(f); perr != nil {
-			f.Close()
-			fail("%v", perr)
-		}
-		f.Close()
-		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memprofile)
-	}
+	// Deferred (not called inline after Run) so an aborted or panicking
+	// run still leaves usable profiles of the work done.
+	defer stopProfiles()
+
+	res, err := driver.Run(ctx, *method, h, dev, sink)
 	if errors.Is(err, context.DeadlineExceeded) {
-		fail("timed out after %v (raise -timeout or relax the instance)", *timeout)
+		return fmt.Errorf("timed out after %v (raise -timeout or relax the instance)", *timeout)
 	}
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
+	if res.Stats != nil {
+		fmt.Printf("FPART: %d iterations, %d passes, %d moves, %v\n",
+			res.Stats.Iterations, res.Stats.Passes, res.Stats.MovesApplied, res.Elapsed.Round(time.Millisecond))
+	}
+	p := res.Partition
 
-	fmt.Printf("result: %d devices, feasible=%v\n", k, feasible)
+	fmt.Printf("result: %d devices, feasible=%v\n", res.K, res.Feasible)
 	if *stats {
-		quality.Analyze(p, m).Write(os.Stdout)
-		if runStats != nil {
-			runStats.Report(os.Stdout)
+		quality.Analyze(p, res.M).Write(os.Stdout)
+		if res.Stats != nil {
+			res.Stats.Report(os.Stdout)
 		}
 	} else {
 		for b := 0; b < p.NumBlocks(); b++ {
@@ -167,74 +163,37 @@ func main() {
 	}
 	if *outDir != "" {
 		if err := writeBlocks(*outDir, p); err != nil {
-			fail("%v", err)
+			return err
 		}
 	}
-	if *replicateFlag && feasible {
-		res, err := replicate.Reduce(mapped, h, p, dev)
+	if *replicateFlag && res.Feasible {
+		rr, err := replicate.Reduce(c.Mapped, h, p, dev)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		fmt.Printf("replication: %d copies added, total terminal reduction %d (feasible=%v)\n",
-			res.CopiesAdded, res.TotalReduction(), res.Feasible)
-		for b, before := range res.TerminalsBefore {
-			if after := res.TerminalsAfter[b]; after != before {
-				fmt.Printf("  block %d: T %d -> %d (replicas %v)\n", b, before, after, res.Replicas[b])
+			rr.CopiesAdded, rr.TotalReduction(), rr.Feasible)
+		for b, before := range rr.TerminalsBefore {
+			if after := rr.TerminalsAfter[b]; after != before {
+				fmt.Printf("  block %d: T %d -> %d (replicas %v)\n", b, before, after, rr.Replicas[b])
 			}
 		}
 	}
 	if *saveAssign != "" {
 		f, err := os.Create(*saveAssign)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		if err := netlist.WriteAssignment(f, p); err != nil {
 			f.Close()
-			fail("%v", err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail("%v", err)
+			return err
 		}
 		fmt.Printf("wrote assignment to %s\n", *saveAssign)
 	}
-}
-
-// runMethod dispatches the chosen partitioner and returns its partition.
-// The effort counters are non-nil for fpart only; ctx and sink likewise
-// apply to the fpart method (the baselines have no cancellation points).
-func runMethod(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*partition.Partition, int, bool, *core.Stats, error) {
-	switch method {
-	case "fpart":
-		cfg := core.Default()
-		cfg.Sink = sink
-		r, err := core.Run(ctx, h, dev, cfg)
-		if err != nil {
-			return nil, 0, false, nil, err
-		}
-		fmt.Printf("FPART: %d iterations, %d passes, %d moves, %v\n",
-			r.Stats.Iterations, r.Stats.Passes, r.Stats.MovesApplied, r.Elapsed.Round(time.Millisecond))
-		return r.Partition, r.K, r.Feasible, &r.Stats, nil
-	case "kwayx":
-		r, err := kwayx.Partition(h, dev, kwayx.Config{})
-		if err != nil {
-			return nil, 0, false, nil, err
-		}
-		return r.Partition, r.K, r.Feasible, nil, nil
-	case "flow":
-		r, err := flow.Partition(h, dev, flow.Config{})
-		if err != nil {
-			return nil, 0, false, nil, err
-		}
-		return r.Partition, r.K, r.Feasible, nil, nil
-	case "multilevel":
-		r, err := multilevel.Partition(h, dev, multilevel.Config{})
-		if err != nil {
-			return nil, 0, false, nil, err
-		}
-		return r.Partition, r.K, r.Feasible, nil, nil
-	default:
-		return nil, 0, false, nil, fmt.Errorf("unknown method %q (valid: fpart, kwayx, flow, multilevel)", method)
-	}
+	return nil
 }
 
 // writeBlocks dumps each non-empty block as blockN.phg under dir. Cut nets
@@ -265,64 +224,4 @@ func writeBlocks(dir string, p *partition.Partition) error {
 		fmt.Printf("wrote %s (%s)\n", path, sub)
 	}
 	return nil
-}
-
-func loadCircuit(builtin, path, format, arch string, dev device.Device) (*hypergraph.Hypergraph, string, *techmap.Mapped, error) {
-	if builtin != "" {
-		spec, ok := gen.ByName(builtin)
-		if !ok {
-			return nil, "", nil, fmt.Errorf("unknown built-in circuit %q (valid: %v)", builtin, names())
-		}
-		return gen.Generate(spec, dev.Family), builtin, nil, nil
-	}
-	if path == "" {
-		return nil, "", nil, fmt.Errorf("no input file (or use -circuit <name>)")
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	defer f.Close()
-	switch format {
-	case "phg":
-		h, err := netlist.ReadPHG(f)
-		return h, path, nil, err
-	case "hgr":
-		h, err := netlist.ReadHgr(f)
-		return h, path, nil, err
-	case "blif":
-		c, err := netlist.ReadBLIF(f)
-		if err != nil {
-			return nil, "", nil, err
-		}
-		a := techmap.XC3000Arch
-		switch {
-		case arch == "XC2000" || (arch == "" && dev.Family == device.XC2000):
-			a = techmap.XC2000Arch
-		case arch == "XC3000" || arch == "":
-		default:
-			return nil, "", nil, fmt.Errorf("unknown arch %q", arch)
-		}
-		m, err := techmap.Map(c, a)
-		if err != nil {
-			return nil, "", nil, err
-		}
-		h, err := m.Hypergraph()
-		return h, path, m, err
-	default:
-		return nil, "", nil, fmt.Errorf("unknown format %q (valid: phg, hgr, blif)", format)
-	}
-}
-
-func names() []string {
-	out := make([]string, len(gen.MCNC))
-	for i, s := range gen.MCNC {
-		out[i] = s.Name
-	}
-	return out
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "fpart: "+format+"\n", args...)
-	os.Exit(1)
 }

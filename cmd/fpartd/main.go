@@ -1,0 +1,116 @@
+// Command fpartd is the long-running partitioning daemon: an HTTP/JSON
+// front end over the same pipeline the one-shot fpart CLI drives, with a
+// bounded job queue, a worker pool, a content-addressed result cache, and
+// live event streaming. See internal/service for the API surface.
+//
+// Usage:
+//
+//	fpartd -addr :8080
+//	fpartd -addr 127.0.0.1:0 -workers 4 -queue 128 -cache 256
+//
+// Submit a job and follow it:
+//
+//	curl -s localhost:8080/v1/partition -d '{"circuit":"s9234","device":"XC3020"}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -sN localhost:8080/v1/jobs/job-1/events
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon stops admitting work, lets the HTTP server
+// finish open requests, and drains in-flight jobs until -grace expires,
+// after which they are canceled via their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpart/internal/driver"
+	"fpart/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fpartd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole daemon lifecycle so deferred cleanup (profile
+// teardown) survives error exits and panics.
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "bounded job queue depth; overflow is rejected with 429 (0 = 64)")
+	cacheEntries := flag.Int("cache", 0, "result cache capacity in entries, LRU-evicted (0 = 128)")
+	retention := flag.Int("retention", 0, "finished jobs kept queryable (0 = 1024)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = unlimited)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period before in-flight jobs are canceled")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the daemon's lifetime to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at shutdown) to this file")
+	flag.Parse()
+
+	stopProfiles, err := driver.StartProfiles(*cpuprofile, *memprofile, driver.StderrNotify)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		JobRetention:   *retention,
+		DefaultTimeout: *defaultTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The smoke script and tests parse this line to learn the bound port.
+	log.Printf("fpartd: listening on %s", ln.Addr())
+	cfg := svc.Config()
+	log.Printf("fpartd: %d workers, queue %d, cache %d entries",
+		cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("fpartd: %v: draining (grace %v)", s, *grace)
+	case err := <-serveErr:
+		svc.Shutdown(context.Background())
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then drain the pool;
+	// jobs still running when the grace period expires are canceled via
+	// their contexts.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("fpartd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("fpartd: canceled in-flight jobs: %v", err)
+	}
+	log.Printf("fpartd: bye")
+	return nil
+}

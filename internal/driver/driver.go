@@ -1,0 +1,221 @@
+// Package driver is the shared front end of the partitioning pipeline: it
+// loads circuits from any supported source (built-in benchmarks, netlist
+// files, in-memory uploads) and dispatches a partitioning method on them.
+//
+// Both entry points consume it — the one-shot `cmd/fpart` CLI and the
+// long-running `cmd/fpartd` service — so the circuit-loading rules (format
+// selection, BLIF technology mapping, parser limits) and the method
+// registry live in exactly one place.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/flow"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+	"fpart/internal/kwayx"
+	"fpart/internal/multilevel"
+	"fpart/internal/netlist"
+	"fpart/internal/obs"
+	"fpart/internal/partition"
+	"fpart/internal/techmap"
+)
+
+// Source describes where a circuit comes from. Exactly one of Builtin,
+// Path, or Reader must be set.
+type Source struct {
+	// Builtin names a synthetic MCNC benchmark from the gen catalog.
+	Builtin string
+	// Path names a netlist file to open; Format selects its parser.
+	Path string
+	// Reader is an already-open netlist stream (service uploads); Format
+	// selects its parser and Name labels the circuit.
+	Reader io.Reader
+	// Name overrides the display name (defaults to Builtin or Path).
+	Name string
+	// Format is the netlist format for Path/Reader sources: "phg", "hgr",
+	// or "blif".
+	Format string
+	// Arch selects the CLB architecture for BLIF technology mapping:
+	// "XC2000", "XC3000", or "" for the target device's family.
+	Arch string
+	// Limits bounds the netlist parsers; the zero value applies
+	// netlist.DefaultLimits. Set tighter caps for untrusted input.
+	Limits netlist.Limits
+}
+
+// Circuit is a loaded, partition-ready circuit.
+type Circuit struct {
+	Hypergraph *hypergraph.Hypergraph
+	// Name labels the circuit in reports.
+	Name string
+	// Mapped carries the technology-mapping result for BLIF sources (the
+	// replication pass needs its functional direction information); nil
+	// otherwise.
+	Mapped *techmap.Mapped
+}
+
+// Load resolves src into a circuit targeting device dev (the device picks
+// the default BLIF architecture and sizes built-in benchmarks).
+func Load(src Source, dev device.Device) (*Circuit, error) {
+	if src.Builtin != "" {
+		spec, ok := gen.ByName(src.Builtin)
+		if !ok {
+			return nil, fmt.Errorf("unknown built-in circuit %q (valid: %v)", src.Builtin, BuiltinNames())
+		}
+		return &Circuit{Hypergraph: gen.Generate(spec, dev.Family), Name: src.Builtin}, nil
+	}
+	r := src.Reader
+	name := src.Name
+	if r == nil {
+		if src.Path == "" {
+			return nil, fmt.Errorf("no input: set Builtin, Path, or Reader")
+		}
+		f, err := os.Open(src.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+		if name == "" {
+			name = src.Path
+		}
+	}
+	if name == "" {
+		name = "<stream>"
+	}
+	switch src.Format {
+	case "phg":
+		h, err := netlist.ReadPHGLimits(r, src.Limits)
+		if err != nil {
+			return nil, err
+		}
+		return &Circuit{Hypergraph: h, Name: name}, nil
+	case "hgr":
+		h, err := netlist.ReadHgrLimits(r, src.Limits)
+		if err != nil {
+			return nil, err
+		}
+		return &Circuit{Hypergraph: h, Name: name}, nil
+	case "blif":
+		c, err := netlist.ReadBLIFLimits(r, src.Limits)
+		if err != nil {
+			return nil, err
+		}
+		a := techmap.XC3000Arch
+		switch {
+		case src.Arch == "XC2000" || (src.Arch == "" && dev.Family == device.XC2000):
+			a = techmap.XC2000Arch
+		case src.Arch == "XC3000" || src.Arch == "":
+		default:
+			return nil, fmt.Errorf("unknown arch %q", src.Arch)
+		}
+		m, err := techmap.Map(c, a)
+		if err != nil {
+			return nil, err
+		}
+		h, err := m.Hypergraph()
+		if err != nil {
+			return nil, err
+		}
+		return &Circuit{Hypergraph: h, Name: name, Mapped: m}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (valid: phg, hgr, blif)", src.Format)
+	}
+}
+
+// BuiltinNames lists the built-in benchmark circuits.
+func BuiltinNames() []string {
+	out := make([]string, len(gen.MCNC))
+	for i, s := range gen.MCNC {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Methods lists the partitioning methods Run dispatches, in documentation
+// order. "fpart" is the paper's algorithm; "portfolio" races the
+// core.DefaultPortfolio configuration mix; the rest are baselines.
+func Methods() []string {
+	return []string{"fpart", "portfolio", "kwayx", "flow", "multilevel"}
+}
+
+// ValidMethod reports whether Run accepts method.
+func ValidMethod(method string) bool {
+	for _, m := range Methods() {
+		if m == method {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of one Run dispatch.
+type Result struct {
+	// Partition holds the final assignment.
+	Partition *partition.Partition
+	// K is the number of non-empty blocks; M the device lower bound.
+	K, M int
+	// Feasible reports whether every block meets the device constraints.
+	Feasible bool
+	// Stats carries the effort counters — non-nil for the fpart and
+	// portfolio methods only (the baselines are uninstrumented).
+	Stats *core.Stats
+	// Elapsed is the wall time of the dispatch.
+	Elapsed time.Duration
+}
+
+// Run dispatches method on circuit h targeting dev. ctx and sink apply to
+// the fpart and portfolio methods (the baselines have no cancellation
+// points and emit no events).
+func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*Result, error) {
+	start := time.Now()
+	m := device.LowerBound(h, dev)
+	switch method {
+	case "fpart":
+		cfg := core.Default()
+		cfg.Sink = sink
+		r, err := core.Run(ctx, h, dev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+	case "portfolio":
+		cfgs := core.DefaultPortfolio()
+		for i := range cfgs {
+			cfgs[i].Sink = sink
+		}
+		r, err := core.Portfolio(ctx, h, dev, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+	case "kwayx":
+		r, err := kwayx.Partition(h, dev, kwayx.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
+	case "flow":
+		r, err := flow.Partition(h, dev, flow.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
+	case "multilevel":
+		r, err := multilevel.Partition(h, dev, multilevel.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, Methods())
+	}
+}

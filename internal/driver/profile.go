@@ -1,0 +1,74 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// StartProfiles begins CPU profiling to cpuPath and arranges a heap
+// profile at memPath (either may be empty to skip it). The returned stop
+// function finishes both: it stops the CPU profile, takes the heap
+// snapshot, closes the files, and reports what was written via notify
+// (which may be nil).
+//
+// stop is idempotent and intended for defer, so profiles survive panics
+// and early error returns — the failure mode the one-shot CLI used to
+// have, where an os.Exit or a panic between StartCPUProfile and
+// StopCPUProfile left a truncated, unusable profile.
+func StartProfiles(cpuPath, memPath string, notify func(format string, args ...any)) (stop func(), err error) {
+	if notify == nil {
+		notify = func(string, ...any) {}
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					notify("cpu profile: %v", err)
+				} else {
+					notify("wrote CPU profile to %s", cpuPath)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					notify("heap profile: %v", err)
+					return
+				}
+				runtime.GC() // surface only live allocations
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					f.Close()
+					notify("heap profile: %v", err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					notify("heap profile: %v", err)
+					return
+				}
+				notify("wrote heap profile to %s", memPath)
+			}
+		})
+	}
+	return stop, nil
+}
+
+// StderrNotify is the notify callback both binaries pass to StartProfiles:
+// one line per written profile on standard error.
+func StderrNotify(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}

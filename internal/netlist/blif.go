@@ -34,12 +34,34 @@ type BlifLatch struct {
 // ReadBLIF parses the structural BLIF subset:
 // .model, .inputs, .outputs, .names, .latch, .end, with '\' continuations
 // and '#' comments. .gate/.subckt and multiple models are rejected.
+// DefaultLimits apply; use ReadBLIFLimits for untrusted input.
 func ReadBLIF(r io.Reader) (*BlifCircuit, error) {
+	return ReadBLIFLimits(r, Limits{})
+}
+
+// ReadBLIFLimits parses BLIF input under the given parser limits: logical
+// lines (after continuation joining) are capped at MaxLineBytes, the total
+// element count (gates + latches + primary I/Os) at MaxNodes, and the fanin
+// of one .names record at MaxPins. Exceeding a cap returns a *LimitError.
+// Zero Limits fields select DefaultLimits.
+func ReadBLIFLimits(r io.Reader, lim Limits) (*BlifCircuit, error) {
+	lim = lim.normalize()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lim.bufferFor(sc)
 	c := &BlifCircuit{}
 	sawModel := false
 	lineNo := 0
+	elements := 0
+	var limErr *LimitError
+
+	addElements := func(n int) bool {
+		elements += n
+		if elements > lim.MaxNodes {
+			limErr = &LimitError{Format: "blif", Quantity: "nodes", Limit: lim.MaxNodes}
+			return false
+		}
+		return true
+	}
 
 	nextLogical := func() (string, bool) {
 		for sc.Scan() {
@@ -63,6 +85,10 @@ func ReadBLIF(r io.Reader) (*BlifCircuit, error) {
 					cont = cont[:i]
 				}
 				line += " " + strings.TrimSpace(cont)
+				if len(line) > lim.MaxLineBytes {
+					limErr = &LimitError{Format: "blif", Quantity: "line bytes", Limit: lim.MaxLineBytes}
+					return "", false
+				}
 			}
 			return line, true
 		}
@@ -88,12 +114,24 @@ func ReadBLIF(r io.Reader) (*BlifCircuit, error) {
 				c.Name = fields[1]
 			}
 		case ".inputs":
+			if !addElements(len(fields) - 1) {
+				return nil, limErr
+			}
 			c.Inputs = append(c.Inputs, fields[1:]...)
 		case ".outputs":
+			if !addElements(len(fields) - 1) {
+				return nil, limErr
+			}
 			c.Outputs = append(c.Outputs, fields[1:]...)
 		case ".names":
 			if len(fields) < 2 {
 				return nil, fmt.Errorf("blif line %d: .names needs at least an output", lineNo)
+			}
+			if len(fields)-2 > lim.MaxPins {
+				return nil, &LimitError{Format: "blif", Quantity: "pins", Limit: lim.MaxPins}
+			}
+			if !addElements(1) {
+				return nil, limErr
 			}
 			g := BlifGate{Output: fields[len(fields)-1]}
 			g.Inputs = append(g.Inputs, fields[1:len(fields)-1]...)
@@ -101,6 +139,9 @@ func ReadBLIF(r io.Reader) (*BlifCircuit, error) {
 		case ".latch":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("blif line %d: .latch needs input and output", lineNo)
+			}
+			if !addElements(1) {
+				return nil, limErr
 			}
 			c.Latches = append(c.Latches, BlifLatch{Input: fields[1], Output: fields[2]})
 		case ".end":
@@ -112,8 +153,11 @@ func ReadBLIF(r io.Reader) (*BlifCircuit, error) {
 			// are ignored for structural purposes.
 		}
 	}
+	if limErr != nil {
+		return nil, limErr
+	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, lim.lineErr("blif", err)
 	}
 	if !sawModel {
 		return nil, fmt.Errorf("blif: no .model found")

@@ -18,6 +18,8 @@ func FuzzReadPHG(f *testing.F) {
 	f.Add("phg\n")
 	f.Add("# comment only\nphg\nnode x 1\n")
 	f.Add("phg\nnode a 1\nnet n 0 0 0\n")
+	f.Add("phg\nnode a 1\nnet n " + strings.Repeat("0 ", 64) + "\n") // wide net
+	f.Add("phg\n# " + strings.Repeat("y", 1<<12) + "\n")             // long line
 	f.Fuzz(func(t *testing.T, in string) {
 		h, err := ReadPHG(strings.NewReader(in))
 		if err != nil {
@@ -41,6 +43,8 @@ func FuzzReadHgr(f *testing.F) {
 	f.Add("2 3\n1 2\n2 3\n")
 	f.Add("1 2 10\n1 2\n0\n3\n")
 	f.Add("% comment\n1 1\n1\n")
+	f.Add("999999999 999999999 10\n") // hostile header: huge declared counts
+	f.Add("1 2\n1 " + strings.Repeat("2 ", 128) + "\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		h, err := ReadHgr(strings.NewReader(in))
 		if err != nil {
@@ -60,6 +64,8 @@ func FuzzReadBLIF(f *testing.F) {
 	f.Add(".model m\n.inputs a\n.outputs z\n.names a z\n1 1\n.end\n")
 	f.Add(".model m\n.latch a b re c 0\n.end\n")
 	f.Add(".model m\n.names \\\na z\n.end\n")
+	f.Add(".model m\n.inputs " + strings.Repeat("i ", 256) + "\n.end\n")
+	f.Add(".model m\n.names " + strings.Repeat("\\\nx ", 32) + "z\n.end\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		c, err := ReadBLIF(strings.NewReader(in))
 		if err != nil {

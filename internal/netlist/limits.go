@@ -1,0 +1,94 @@
+package netlist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+)
+
+// Limits bounds what the text parsers will accept. The readers in this
+// package are exposed to untrusted input by the partitioning service
+// (`POST /v1/partition` uploads), so every quantity an input file can
+// inflate — line length, node/net counts, net arity — is capped before the
+// corresponding allocation happens. Exceeding a limit yields a *LimitError.
+//
+// A zero value in any field selects that field's DefaultLimits entry, so
+// Limits{} behaves exactly like DefaultLimits().
+type Limits struct {
+	// MaxLineBytes caps one logical input line (after BLIF '\'
+	// continuations are joined).
+	MaxLineBytes int
+	// MaxNodes caps the number of nodes (PHG node/pad directives, the hgr
+	// header node count, BLIF gates+latches+primary I/Os).
+	MaxNodes int
+	// MaxNets caps the number of nets (PHG net directives, the hgr header
+	// net count, BLIF signals).
+	MaxNets int
+	// MaxPins caps the arity of a single net (pins on one PHG/hgr net
+	// line, inputs of one BLIF .names record).
+	MaxPins int
+}
+
+// DefaultLimits returns the caps used by the plain Read* functions:
+// generous enough for every published benchmark family, small enough that a
+// hostile upload cannot drive unbounded allocation.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxLineBytes: 1 << 20, // 1 MiB logical line
+		MaxNodes:     1 << 22, // ~4M nodes
+		MaxNets:      1 << 22, // ~4M nets
+		MaxPins:      1 << 20, // ~1M pins on a single net
+	}
+}
+
+func (l Limits) normalize() Limits {
+	d := DefaultLimits()
+	if l.MaxLineBytes <= 0 {
+		l.MaxLineBytes = d.MaxLineBytes
+	}
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = d.MaxNodes
+	}
+	if l.MaxNets <= 0 {
+		l.MaxNets = d.MaxNets
+	}
+	if l.MaxPins <= 0 {
+		l.MaxPins = d.MaxPins
+	}
+	return l
+}
+
+// scanner builds a bufio.Scanner whose maximum token size enforces
+// MaxLineBytes. lineErr translates the scanner's overflow into a LimitError.
+func (l Limits) bufferFor(sc *bufio.Scanner) {
+	max := l.MaxLineBytes
+	initial := 64 * 1024
+	if initial > max {
+		initial = max
+	}
+	sc.Buffer(make([]byte, initial), max)
+}
+
+// lineErr maps bufio.ErrTooLong onto the typed limit error; other scanner
+// errors pass through unchanged.
+func (l Limits) lineErr(format string, err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return &LimitError{Format: format, Quantity: "line bytes", Limit: l.MaxLineBytes}
+	}
+	return err
+}
+
+// LimitError reports input that exceeded a configured parser limit. It is
+// returned (wrapped) by the Read* functions; match with errors.As.
+type LimitError struct {
+	// Format names the parser: "phg", "hgr", or "blif".
+	Format string
+	// Quantity names what overflowed: "line bytes", "nodes", "nets", "pins".
+	Quantity string
+	// Limit is the configured cap that was exceeded.
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%s: input exceeds %s limit (%d)", e.Format, e.Quantity, e.Limit)
+}

@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The service feeds these readers untrusted uploads; every quantity a
+// hostile file can inflate must hit a typed LimitError instead of an
+// unbounded allocation.
+
+func wantLimitError(t *testing.T, err error, format, quantity string) {
+	t.Helper()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.Format != format || le.Quantity != quantity {
+		t.Fatalf("want %s/%s limit error, got %s/%s (%v)", format, quantity, le.Format, le.Quantity, le)
+	}
+}
+
+func TestPHGLimits(t *testing.T) {
+	lim := Limits{MaxNodes: 2, MaxNets: 1, MaxPins: 3, MaxLineBytes: 64}
+
+	_, err := ReadPHGLimits(strings.NewReader("phg\nnode a 1\nnode b 1\nnode c 1\n"), lim)
+	wantLimitError(t, err, "phg", "nodes")
+
+	_, err = ReadPHGLimits(strings.NewReader("phg\nnode a 1\npad p\nnet x 0 1\nnet y 0 1\n"), lim)
+	wantLimitError(t, err, "phg", "nets")
+
+	_, err = ReadPHGLimits(strings.NewReader("phg\nnode a 1\nnet x 0 0 0 0\n"), lim)
+	wantLimitError(t, err, "phg", "pins")
+
+	long := "phg\n# " + strings.Repeat("x", 200) + "\n"
+	_, err = ReadPHGLimits(strings.NewReader(long), lim)
+	wantLimitError(t, err, "phg", "line bytes")
+
+	// Zero limits mean defaults: ordinary inputs keep parsing.
+	h, err := ReadPHGLimits(strings.NewReader("phg\nnode a 1\npad p\nnet n 0 1\n"), Limits{})
+	if err != nil || h.NumNodes() != 2 {
+		t.Fatalf("defaults rejected valid input: %v %v", h, err)
+	}
+}
+
+func TestHgrLimits(t *testing.T) {
+	lim := Limits{MaxNodes: 4, MaxNets: 4, MaxPins: 2}
+
+	// Headers claiming huge counts must be rejected before allocation.
+	_, err := ReadHgrLimits(strings.NewReader("999999999 3\n"), lim)
+	wantLimitError(t, err, "hgr", "nets")
+
+	_, err = ReadHgrLimits(strings.NewReader("1 999999999\n1 2\n"), lim)
+	wantLimitError(t, err, "hgr", "nodes")
+
+	_, err = ReadHgrLimits(strings.NewReader("1 4\n1 2 3 4\n"), lim)
+	wantLimitError(t, err, "hgr", "pins")
+}
+
+func TestBLIFLimits(t *testing.T) {
+	lim := Limits{MaxNodes: 3, MaxPins: 2, MaxLineBytes: 64}
+
+	_, err := ReadBLIFLimits(strings.NewReader(".model m\n.inputs a b c d\n.end\n"), lim)
+	wantLimitError(t, err, "blif", "nodes")
+
+	_, err = ReadBLIFLimits(strings.NewReader(".model m\n.names a b c z\n.end\n"), lim)
+	wantLimitError(t, err, "blif", "pins")
+
+	// A '\' continuation chain must not accumulate past MaxLineBytes.
+	chain := ".model m\n.names " + strings.Repeat("\\\naaaaaaaaaaaaaaaa ", 16) + "z\n.end\n"
+	_, err = ReadBLIFLimits(strings.NewReader(chain), lim)
+	wantLimitError(t, err, "blif", "line bytes")
+}

@@ -64,13 +64,23 @@ func sanitizeName(name string, fallback int) string {
 	}, name)
 }
 
-// ReadPHG parses the PHG format written by WritePHG.
+// ReadPHG parses the PHG format written by WritePHG, applying
+// DefaultLimits. Use ReadPHGLimits to accept untrusted input under custom
+// caps.
 func ReadPHG(r io.Reader) (*hypergraph.Hypergraph, error) {
+	return ReadPHGLimits(r, Limits{})
+}
+
+// ReadPHGLimits parses PHG input under the given parser limits; exceeding
+// one returns a *LimitError. Zero Limits fields select DefaultLimits.
+func ReadPHGLimits(r io.Reader, lim Limits) (*hypergraph.Hypergraph, error) {
+	lim = lim.normalize()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lim.bufferFor(sc)
 	var b hypergraph.Builder
 	lineNo := 0
 	sawHeader := false
+	nets := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -89,15 +99,27 @@ func ReadPHG(r io.Reader) (*hypergraph.Hypergraph, error) {
 			if err != nil || size < 1 {
 				return nil, fmt.Errorf("phg line %d: bad size %q", lineNo, fields[2])
 			}
+			if b.NumNodes() >= lim.MaxNodes {
+				return nil, &LimitError{Format: "phg", Quantity: "nodes", Limit: lim.MaxNodes}
+			}
 			b.AddInterior(fields[1], size)
 		case "pad":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("phg line %d: pad wants 1 arg", lineNo)
 			}
+			if b.NumNodes() >= lim.MaxNodes {
+				return nil, &LimitError{Format: "phg", Quantity: "nodes", Limit: lim.MaxNodes}
+			}
 			b.AddPad(fields[1])
 		case "net":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("phg line %d: net wants a name and pins", lineNo)
+			}
+			if len(fields)-2 > lim.MaxPins {
+				return nil, &LimitError{Format: "phg", Quantity: "pins", Limit: lim.MaxPins}
+			}
+			if nets >= lim.MaxNets {
+				return nil, &LimitError{Format: "phg", Quantity: "nets", Limit: lim.MaxNets}
 			}
 			pins := make([]hypergraph.NodeID, 0, len(fields)-2)
 			for _, f := range fields[2:] {
@@ -108,12 +130,13 @@ func ReadPHG(r io.Reader) (*hypergraph.Hypergraph, error) {
 				pins = append(pins, hypergraph.NodeID(idx))
 			}
 			b.AddNet(fields[1], pins...)
+			nets++
 		default:
 			return nil, fmt.Errorf("phg line %d: unknown directive %q", lineNo, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, lim.lineErr("phg", err)
 	}
 	if !sawHeader {
 		return nil, fmt.Errorf("phg: missing header line")
@@ -145,9 +168,19 @@ func WriteHgr(w io.Writer, h *hypergraph.Hypergraph) error {
 
 // ReadHgr parses hMETIS format, accepting fmt codes 0 (unweighted) and 10
 // (node weights). Weight-0 nodes become pads; all others are interior.
+// DefaultLimits apply; use ReadHgrLimits for untrusted input.
 func ReadHgr(r io.Reader) (*hypergraph.Hypergraph, error) {
+	return ReadHgrLimits(r, Limits{})
+}
+
+// ReadHgrLimits parses hMETIS input under the given parser limits. The
+// header's declared node and net counts are validated against the limits
+// before any proportional allocation happens; exceeding a cap returns a
+// *LimitError. Zero Limits fields select DefaultLimits.
+func ReadHgrLimits(r io.Reader, lim Limits) (*hypergraph.Hypergraph, error) {
+	lim = lim.normalize()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lim.bufferFor(sc)
 	readLine := func() ([]string, error) {
 		for sc.Scan() {
 			line := strings.TrimSpace(sc.Text())
@@ -157,7 +190,7 @@ func ReadHgr(r io.Reader) (*hypergraph.Hypergraph, error) {
 			return strings.Fields(line), nil
 		}
 		if err := sc.Err(); err != nil {
-			return nil, err
+			return nil, lim.lineErr("hgr", err)
 		}
 		return nil, io.EOF
 	}
@@ -173,6 +206,12 @@ func ReadHgr(r io.Reader) (*hypergraph.Hypergraph, error) {
 	if err1 != nil || err2 != nil || nNets < 0 || nNodes <= 0 {
 		return nil, fmt.Errorf("hgr: bad header %v", header)
 	}
+	if nNodes > lim.MaxNodes {
+		return nil, &LimitError{Format: "hgr", Quantity: "nodes", Limit: lim.MaxNodes}
+	}
+	if nNets > lim.MaxNets {
+		return nil, &LimitError{Format: "hgr", Quantity: "nets", Limit: lim.MaxNets}
+	}
 	format := "0"
 	if len(header) == 3 {
 		format = header[2]
@@ -187,6 +226,9 @@ func ReadHgr(r io.Reader) (*hypergraph.Hypergraph, error) {
 		fields, err := readLine()
 		if err != nil {
 			return nil, fmt.Errorf("hgr: net %d: %w", e+1, err)
+		}
+		if len(fields) > lim.MaxPins {
+			return nil, &LimitError{Format: "hgr", Quantity: "pins", Limit: lim.MaxPins}
 		}
 		pins := make(netRec, 0, len(fields))
 		for _, f := range fields {

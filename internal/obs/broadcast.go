@@ -1,0 +1,162 @@
+package obs
+
+import "sync"
+
+// Broadcast is a Sink that retains the event stream and fans it out to any
+// number of live subscribers. It backs the partitioning service's
+// `GET /v1/jobs/{id}/events` endpoint: the partitioning goroutine emits
+// into the Broadcast, and each HTTP streaming handler holds a Subscription.
+//
+// Guarantees:
+//
+//   - Ordering: events are delivered to every subscriber in emit order.
+//     A Subscription's History followed by its channel reads reconstructs
+//     a prefix-preserving subsequence of the emitted stream.
+//   - Late subscribers: Subscribe atomically snapshots the history and
+//     registers for live delivery, so no event is both missed and absent
+//     from History.
+//   - Slow subscribers: delivery is non-blocking. When a subscriber's
+//     buffer is full the event is dropped for that subscriber only, and
+//     its Dropped counter advances; the emitting goroutine never stalls on
+//     a stuck reader.
+//   - Termination: Close marks the stream complete and closes every
+//     subscriber channel. Subscriptions taken after Close see the full
+//     history and an already-closed channel.
+//
+// All methods are safe for concurrent use.
+type Broadcast struct {
+	mu      sync.Mutex
+	events  []Event
+	subs    map[*Subscription]struct{}
+	closed  bool
+	dropped uint64
+}
+
+// NewBroadcast returns an empty broadcast sink.
+func NewBroadcast() *Broadcast {
+	return &Broadcast{subs: make(map[*Subscription]struct{})}
+}
+
+// Event retains e and fans it out to the live subscribers without blocking.
+// Events arriving after Close are dropped (the stream has ended).
+func (b *Broadcast) Event(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.events = append(b.events, e)
+	for sub := range b.subs {
+		select {
+		case sub.ch <- e:
+		default:
+			sub.dropped++
+			b.dropped++
+		}
+	}
+}
+
+// Subscription is one subscriber's view of a Broadcast stream.
+type Subscription struct {
+	// History holds every event emitted before the subscription was taken,
+	// in emit order. Consume it before reading C.
+	History []Event
+
+	b       *Broadcast
+	ch      chan Event
+	dropped uint64
+	done    bool
+}
+
+// C yields the events emitted after the subscription was taken, in order.
+// It is closed when the Broadcast closes or the subscription is cancelled.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// Dropped reports how many events were discarded for this subscriber
+// because its buffer was full.
+func (s *Subscription) Dropped() uint64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscription and closes its channel. Safe to call
+// more than once, and after the Broadcast has closed.
+func (s *Subscription) Cancel() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	delete(s.b.subs, s)
+	close(s.ch)
+}
+
+// Subscribe returns a subscription whose History is the stream so far and
+// whose channel receives subsequent events, buffered to buf (minimum 1).
+// The snapshot and the registration are atomic: no emit can fall between
+// them.
+func (b *Broadcast) Subscribe(buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub := &Subscription{
+		History: append([]Event(nil), b.events...),
+		b:       b,
+		ch:      make(chan Event, buf),
+	}
+	if b.closed {
+		sub.done = true
+		close(sub.ch)
+		return sub
+	}
+	b.subs[sub] = struct{}{}
+	return sub
+}
+
+// Close ends the stream: every subscriber channel is closed and later
+// Event calls become no-ops. Safe to call more than once.
+func (b *Broadcast) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		sub.done = true
+		close(sub.ch)
+		delete(b.subs, sub)
+	}
+}
+
+// Closed reports whether Close has been called.
+func (b *Broadcast) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Events returns a copy of the retained stream in emit order.
+func (b *Broadcast) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len returns the number of retained events.
+func (b *Broadcast) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Dropped returns the total number of per-subscriber event drops.
+func (b *Broadcast) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

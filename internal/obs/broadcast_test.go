@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func emitN(b *Broadcast, n int) {
+	for i := 0; i < n; i++ {
+		b.Event(Event{Type: ImprovePass, Iteration: i + 1})
+	}
+}
+
+// drain consumes a subscription to completion (History + channel) and
+// returns the iteration numbers seen, in order.
+func drain(sub *Subscription) []int {
+	var got []int
+	for _, e := range sub.History {
+		got = append(got, e.Iteration)
+	}
+	for e := range sub.C() {
+		got = append(got, e.Iteration)
+	}
+	return got
+}
+
+func TestBroadcastReplayAndLive(t *testing.T) {
+	b := NewBroadcast()
+	emitN(b, 3)
+
+	sub := b.Subscribe(16)
+	if len(sub.History) != 3 {
+		t.Fatalf("history: want 3 events, got %d", len(sub.History))
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []int
+	go func() {
+		defer wg.Done()
+		got = drain(sub)
+	}()
+	emitN(b, 3)
+	b.Close()
+	wg.Wait()
+
+	if len(got) != 6 {
+		t.Fatalf("want 6 events (3 replayed + 3 live), got %d: %v", len(got), got)
+	}
+	for i, it := range got {
+		want := i + 1
+		if i >= 3 {
+			want = i - 2 // live events restart iteration numbering
+		}
+		if it != want {
+			t.Fatalf("ordering violated at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestBroadcastOrderingExact(t *testing.T) {
+	const n = 500
+	b := NewBroadcast()
+	sub := b.Subscribe(n) // buffer large enough: no drops allowed
+	done := make(chan []int)
+	go func() { done <- drain(sub) }()
+	emitN(b, n)
+	b.Close()
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("want %d events, got %d (dropped=%d)", n, len(got), sub.Dropped())
+	}
+	for i, it := range got {
+		if it != i+1 {
+			t.Fatalf("out of order at %d: got %d", i, it)
+		}
+	}
+}
+
+func TestBroadcastSlowSubscriberDrop(t *testing.T) {
+	const n = 100
+	b := NewBroadcast()
+	sub := b.Subscribe(1) // deliberately tiny: reader never drains
+	emitN(b, n)           // emitter must not block
+	b.Close()
+
+	got := drain(sub)
+	if sub.Dropped() == 0 || b.Dropped() == 0 {
+		t.Fatalf("expected drops for a stuck subscriber, got sub=%d total=%d", sub.Dropped(), b.Dropped())
+	}
+	if uint64(len(got))+sub.Dropped() != n {
+		t.Fatalf("received %d + dropped %d != emitted %d", len(got), sub.Dropped(), n)
+	}
+	// Whatever survives must still be an increasing subsequence.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("drop policy broke ordering: %v", got)
+		}
+	}
+	// The full stream is still retained for late (replay) subscribers.
+	if b.Len() != n {
+		t.Fatalf("retained %d of %d events", b.Len(), n)
+	}
+}
+
+func TestBroadcastSubscribeAfterClose(t *testing.T) {
+	b := NewBroadcast()
+	emitN(b, 4)
+	b.Close()
+	b.Event(Event{Type: ImprovePass, Iteration: 99}) // must be dropped
+
+	sub := b.Subscribe(4)
+	got := drain(sub) // channel is already closed; only history remains
+	if len(got) != 4 || got[3] != 4 {
+		t.Fatalf("late subscriber: want full 4-event history, got %v", got)
+	}
+	if !b.Closed() {
+		t.Fatal("Closed() should report true")
+	}
+}
+
+func TestBroadcastCancelIdempotent(t *testing.T) {
+	b := NewBroadcast()
+	sub := b.Subscribe(1)
+	sub.Cancel()
+	sub.Cancel() // second cancel must not panic
+	emitN(b, 3)  // emitting to a cancelled sub must not panic or block
+	b.Close()    // close after cancel must not double-close
+	if got := drain(sub); len(got) != 0 {
+		t.Fatalf("cancelled subscription received %v", got)
+	}
+}
+
+// TestBroadcastConcurrent hammers subscribe/consume/cancel from many
+// goroutines while an emitter runs — the -race leg's target. Subscribers
+// that stay attached until Close must observe an ordered subsequence with
+// received+dropped accounting intact.
+func TestBroadcastConcurrent(t *testing.T) {
+	const (
+		events      = 2000
+		subscribers = 16
+	)
+	b := NewBroadcast()
+	var wg sync.WaitGroup
+
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := b.Subscribe(8)
+			if i%3 == 0 {
+				// A third of the subscribers detach mid-stream.
+				for j := 0; j < 10; j++ {
+					select {
+					case _, ok := <-sub.C():
+						if !ok {
+							return
+						}
+					}
+				}
+				sub.Cancel()
+				return
+			}
+			prev := -1
+			seen := len(sub.History)
+			for _, e := range sub.History {
+				if e.Iteration <= prev {
+					t.Errorf("history out of order")
+					return
+				}
+				prev = e.Iteration
+			}
+			for e := range sub.C() {
+				if e.Iteration <= prev {
+					t.Errorf("live stream out of order: %d after %d", e.Iteration, prev)
+					return
+				}
+				prev = e.Iteration
+				seen++
+			}
+			if uint64(seen)+sub.Dropped() > events {
+				t.Errorf("accounting overflow: seen=%d dropped=%d", seen, sub.Dropped())
+			}
+		}(i)
+	}
+
+	emitN(b, events)
+	b.Close()
+	wg.Wait()
+
+	if b.Len() != events {
+		t.Fatalf("retained %d of %d", b.Len(), events)
+	}
+}

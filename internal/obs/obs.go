@@ -85,6 +85,20 @@ func (t EventType) String() string {
 // MarshalText renders the type name, so JSONSink output is self-describing.
 func (t EventType) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
 
+// UnmarshalText parses a type name, so consumers of the JSON event stream
+// (the service's NDJSON endpoint, trace post-processors) can decode events
+// back into obs.Event.
+func (t *EventType) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i, n := range eventNames {
+		if n == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown event type %q", s)
+}
+
 // Event is one observation from the pipeline. Only the fields relevant to
 // the Type are set; the rest stay zero (and are elided from JSON output).
 type Event struct {

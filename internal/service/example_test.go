@@ -1,0 +1,54 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fpart/internal/service"
+)
+
+// Example_submitAndCache embeds a six-node hypergraph, partitions it onto an
+// XC3020, and resubmits the identical request: the second submission is
+// answered from the content-addressed result cache without recomputation.
+func Example_submitAndCache() {
+	const netlist = `phg
+node a 2
+node b 2
+node c 2
+node d 2
+pad p
+pad q
+net n1 0 1 4
+net n2 1 2
+net n3 2 3 5
+net n4 0 3
+`
+
+	s := service.New(service.Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	submit := func() service.Snapshot {
+		job, err := s.Submit(service.Request{
+			Netlist: netlist,
+			Format:  "phg",
+			Device:  "XC3020",
+			Method:  "fpart",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		<-job.Done() // a cache hit is born done; a miss runs on the pool
+		return s.Snapshot(job)
+	}
+
+	first := submit()
+	second := submit()
+	fmt.Printf("first: %s cached=%v feasible=%v\n", first.State, first.Cached, first.Result.Feasible)
+	fmt.Printf("second: %s cached=%v\n", second.State, second.Cached)
+	fmt.Printf("same key: %v\n", first.Key == second.Key)
+	// Output:
+	// first: done cached=false feasible=true
+	// second: done cached=true
+	// same key: true
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
+	"fpart/internal/quality"
+)
+
+// apiRequest is the JSON body of POST /v1/partition.
+type apiRequest struct {
+	// Circuit names a built-in benchmark; Netlist uploads one instead.
+	Circuit string  `json:"circuit,omitempty"`
+	Format  string  `json:"format,omitempty"`
+	Netlist string  `json:"netlist,omitempty"`
+	Arch    string  `json:"arch,omitempty"`
+	Device  string  `json:"device"`
+	Fill    float64 `json:"fill,omitempty"`
+	Method  string  `json:"method,omitempty"`
+	// TimeoutMS bounds the run in milliseconds (0 = service default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobView is the JSON rendering of a job.
+type JobView struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Method    string `json:"method"`
+	Device    string `json:"device"`
+	Circuit   string `json:"circuit"`
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms,omitempty"`
+
+	Error string `json:"error,omitempty"`
+
+	// Result fields, present once State is "done".
+	K          int             `json:"k,omitempty"`
+	M          int             `json:"m,omitempty"`
+	Feasible   bool            `json:"feasible,omitempty"`
+	Quality    *quality.Report `json:"quality,omitempty"`
+	Stats      *obs.Stats      `json:"stats,omitempty"`
+	Assignment []int           `json:"assignment,omitempty"`
+}
+
+func viewOf(snap Snapshot, withAssignment bool) JobView {
+	v := JobView{
+		ID:          snap.ID,
+		State:       snap.State,
+		Method:      snap.Method,
+		Device:      snap.Device,
+		Circuit:     snap.Circuit,
+		Key:         snap.Key,
+		Cached:      snap.Cached,
+		Coalesced:   snap.Coalesced,
+		SubmittedAt: snap.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !snap.Started.IsZero() {
+		v.StartedAt = snap.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !snap.Finished.IsZero() {
+		v.FinishedAt = snap.Finished.UTC().Format(time.RFC3339Nano)
+		v.ElapsedMS = snap.Finished.Sub(snap.Started).Milliseconds()
+	}
+	if snap.Err != nil {
+		v.Error = snap.Err.Error()
+	}
+	if snap.State == StateDone && snap.Result != nil {
+		v.K = snap.Result.K
+		v.M = snap.Result.M
+		v.Feasible = snap.Result.Feasible
+		v.Quality = snap.Report
+		v.Stats = snap.Result.Stats
+		if withAssignment {
+			p := snap.Result.Partition
+			h := p.Hypergraph()
+			v.Assignment = make([]int, h.NumNodes())
+			for i := range v.Assignment {
+				v.Assignment[i] = int(p.Block(hypergraph.NodeID(i)))
+			}
+		}
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/partition        submit a job (202; 200 on a cache hit)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status (+ ?assignment=1 for the blocks)
+//	DELETE /v1/jobs/{id}        cancel a live job
+//	GET    /v1/jobs/{id}/events stream the job's events (NDJSON, or SSE
+//	                            when Accept includes text/event-stream)
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/partition", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req apiRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	job, err := s.Submit(Request{
+		Circuit: req.Circuit,
+		Format:  req.Format,
+		Netlist: req.Netlist,
+		Arch:    req.Arch,
+		Device:  req.Device,
+		Fill:    req.Fill,
+		Method:  req.Method,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.Snapshot(job)
+	status := http.StatusAccepted
+	if snap.Cached {
+		status = http.StatusOK // answered without queueing
+	}
+	writeJSON(w, status, viewOf(snap, false))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.Jobs()
+	views := make([]JobView, len(snaps))
+	for i, snap := range snaps {
+		views[i] = viewOf(snap, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	withAssignment := r.URL.Query().Get("assignment") != ""
+	writeJSON(w, http.StatusOK, viewOf(s.Snapshot(job), withAssignment))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	live := s.Cancel(job)
+	writeJSON(w, http.StatusOK, map[string]any{"id": job.ID(), "canceled": live})
+}
+
+// handleEvents streams a job's event feed: the retained history first,
+// then live events until the job completes or the client goes away.
+// Output is NDJSON (one obs.Event per line) unless the client asks for
+// text/event-stream, in which case each event rides an SSE data frame.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	write := func(e obs.Event) {
+		if sse {
+			fmt.Fprint(w, "data: ")
+		}
+		_ = enc.Encode(e)
+		if sse {
+			fmt.Fprint(w, "\n")
+		}
+	}
+
+	sub := job.Events().Subscribe(s.cfg.EventBuffer)
+	defer sub.Cancel()
+	for _, e := range sub.History {
+		write(e)
+	}
+	flush()
+	for {
+		select {
+		case e, ok := <-sub.C():
+			if !ok {
+				return // stream complete: the job reached a terminal state
+			}
+			write(e)
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

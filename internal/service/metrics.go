@@ -1,0 +1,131 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"fpart/internal/obs"
+)
+
+// phaseBounds are the per-phase wall-time histogram bucket upper bounds,
+// in seconds.
+var phaseBounds = [...]float64{0.001, 0.01, 0.1, 1, 10}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// bucket i counts observations ≤ phaseBounds[i]; +Inf is implicit).
+type histogram struct {
+	mu      sync.Mutex
+	buckets [len(phaseBounds)]uint64
+	count   uint64
+	sum     float64
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += seconds
+	for i, b := range phaseBounds {
+		if seconds <= b {
+			h.buckets[i]++
+		}
+	}
+}
+
+// metrics aggregates the service's operational counters. Counters are
+// atomic so the hot paths never contend with the /metrics scrape.
+type metrics struct {
+	submitted    atomic.Int64
+	done         atomic.Int64
+	failed       atomic.Int64
+	canceled     atomic.Int64
+	rejected     atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	coalesced    atomic.Int64
+	computations atomic.Int64
+	busy         atomic.Int64
+
+	phase [obs.NumPhases]histogram
+}
+
+func (m *metrics) finished(state State) {
+	switch state {
+	case StateDone:
+		m.done.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCanceled:
+		m.canceled.Add(1)
+	}
+}
+
+// observePhases folds one completed run's per-phase wall times into the
+// histograms.
+func (m *metrics) observePhases(st *obs.Stats) {
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		m.phase[p].observe(st.PhaseTime[p].Seconds())
+	}
+}
+
+// hitRate is cache hits (including coalesced riders) over all admissions
+// that could have hit.
+func (m *metrics) hitRate() float64 {
+	hits := m.cacheHits.Load() + m.coalesced.Load()
+	total := hits + m.cacheMisses.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// WriteMetrics renders the Prometheus text exposition of the service's
+// state: queue depth, worker utilization, cache effectiveness, job
+// lifecycle counters, and the per-phase timing histograms.
+func (s *Service) WriteMetrics(w io.Writer) {
+	s.mu.Lock()
+	cacheLen := s.cache.len()
+	jobsRetained := len(s.jobs)
+	s.mu.Unlock()
+
+	g := func(name string, v any, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	c := func(name string, v int64, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	g("fpartd_queue_depth", len(s.queue), "admitted jobs waiting for a worker")
+	g("fpartd_queue_capacity", cap(s.queue), "bounded queue size")
+	g("fpartd_workers", s.cfg.Workers, "worker pool size")
+	g("fpartd_workers_busy", s.m.busy.Load(), "workers currently partitioning")
+	g("fpartd_cache_entries", cacheLen, "memoized results")
+	g("fpartd_cache_hit_rate", fmt.Sprintf("%.4f", s.m.hitRate()), "cache hits (incl. coalesced) / lookups")
+	g("fpartd_jobs_retained", jobsRetained, "jobs queryable via the API")
+
+	c("fpartd_jobs_submitted_total", s.m.submitted.Load(), "admitted submissions")
+	c("fpartd_jobs_done_total", s.m.done.Load(), "jobs finished successfully")
+	c("fpartd_jobs_failed_total", s.m.failed.Load(), "jobs finished with an error")
+	c("fpartd_jobs_canceled_total", s.m.canceled.Load(), "jobs canceled or aborted")
+	c("fpartd_jobs_rejected_total", s.m.rejected.Load(), "submissions rejected by queue backpressure")
+	c("fpartd_cache_hits_total", s.m.cacheHits.Load(), "submissions answered from the result cache")
+	c("fpartd_cache_misses_total", s.m.cacheMisses.Load(), "submissions that queued a computation")
+	c("fpartd_coalesced_total", s.m.coalesced.Load(), "submissions coalesced onto an in-flight computation")
+	c("fpartd_computations_total", s.m.computations.Load(), "partitioning runs executed by the pool")
+
+	const hn = "fpartd_phase_seconds"
+	fmt.Fprintf(w, "# HELP %s wall time per algorithm phase per run\n# TYPE %s histogram\n", hn, hn)
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		h := &s.m.phase[p]
+		h.mu.Lock()
+		for i, b := range phaseBounds {
+			fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n", hn, p.String(), fmt.Sprintf("%g", b), h.buckets[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", hn, p.String(), h.count)
+		fmt.Fprintf(w, "%s_sum{phase=%q} %g\n", hn, p.String(), h.sum)
+		fmt.Fprintf(w, "%s_count{phase=%q} %d\n", hn, p.String(), h.count)
+		h.mu.Unlock()
+	}
+}

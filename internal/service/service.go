@@ -1,0 +1,578 @@
+// Package service turns the one-shot partitioning pipeline into a
+// long-running daemon: a bounded job queue feeding a worker pool, a
+// content-addressed result cache, and live per-job event streaming.
+//
+// The shape of the system:
+//
+//	POST /v1/partition ──▶ admission ──▶ bounded queue ──▶ worker pool
+//	                          │                                │
+//	                          │ cache hit / in-flight          ▼
+//	                          ▼ coalescing               driver.Run
+//	                      result cache ◀──────────── quality.Analyze
+//	                                                        │
+//	     GET /v1/jobs/{id}/events ◀── obs.Broadcast fan-out ◀┘
+//
+// Partitioning is a repeatedly-invoked inner service inside larger CAD
+// loops: the same circuit/device pair is queried many times under sweeps
+// and what-if edits. The cache keys on the content of the canonicalized
+// hypergraph plus device and method, so identical queries — whatever their
+// transport or naming — return in O(1), and concurrent identical queries
+// coalesce onto a single computation.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpart/internal/device"
+	"fpart/internal/driver"
+	"fpart/internal/hypergraph"
+	"fpart/internal/netlist"
+	"fpart/internal/obs"
+	"fpart/internal/quality"
+)
+
+// Config tunes the service. The zero value is production-ready.
+type Config struct {
+	// Workers sizes the worker pool; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs; a full
+	// queue rejects submissions with ErrQueueFull (HTTP 429). 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache; 0 means 128.
+	CacheEntries int
+	// JobRetention bounds how many finished jobs stay queryable; the
+	// oldest finished jobs are forgotten first. 0 means 1024.
+	JobRetention int
+	// DefaultTimeout bounds each job's run when the submission does not
+	// carry its own deadline; 0 means no limit.
+	DefaultTimeout time.Duration
+	// MaxRequestBytes caps an HTTP request body; 0 means 8 MiB.
+	MaxRequestBytes int64
+	// EventBuffer sizes each event subscriber's channel; 0 means 256.
+	EventBuffer int
+	// Limits bounds the netlist parsers for uploaded circuits; the zero
+	// value applies netlist.DefaultLimits.
+	Limits netlist.Limits
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 1024
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	return c
+}
+
+// Errors surfaced by Submit; the HTTP layer maps them onto status codes.
+var (
+	// ErrQueueFull means admission succeeded but the queue is at capacity
+	// (HTTP 429: retry with backoff).
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrShuttingDown means the service no longer admits jobs (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Request describes one partitioning submission. Exactly one of Circuit
+// (a built-in benchmark) or Netlist (an uploaded netlist body in Format)
+// must be set.
+type Request struct {
+	// Circuit names a built-in MCNC benchmark.
+	Circuit string
+	// Format and Netlist carry an uploaded netlist ("phg", "hgr", "blif").
+	Format  string
+	Netlist string
+	// Arch is the BLIF CLB architecture ("" = device family default).
+	Arch string
+	// Device names the target FPGA (required).
+	Device string
+	// Fill overrides the device filling ratio δ (0 keeps the published
+	// value).
+	Fill float64
+	// Method selects the partitioner ("" = "fpart").
+	Method string
+	// Timeout bounds this job's run (0 = the service default).
+	Timeout time.Duration
+}
+
+// Job is one partitioning run owned by the service. All fields are
+// maintained under the service mutex; read them through Snapshot.
+type Job struct {
+	id      string
+	key     string
+	method  string
+	device  device.Device
+	circuit string
+
+	h *hypergraph.Hypergraph
+
+	state     State
+	cached    bool
+	coalesced bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	bcast  *obs.Broadcast
+	cancel context.CancelFunc
+	// followers are identical-key jobs coalesced onto this leader; they
+	// complete when it does.
+	followers []*Job
+
+	result *driver.Result
+	report *quality.Report
+	err    error
+	done   chan struct{}
+
+	timeout time.Duration
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's content-addressed cache key.
+func (j *Job) Key() string { return j.key }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Events returns the job's broadcast stream (shared with the coalescing
+// leader for follower jobs).
+func (j *Job) Events() *obs.Broadcast { return j.bcast }
+
+// Snapshot is an immutable copy of a job's externally visible state.
+type Snapshot struct {
+	ID        string
+	Key       string
+	State     State
+	Method    string
+	Device    string
+	Circuit   string
+	Cached    bool
+	Coalesced bool
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Err       error
+	// Result and Report are non-nil once State is StateDone.
+	Result *driver.Result
+	Report *quality.Report
+}
+
+// Service is the concurrent partitioning daemon core. Create one with New,
+// serve its Handler, and stop it with Shutdown.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and retention
+	inflight map[string]*Job
+	cache    *resultCache
+	closed   bool
+
+	queue   chan *Job
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	nextID atomic.Int64
+	m      metrics
+
+	// run dispatches a job's computation; tests substitute it to model
+	// slow or failing runs.
+	run func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error)
+}
+
+// New starts a service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		cache:    newResultCache(cfg.CacheEntries),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		run:      driver.Run,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the normalized configuration the service runs with.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit validates and admits one partitioning request. The returned job
+// is already terminal for cache hits. ErrQueueFull and ErrShuttingDown
+// report admission failures; other errors are invalid requests.
+func (s *Service) Submit(req Request) (*Job, error) {
+	dev, ok := device.ByName(req.Device)
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q", req.Device)
+	}
+	if req.Fill != 0 {
+		if req.Fill < 0 || req.Fill > 1 {
+			return nil, fmt.Errorf("fill %v out of range (0,1]", req.Fill)
+		}
+		dev = dev.WithFill(req.Fill)
+	}
+	method := req.Method
+	if method == "" {
+		method = "fpart"
+	}
+	if !driver.ValidMethod(method) {
+		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, driver.Methods())
+	}
+	if (req.Circuit == "") == (req.Netlist == "") {
+		return nil, errors.New("set exactly one of circuit (built-in) or netlist (upload)")
+	}
+	src := driver.Source{Builtin: req.Circuit, Arch: req.Arch, Limits: s.cfg.Limits}
+	if req.Netlist != "" {
+		src.Reader = strings.NewReader(req.Netlist)
+		src.Format = req.Format
+		src.Name = "upload." + req.Format
+	}
+	c, err := driver.Load(src, dev)
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	key := Fingerprint(c.Hypergraph, dev, method)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	job := &Job{
+		id:        "job-" + strconv.FormatInt(s.nextID.Add(1), 10),
+		key:       key,
+		method:    method,
+		device:    dev,
+		circuit:   c.Name,
+		h:         c.Hypergraph,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		timeout:   timeout,
+	}
+
+	if ent, ok := s.cache.get(key); ok {
+		// O(1) path: replay the cached outcome, including its event
+		// stream, without touching the queue.
+		job.state = StateDone
+		job.cached = true
+		job.started = job.submitted
+		job.finished = job.submitted
+		job.result = ent.res
+		job.report = &ent.report
+		job.bcast = obs.NewBroadcast()
+		for _, e := range ent.events {
+			job.bcast.Event(e)
+		}
+		job.bcast.Close()
+		close(job.done)
+		s.m.cacheHits.Add(1)
+		s.m.finished(StateDone)
+		s.remember(job)
+		return job, nil
+	}
+
+	if leader, ok := s.inflight[key]; ok {
+		// An identical computation is already queued or running: ride it.
+		job.state = leader.state
+		job.coalesced = true
+		job.bcast = leader.bcast
+		leader.followers = append(leader.followers, job)
+		s.m.coalesced.Add(1)
+		s.remember(job)
+		return job, nil
+	}
+
+	job.state = StateQueued
+	job.bcast = obs.NewBroadcast()
+	select {
+	case s.queue <- job:
+	default:
+		s.m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.inflight[key] = job
+	s.m.cacheMisses.Add(1)
+	s.remember(job)
+	return job, nil
+}
+
+// remember records the job for lookup and trims retention. Callers hold mu.
+func (s *Service) remember(job *Job) {
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.m.submitted.Add(1)
+	for len(s.order) > s.cfg.JobRetention {
+		evicted := false
+		for i, id := range s.order {
+			if j := s.jobs[id]; j != nil && j.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live: keep them all queryable
+		}
+	}
+}
+
+func (j *Job) terminal() bool {
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of the retained jobs in submission order.
+func (s *Service) Jobs() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Snapshot, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.snapshotLocked())
+		}
+	}
+	return out
+}
+
+// Snapshot returns an immutable copy of the job's state.
+func (s *Service) Snapshot(j *Job) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *Job) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		Method:    j.method,
+		Device:    j.device.Name,
+		Circuit:   j.circuit,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Err:       j.err,
+		Result:    j.result,
+		Report:    j.report,
+	}
+}
+
+// Cancel aborts a job: queued jobs (and their followers) complete as
+// canceled without running; running jobs have their context cancelled and
+// complete as canceled when the engine unwinds. Terminal jobs are left
+// untouched. Reports whether the job was still live.
+func (s *Service) Cancel(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		if j.coalesced {
+			// Detach the follower only; the leader computation stands.
+			s.finishFollowerLocked(j, StateCanceled, context.Canceled)
+			return true
+		}
+		delete(s.inflight, j.key)
+		s.completeLocked(j, StateCanceled, nil, context.Canceled)
+		return true
+	case StateRunning:
+		if j.coalesced {
+			s.finishFollowerLocked(j, StateCanceled, context.Canceled)
+			return true
+		}
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// worker pulls jobs off the queue until the queue closes at shutdown.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Service) runJob(job *Job) {
+	s.mu.Lock()
+	if job.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	for _, f := range job.followers {
+		if f.state == StateQueued {
+			f.state = StateRunning
+			f.started = job.started
+		}
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if job.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, job.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	job.cancel = cancel
+	s.mu.Unlock()
+
+	s.m.busy.Add(1)
+	res, err := s.run(ctx, job.method, job.h, job.device, job.bcast)
+	s.m.busy.Add(-1)
+	s.m.computations.Add(1)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, job.key)
+	if err != nil {
+		state := StateFailed
+		if errors.Is(err, context.Canceled) {
+			state = StateCanceled
+		}
+		s.completeLocked(job, state, nil, err)
+		return
+	}
+	report := quality.Analyze(res.Partition, res.M)
+	s.cache.add(job.key, cacheEntry{res: res, report: report, events: job.bcast.Events()})
+	if res.Stats != nil {
+		s.m.observePhases(res.Stats)
+	}
+	s.completeLocked(job, StateDone, res, nil)
+}
+
+// completeLocked moves a leader job (and its followers) to a terminal
+// state. Callers hold mu.
+func (s *Service) completeLocked(job *Job, state State, res *driver.Result, err error) {
+	job.state = state
+	job.finished = time.Now()
+	job.err = err
+	job.result = res
+	if res != nil {
+		report := quality.Analyze(res.Partition, res.M)
+		job.report = &report
+	}
+	s.m.finished(state)
+	close(job.done)
+	for _, f := range job.followers {
+		if f.terminal() {
+			continue // cancelled earlier
+		}
+		f.state = state
+		f.finished = job.finished
+		f.err = err
+		f.result = job.result
+		f.report = job.report
+		s.m.finished(state)
+		close(f.done)
+	}
+	job.followers = nil
+	job.bcast.Close()
+	job.h = nil // the circuit is no longer needed; let it collect
+}
+
+// finishFollowerLocked detaches one coalesced follower early (cancel path).
+func (s *Service) finishFollowerLocked(f *Job, state State, err error) {
+	f.state = state
+	f.finished = time.Now()
+	f.err = err
+	s.m.finished(state)
+	close(f.done)
+}
+
+// QueueDepth reports the number of admitted-but-unstarted jobs.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Shutdown stops admission, waits for queued and running jobs to drain,
+// and — if ctx expires first — cancels every in-flight job's context and
+// waits for the workers to unwind. It returns ctx.Err() on the forced
+// path, nil on a clean drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // abort in-flight runs; queued jobs fail fast
+		<-done
+		return ctx.Err()
+	}
+}

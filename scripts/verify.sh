@@ -13,5 +13,5 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 go test ./...
-go test -race ./internal/obs ./internal/core ./internal/sanchis
+go test -race ./internal/obs ./internal/core ./internal/sanchis ./internal/service ./internal/driver
 echo "verify: all green"
