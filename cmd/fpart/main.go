@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/driver"
 	"fpart/internal/hypergraph"
@@ -60,6 +61,8 @@ func run() error {
 	replicateFlag := flag.Bool("replicate", false, "after partitioning a BLIF input, run the functional replication pass (needs -format blif)")
 	fill := flag.Float64("fill", 0, "override the device filling ratio δ (0 keeps the paper's value)")
 	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit; fpart and portfolio only)")
+	parallel := flag.Int("parallel", 0, "worker budget for speculation and portfolio racing (0 = all CPUs)")
+	spec := flag.Int("spec", 1, "speculative peeling width for -method fpart: race this many candidate bipartitions per peel step (1 = sequential)")
 	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json (fpart and portfolio only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the partitioning run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after partitioning) to this file")
@@ -120,7 +123,11 @@ func run() error {
 	// run still leaves usable profiles of the work done.
 	defer stopProfiles()
 
-	res, err := driver.Run(ctx, *method, h, dev, sink)
+	res, err := driver.RunOpts(ctx, *method, h, dev, driver.Options{
+		Sink:      sink,
+		SpecWidth: *spec,
+		Budget:    core.NewBudget(driver.ClampParallel(*parallel)),
+	})
 	if errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("timed out after %v (raise -timeout or relax the instance)", *timeout)
 	}

@@ -48,7 +48,8 @@ func main() {
 // teardown) survives error exits and panics.
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker pool size and shared CPU budget (0 = GOMAXPROCS)")
+	spec := flag.Int("spec", 1, "speculative peeling width for fpart jobs: race this many candidates per peel step within the worker budget (1 = sequential)")
 	queueDepth := flag.Int("queue", 0, "bounded job queue depth; overflow is rejected with 429 (0 = 64)")
 	cacheEntries := flag.Int("cache", 0, "result cache capacity in entries, LRU-evicted (0 = 128)")
 	retention := flag.Int("retention", 0, "finished jobs kept queryable (0 = 1024)")
@@ -66,6 +67,7 @@ func run() error {
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
+		SpecWidth:      *spec,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		JobRetention:   *retention,

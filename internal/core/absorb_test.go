@@ -42,7 +42,7 @@ func fragmented(t *testing.T) (*partition.Partition, partition.BlockID) {
 func TestAbsorbSmallestDissolvesFragment(t *testing.T) {
 	p, frag := fragmented(t)
 	var st Stats
-	if !absorbSmallest(p, &st, nil) {
+	if !absorbSmallest(p, new(partition.Snapshot), &st, nil) {
 		t.Fatal("absorption failed on an absorbable fragment")
 	}
 	if p.Nodes(frag) != 0 {
@@ -56,7 +56,7 @@ func TestAbsorbSmallestDissolvesFragment(t *testing.T) {
 	}
 	// Nothing else absorbable: blocks 0 and 1 are 10 and 12 cells; the
 	// device caps at 12, so a second call must refuse and roll back.
-	if absorbSmallest(p, &st, nil) {
+	if absorbSmallest(p, new(partition.Snapshot), &st, nil) {
 		t.Error("absorbed a block that cannot fit anywhere")
 	}
 	if st.Absorbed != 1 {
@@ -88,7 +88,7 @@ func TestAbsorbRollsBackOnFailure(t *testing.T) {
 	p2.Move(v2, b2)
 	// v2 cannot join v0's or v1's block (size 6+1 > 6): absorption fails.
 	var st Stats
-	if absorbSmallest(p2, &st, nil) {
+	if absorbSmallest(p2, new(partition.Snapshot), &st, nil) {
 		t.Error("absorbed into a size-saturated block")
 	}
 	if p2.Nodes(b2) != 1 {
@@ -124,7 +124,7 @@ func TestAbsorbTraceLine(t *testing.T) {
 	var buf bytes.Buffer
 	var st Stats
 	em := obs.NewEmitter(obs.NewTextSink(&buf), "")
-	if absorbSmallest(p, &st, em) {
+	if absorbSmallest(p, new(partition.Snapshot), &st, em) {
 		if !strings.Contains(buf.String(), "absorbed") {
 			t.Error("absorption did not trace")
 		}

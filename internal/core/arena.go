@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+
+	"fpart/internal/partition"
+	"fpart/internal/sanchis"
+)
+
+// arena bundles a partition clone with an engine bound to it. Speculative
+// peeling draws one arena per candidate and returns it after the round, so
+// each candidate's graph-sized state (assignment arrays, net counters,
+// gain buckets, level scratch, solution-stack snapshots) is reset-and-
+// reused across candidates, peel steps, runs, and daemon jobs instead of
+// reallocated every round.
+type arena struct {
+	p   *partition.Partition
+	eng *sanchis.Engine
+}
+
+var arenaPool sync.Pool
+
+// getArena returns an arena whose partition is a copy of src and whose
+// engine is reset under ecfg. Engine.Reset rewinds all revision/memo state
+// through full capacity, so a pooled arena's trajectory is bit-identical
+// to a freshly allocated one — pool draw order cannot leak into results.
+func getArena(src *partition.Partition, ecfg sanchis.Config) *arena {
+	a, _ := arenaPool.Get().(*arena)
+	if a == nil {
+		a = &arena{p: &partition.Partition{}}
+	}
+	a.p.CopyFrom(src)
+	if a.eng == nil {
+		a.eng = sanchis.New(a.p, ecfg)
+	} else {
+		a.eng.Reset(a.p, ecfg)
+	}
+	return a
+}
+
+// putArena retires an arena. The engine drops its partition binding so a
+// pooled engine can never pin a partition that escaped to a caller; the
+// arena's own clone stays resident for reuse — that is the point.
+func putArena(a *arena) {
+	a.eng.Unbind()
+	arenaPool.Put(a)
+}
+
+// enginePool recycles the main sequential engine across runs. fpartd calls
+// Run once per job in a long-lived process, so this alone removes the
+// largest per-job allocation (buckets, level buffers, journal, stacks).
+var enginePool sync.Pool
+
+// getEngine returns an engine bound to p under cfg, reusing pooled scratch
+// when available.
+func getEngine(p *partition.Partition, cfg sanchis.Config) *sanchis.Engine {
+	if e, ok := enginePool.Get().(*sanchis.Engine); ok {
+		e.Reset(p, cfg)
+		return e
+	}
+	return sanchis.New(p, cfg)
+}
+
+// putEngine retires an engine to the pool.
+func putEngine(e *sanchis.Engine) {
+	e.Unbind()
+	enginePool.Put(e)
+}

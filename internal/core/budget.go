@@ -1,0 +1,68 @@
+package core
+
+import "context"
+
+// Budget is a counting semaphore bounding how many CPU-bound goroutines the
+// partitioning pipeline runs at once. One Budget is shared across every
+// layer that can go concurrent — daemon jobs (internal/service), portfolio
+// members, and intra-run speculative peeling — so stacking those layers
+// cannot oversubscribe the machine. A nil *Budget is valid and unlimited.
+//
+// Budget gates concurrency only, never results: speculative peeling runs
+// the same fixed candidate set at any capacity, executing candidates that
+// fail TryAcquire on the caller's goroutine instead of a new one.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget with n tokens; n < 1 is clamped to 1.
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	return &Budget{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the token capacity; 0 for the nil (unlimited) budget.
+func (b *Budget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.sem)
+}
+
+// Acquire blocks until a token is free or ctx is done, returning ctx's
+// error in the latter case. The nil budget grants immediately.
+func (b *Budget) Acquire(ctx context.Context) error {
+	if b == nil {
+		return ctx.Err()
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a token if one is free, without blocking. The nil
+// budget always grants.
+func (b *Budget) TryAcquire() bool {
+	if b == nil {
+		return true
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken by Acquire or TryAcquire.
+func (b *Budget) Release() {
+	if b == nil {
+		return
+	}
+	<-b.sem
+}

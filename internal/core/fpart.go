@@ -75,6 +75,19 @@ type Config struct {
 	// Label tags this configuration's events (obs.Event.Source).
 	// Portfolio fills it with "portfolio[i]" when empty.
 	Label string
+	// SpecWidth is the speculative peeling width: at every Algorithm 1
+	// step, race this many candidate bipartitions (candidate 0 is this
+	// configuration, the rest cycle the DefaultPortfolio engine variants)
+	// and adopt the one with the best §3.4 solution key. Values ≤ 1 select
+	// the classic sequential peel. The candidate set is fixed by the width
+	// alone and ties break to the lowest candidate index, so the result is
+	// deterministic at any Budget capacity and any goroutine schedule.
+	SpecWidth int
+	// Budget, when non-nil, caps the extra goroutines speculation may
+	// spawn (candidates that find no free token run on the caller's
+	// goroutine). Share one Budget across runs, portfolio members, and
+	// daemon jobs to bound total CPU oversubscription.
+	Budget *Budget
 }
 
 func (c Config) normalize() Config {
@@ -86,6 +99,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Engine == (sanchis.Config{}) {
 		c.Engine = sanchis.Default()
+	}
+	if c.SpecWidth < 1 {
+		c.SpecWidth = 1
 	}
 	return c
 }
@@ -163,7 +179,8 @@ func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg C
 	m := device.LowerBound(h, dev)
 	ecfg := cfg.Engine
 	ecfg.Obs = em
-	eng := sanchis.New(p, ecfg)
+	eng := getEngine(p, ecfg)
+	defer putEngine(eng)
 	cost := cfg.Engine.Cost
 	if cost == (partition.CostParams{}) {
 		cost = partition.DefaultCost()
@@ -182,27 +199,14 @@ func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg C
 		return nil, err
 	}
 
-	// improve runs one schedule step and folds the engine counters into
-	// the run stats; it returns ctx's error when the step was cut short.
-	improve := func(label string, blocks ...partition.BlockID) error {
-		t0 := time.Now()
-		st, err := eng.ImproveCtx(ctx, blocks, rem, m)
-		res.Stats.PhaseTime[obs.PhaseImprove] += time.Since(t0)
-		res.Stats.ImproveCalls++
-		res.Stats.Passes += st.Passes
-		res.Stats.MovesEvaluated += st.MovesEvaluated
-		res.Stats.MovesApplied += st.MovesApplied
-		res.Stats.MovesGated += st.MovesGated
-		res.Stats.BucketOps += st.BucketOps
-		res.Stats.Restarts += st.Restarts
-		if em.Enabled() {
-			em.Emit(obs.Event{
-				Type: obs.ImprovePass, Iteration: res.Stats.Iterations,
-				Label: label, Blocks: blockInts(blocks),
-				Passes: st.Passes, Moves: st.MovesApplied, Improved: st.Improved,
-			})
-		}
-		return err
+	r := &runState{
+		ctx: ctx, cfg: cfg, dev: dev,
+		p: p, eng: eng, cost: cost, rem: rem, m: m,
+		st: &res.Stats, em: em,
+	}
+	var spec *speculator
+	if cfg.SpecWidth > 1 {
+		spec = newSpeculator(cfg)
 	}
 
 	for !p.Feasible(rem) {
@@ -212,67 +216,19 @@ func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg C
 		if p.NumBlocks() >= maxBlocks {
 			break // bail out; Feasible stays false
 		}
-		res.Stats.Iterations++
-		em.Emit(obs.Event{Type: obs.BipartitionStart, Iteration: res.Stats.Iterations})
-		t0 := time.Now()
-		pk, ok := seed.Best(p, rem, dev, cost, m)
-		res.Stats.PhaseTime[obs.PhaseSeed] += time.Since(t0)
-		if !ok {
-			break
+		var (
+			out peelOutcome
+			err error
+		)
+		if spec != nil {
+			out, err = spec.round(r)
+		} else {
+			out, err = r.peelStep()
 		}
-		if p.NumBlocks() > res.Stats.PeakBlocks {
-			res.Stats.PeakBlocks = p.NumBlocks()
-		}
-		em.Emit(obs.Event{
-			Type: obs.BipartitionEnd, Iteration: res.Stats.Iterations,
-			Block: int(pk), Size: p.Size(pk), Terminals: p.Terminals(pk),
-		})
-
-		if err := improve("pair(R,Pk)", rem, pk); err != nil {
+		if err != nil {
 			return cancelled(err)
 		}
-		if !cfg.DisableSchedule {
-			if m <= cfg.NSmall {
-				if err := improve("all", allBlocks(p)...); err != nil {
-					return cancelled(err)
-				}
-			}
-			schedule := []struct {
-				label string
-				pick  func() partition.BlockID
-			}{
-				{"pair(Pmin_size,R)", func() partition.BlockID { return minSizeBlock(p, rem) }},
-				{"pair(Pmin_IO,R)", func() partition.BlockID { return minIOBlock(p, rem) }},
-				{"pair(Pmax_F,R)", func() partition.BlockID { return maxFreeBlock(p, rem, cfg.Sigma1, cfg.Sigma2) }},
-			}
-			prev := pk
-			for _, s := range schedule {
-				b := s.pick()
-				if b == partition.NoBlock || b == prev {
-					continue
-				}
-				if err := improve(s.label, b, rem); err != nil {
-					return cancelled(err)
-				}
-				prev = b
-			}
-			if p.NumBlocks() == m && m <= cfg.NSmall {
-				for b := 0; b < p.NumBlocks(); b++ {
-					if partition.BlockID(b) != rem {
-						if err := improve("final-pair", partition.BlockID(b), rem); err != nil {
-							return cancelled(err)
-						}
-					}
-				}
-			}
-		}
-
-		t0 = time.Now()
-		repairNonRemainder(p, rem, &res.Stats, em)
-		res.Stats.PhaseTime[obs.PhaseRepair] += time.Since(t0)
-
-		if p.Nodes(rem) == 0 {
-			// The remainder emptied out entirely; the partition is final.
+		if out != peelProgress {
 			break
 		}
 	}
@@ -280,7 +236,8 @@ func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg C
 	res.Feasible = p.Classify() == partition.FeasibleSolution
 	if res.Feasible && !cfg.DisableAbsorb {
 		t0 := time.Now()
-		for ctx.Err() == nil && absorbSmallest(p, &res.Stats, em) {
+		var snapBuf partition.Snapshot
+		for ctx.Err() == nil && absorbSmallest(p, &snapBuf, &res.Stats, em) {
 		}
 		res.Stats.PhaseTime[obs.PhaseAbsorb] += time.Since(t0)
 		if err := ctx.Err(); err != nil {
@@ -291,6 +248,131 @@ func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg C
 	res.Elapsed = time.Since(start)
 	em.Emit(obs.Event{Type: obs.RunEnd, K: res.K, M: m, Feasible: res.Feasible})
 	return res, nil
+}
+
+// peelOutcome reports how one Algorithm 1 step left the trajectory.
+type peelOutcome uint8
+
+const (
+	// peelProgress: a block was carved and improved; keep peeling.
+	peelProgress peelOutcome = iota
+	// peelStuck: seeding found no bipartition; the loop must stop.
+	peelStuck
+	// peelDone: the remainder emptied out entirely; the partition is final.
+	peelDone
+)
+
+// runState bundles one peeling trajectory: the partition being grown, the
+// engine improving it, and the stats/event stream describing it. The main
+// run owns one; every speculation candidate gets its own over an arena
+// clone, with iter carried over so candidate events continue the main
+// iteration numbering.
+type runState struct {
+	ctx  context.Context
+	cfg  Config
+	dev  device.Device
+	p    *partition.Partition
+	eng  *sanchis.Engine
+	cost partition.CostParams
+	rem  partition.BlockID
+	m    int
+	iter int // Algorithm 1 iteration counter for event labelling
+	st   *Stats
+	em   *obs.Emitter
+}
+
+// improve runs one schedule step and folds the engine counters into the
+// trajectory stats; it returns ctx's error when the step was cut short.
+func (r *runState) improve(label string, blocks ...partition.BlockID) error {
+	t0 := time.Now()
+	st, err := r.eng.ImproveCtx(r.ctx, blocks, r.rem, r.m)
+	r.st.PhaseTime[obs.PhaseImprove] += time.Since(t0)
+	r.st.ImproveCalls++
+	r.st.Passes += st.Passes
+	r.st.MovesEvaluated += st.MovesEvaluated
+	r.st.MovesApplied += st.MovesApplied
+	r.st.MovesGated += st.MovesGated
+	r.st.BucketOps += st.BucketOps
+	r.st.Restarts += st.Restarts
+	if r.em.Enabled() {
+		r.em.Emit(obs.Event{
+			Type: obs.ImprovePass, Iteration: r.iter,
+			Label: label, Blocks: blockInts(blocks),
+			Passes: st.Passes, Moves: st.MovesApplied, Improved: st.Improved,
+		})
+	}
+	return err
+}
+
+// peelStep executes one full Algorithm 1 iteration — seed a bipartition,
+// run the improvement schedule, repair semi-feasibility — and reports how
+// it left the trajectory. An error is the context's, already folded into
+// the partial step.
+func (r *runState) peelStep() (peelOutcome, error) {
+	r.iter++
+	r.st.Iterations++
+	r.em.Emit(obs.Event{Type: obs.BipartitionStart, Iteration: r.iter})
+	t0 := time.Now()
+	pk, ok := seed.Best(r.p, r.rem, r.dev, r.cost, r.m)
+	r.st.PhaseTime[obs.PhaseSeed] += time.Since(t0)
+	if !ok {
+		return peelStuck, nil
+	}
+	if r.p.NumBlocks() > r.st.PeakBlocks {
+		r.st.PeakBlocks = r.p.NumBlocks()
+	}
+	r.em.Emit(obs.Event{
+		Type: obs.BipartitionEnd, Iteration: r.iter,
+		Block: int(pk), Size: r.p.Size(pk), Terminals: r.p.Terminals(pk),
+	})
+
+	if err := r.improve("pair(R,Pk)", r.rem, pk); err != nil {
+		return peelProgress, err
+	}
+	if !r.cfg.DisableSchedule {
+		if r.m <= r.cfg.NSmall {
+			if err := r.improve("all", allBlocks(r.p)...); err != nil {
+				return peelProgress, err
+			}
+		}
+		schedule := []struct {
+			label string
+			pick  func() partition.BlockID
+		}{
+			{"pair(Pmin_size,R)", func() partition.BlockID { return minSizeBlock(r.p, r.rem) }},
+			{"pair(Pmin_IO,R)", func() partition.BlockID { return minIOBlock(r.p, r.rem) }},
+			{"pair(Pmax_F,R)", func() partition.BlockID { return maxFreeBlock(r.p, r.rem, r.cfg.Sigma1, r.cfg.Sigma2) }},
+		}
+		prev := pk
+		for _, s := range schedule {
+			b := s.pick()
+			if b == partition.NoBlock || b == prev {
+				continue
+			}
+			if err := r.improve(s.label, b, r.rem); err != nil {
+				return peelProgress, err
+			}
+			prev = b
+		}
+		if r.p.NumBlocks() == r.m && r.m <= r.cfg.NSmall {
+			for b := 0; b < r.p.NumBlocks(); b++ {
+				if partition.BlockID(b) != r.rem {
+					if err := r.improve("final-pair", partition.BlockID(b), r.rem); err != nil {
+						return peelProgress, err
+					}
+				}
+			}
+		}
+	}
+
+	t0 = time.Now()
+	repairNonRemainder(r.p, r.rem, r.st, r.em)
+	r.st.PhaseTime[obs.PhaseRepair] += time.Since(t0)
+
+	if r.p.Nodes(r.rem) == 0 {
+		return peelDone, nil
+	}
+	return peelProgress, nil
 }
 
 // blockInts converts block IDs for an event payload.
@@ -304,9 +386,10 @@ func blockInts(blocks []partition.BlockID) []int {
 
 // absorbSmallest tries to dissolve the smallest non-empty block by moving
 // each of its nodes into the feasible block with the strongest net
-// affinity. On failure the partition is restored. Reports whether a block
-// was dissolved.
-func absorbSmallest(p *partition.Partition, st *Stats, em *obs.Emitter) bool {
+// affinity. On failure the partition is restored. snapBuf is a reusable
+// rollback snapshot owned by the caller so the absorb loop allocates at
+// most once. Reports whether a block was dissolved.
+func absorbSmallest(p *partition.Partition, snapBuf *partition.Snapshot, st *Stats, em *obs.Emitter) bool {
 	target := partition.NoBlock
 	for b := 0; b < p.NumBlocks(); b++ {
 		id := partition.BlockID(b)
@@ -322,7 +405,8 @@ func absorbSmallest(p *partition.Partition, st *Stats, em *obs.Emitter) bool {
 		return false
 	}
 	h := p.Hypergraph()
-	snap := p.Snapshot()
+	*snapBuf = p.SnapshotInto(*snapBuf)
+	snap := *snapBuf
 	for p.Nodes(target) > 0 {
 		moved := false
 		// Take the node with the strongest pull toward some other block.
@@ -419,17 +503,35 @@ func Portfolio(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device,
 		err error
 	}
 	out := make([]slot, len(members))
+	runOne := func(i int) {
+		res, err := Run(runCtx, h, dev, members[i])
+		out[i] = slot{res, err}
+		if err == nil && res.Feasible && res.K == res.M {
+			cancel() // provably optimal: stop the losing members
+		}
+	}
+	// Member 0 runs on the caller's goroutine (whose budget token, if any,
+	// the caller already holds); the others spawn only when their budget
+	// has spare tokens and fall back to sequential execution otherwise, so
+	// a saturated machine degrades to the classic one-by-one portfolio.
 	var wg sync.WaitGroup
-	for i := range members {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			res, err := Run(runCtx, h, dev, members[i])
-			out[i] = slot{res, err}
-			if err == nil && res.Feasible && res.K == res.M {
-				cancel() // provably optimal: stop the losing members
-			}
-		}(i)
+	spawned := make([]bool, len(members))
+	for i := 1; i < len(members); i++ {
+		if members[i].Budget.TryAcquire() {
+			spawned[i] = true
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer members[i].Budget.Release()
+				runOne(i)
+			}(i)
+		}
+	}
+	runOne(0)
+	for i := 1; i < len(members); i++ {
+		if !spawned[i] {
+			runOne(i)
+		}
 	}
 	wg.Wait()
 

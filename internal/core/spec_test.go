@@ -1,0 +1,246 @@
+package core
+
+// Tests for speculative peeling (spec.go), the Budget semaphore, and the
+// arena/engine pools.
+
+import (
+	"context"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/gen"
+	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
+	"fpart/internal/partition"
+)
+
+// assignment flattens the final block of every node for exact comparison.
+func assignment(p *partition.Partition) []partition.BlockID {
+	out := make([]partition.BlockID, p.Hypergraph().NumNodes())
+	for v := range out {
+		out[v] = p.Block(hypergraph.NodeID(v))
+	}
+	return out
+}
+
+func equalAssign(a, b []partition.BlockID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func genInstance(t testing.TB, name string) *hypergraph.Hypergraph {
+	t.Helper()
+	spec, ok := gen.ByName(name)
+	if !ok {
+		t.Fatalf("spec %s missing", name)
+	}
+	return gen.Generate(spec, device.XC3000)
+}
+
+// TestSpeculativeNotWorseThanSequential is the differential guarantee of
+// the speculation design: adopting the per-step key winner can only match
+// or beat committing to the base candidate.
+func TestSpeculativeNotWorseThanSequential(t *testing.T) {
+	cases := []struct {
+		circuit string
+		dev     device.Device
+	}{
+		{"c3540", device.XC3042},
+		{"c5315", device.XC3042}, // speculation saves a whole device here
+		{"s5378", device.XC3042},
+		{"s9234", device.XC3090},
+	}
+	for _, tc := range cases {
+		t.Run(tc.circuit, func(t *testing.T) {
+			h := genInstance(t, tc.circuit)
+			seq, err := Partition(h, tc.dev, Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Default()
+			cfg.SpecWidth = 4
+			spec, err := Partition(h, tc.dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Partition.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if betterResult(seq, spec) {
+				t.Errorf("speculative (feasible=%v K=%d T=%d) worse than sequential (feasible=%v K=%d T=%d)",
+					spec.Feasible, spec.K, spec.Partition.TerminalSum(),
+					seq.Feasible, seq.K, seq.Partition.TerminalSum())
+			}
+			if spec.Stats.SpecRounds == 0 {
+				t.Error("width-4 run recorded no speculative rounds")
+			}
+			if spec.Stats.SpecLosses != 3*spec.Stats.SpecRounds {
+				t.Errorf("SpecLosses = %d, want 3 per round over %d rounds",
+					spec.Stats.SpecLosses, spec.Stats.SpecRounds)
+			}
+		})
+	}
+}
+
+// TestSpeculativeDeterministicAcrossBudgets: the Budget shapes concurrency
+// only; the adopted solution must be bit-identical at every capacity.
+func TestSpeculativeDeterministicAcrossBudgets(t *testing.T) {
+	h := genInstance(t, "c3540")
+	budgets := []*Budget{nil, NewBudget(1), NewBudget(4)}
+	var want []partition.BlockID
+	for trial := 0; trial < 2; trial++ {
+		for bi, b := range budgets {
+			cfg := Default()
+			cfg.SpecWidth = 4
+			cfg.Budget = b
+			r, err := Partition(h, device.XC3042, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := assignment(r.Partition)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !equalAssign(want, got) {
+				t.Fatalf("trial %d budget[%d]: assignment diverged from first run", trial, bi)
+			}
+		}
+	}
+}
+
+// TestSpeculativeEmitsWinLossEvents checks the per-candidate observability
+// contract: one spec-win and width-1 spec-losses per round, with variant
+// labels from the fixed cycle.
+func TestSpeculativeEmitsWinLossEvents(t *testing.T) {
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	var c obs.Collector
+	cfg := Default()
+	cfg.SpecWidth = 3
+	cfg.Sink = &c
+	r, err := Partition(h, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, h, r)
+	wins, losses := c.Count(obs.SpecWin), c.Count(obs.SpecLoss)
+	if wins != r.Stats.SpecRounds {
+		t.Errorf("spec-win events = %d, want one per round (%d)", wins, r.Stats.SpecRounds)
+	}
+	if losses != r.Stats.SpecLosses || losses != 2*r.Stats.SpecRounds {
+		t.Errorf("spec-loss events = %d, stats = %d, rounds = %d",
+			losses, r.Stats.SpecLosses, r.Stats.SpecRounds)
+	}
+	valid := map[string]bool{"base": true, "pin-gain": true, "deep-stack": true, "open-windows": true}
+	for _, ev := range c.Events() {
+		if ev.Type == obs.SpecWin || ev.Type == obs.SpecLoss {
+			if !valid[ev.Label] {
+				t.Errorf("unknown candidate label %q", ev.Label)
+			}
+			if ev.Candidate < 0 || ev.Candidate >= 3 {
+				t.Errorf("candidate index %d out of range", ev.Candidate)
+			}
+		}
+	}
+}
+
+// TestSpeculativeCancellation: a pre-cancelled context must abort a
+// speculative run exactly like a sequential one.
+func TestSpeculativeCancellation(t *testing.T) {
+	h := ringOfClusters(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Default()
+	cfg.SpecWidth = 4
+	if _, err := Run(ctx, h, dev, cfg); err == nil {
+		t.Fatal("cancelled speculative run returned no error")
+	}
+}
+
+// TestEnginePoolDeterminism: repeated runs in one process draw pooled
+// engines and arenas; their trajectories must match a fresh process's
+// first run exactly.
+func TestEnginePoolDeterminism(t *testing.T) {
+	h := genInstance(t, "c3540")
+	var want []partition.BlockID
+	for trial := 0; trial < 3; trial++ {
+		r, err := Partition(h, device.XC3042, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := assignment(r.Partition)
+		if want == nil {
+			want = got
+		} else if !equalAssign(want, got) {
+			t.Fatalf("trial %d: pooled-engine run diverged", trial)
+		}
+	}
+}
+
+func TestBudgetSemantics(t *testing.T) {
+	b := NewBudget(2)
+	if b.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", b.Cap())
+	}
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("fresh budget refused its capacity")
+	}
+	if b.TryAcquire() {
+		t.Fatal("budget over-granted")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+	if err := NewBudget(0); err.Cap() != 1 {
+		t.Errorf("NewBudget(0) capacity = %d, want clamp to 1", err.Cap())
+	}
+
+	// Acquire honours the context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	full := NewBudget(1)
+	full.TryAcquire()
+	if err := full.Acquire(ctx); err == nil {
+		t.Error("Acquire on a full budget ignored a dead context")
+	}
+
+	// The nil budget is unlimited and inert.
+	var nb *Budget
+	if !nb.TryAcquire() {
+		t.Error("nil budget refused")
+	}
+	if err := nb.Acquire(context.Background()); err != nil {
+		t.Error("nil budget Acquire errored")
+	}
+	nb.Release()
+	if nb.Cap() != 0 {
+		t.Error("nil budget reports capacity")
+	}
+}
+
+// TestPortfolioUnderUnitBudget: a one-token budget degrades the portfolio
+// to sequential execution but must still produce a valid best result.
+func TestPortfolioUnderUnitBudget(t *testing.T) {
+	h := ringOfClusters(t, 3, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	cfgs := DefaultPortfolio()
+	b := NewBudget(1)
+	for i := range cfgs {
+		cfgs[i].Budget = b
+	}
+	r, err := Portfolio(context.Background(), h, dev, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, h, r)
+}

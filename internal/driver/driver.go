@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"fpart/internal/core"
@@ -172,16 +173,55 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// ClampParallel normalizes a user-facing worker/parallelism count: values
+// below 1 (the "auto" setting of `fpart -parallel 0` and `fpartd
+// -workers 0`) select runtime.GOMAXPROCS(0). Both binaries and the service
+// share this one clamp so "auto" means the same thing everywhere.
+func ClampParallel(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Options tunes a RunOpts dispatch beyond the method name.
+type Options struct {
+	// Sink receives structured events from the fpart and portfolio methods.
+	Sink obs.Sink
+	// SpecWidth is the speculative peeling width for the fpart method
+	// (core.Config.SpecWidth); ≤ 1 selects the sequential peel. It does not
+	// multiply the portfolio — portfolio members already race whole runs.
+	SpecWidth int
+	// Budget, when non-nil, is the shared concurrency budget. RunOpts holds
+	// one token for the run itself; speculation and portfolio members draw
+	// extra tokens from the same pool when available.
+	Budget *core.Budget
+}
+
 // Run dispatches method on circuit h targeting dev. ctx and sink apply to
-// the fpart and portfolio methods (the baselines have no cancellation
-// points and emit no events).
+// the fpart and portfolio methods (the kwayx and flow baselines have no
+// cancellation points and emit no events). It is RunOpts with only a sink.
 func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*Result, error) {
+	return RunOpts(ctx, method, h, dev, Options{Sink: sink})
+}
+
+// RunOpts dispatches method on circuit h targeting dev under opts. When
+// opts.Budget is set, the call blocks until a worker token is free (or ctx
+// dies) and holds it for the whole dispatch, so concurrent callers — the
+// fpartd job runners — cannot oversubscribe the machine.
+func RunOpts(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	if err := opts.Budget.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer opts.Budget.Release()
 	start := time.Now()
 	m := device.LowerBound(h, dev)
 	switch method {
 	case "fpart":
 		cfg := core.Default()
-		cfg.Sink = sink
+		cfg.Sink = opts.Sink
+		cfg.SpecWidth = opts.SpecWidth
+		cfg.Budget = opts.Budget
 		r, err := core.Run(ctx, h, dev, cfg)
 		if err != nil {
 			return nil, err
@@ -190,7 +230,8 @@ func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev devic
 	case "portfolio":
 		cfgs := core.DefaultPortfolio()
 		for i := range cfgs {
-			cfgs[i].Sink = sink
+			cfgs[i].Sink = opts.Sink
+			cfgs[i].Budget = opts.Budget
 		}
 		r, err := core.Portfolio(ctx, h, dev, cfgs)
 		if err != nil {
@@ -210,7 +251,7 @@ func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev devic
 		}
 		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
 	case "multilevel":
-		r, err := multilevel.Partition(h, dev, multilevel.Config{})
+		r, err := multilevel.PartitionCtx(ctx, h, dev, multilevel.Config{})
 		if err != nil {
 			return nil, err
 		}

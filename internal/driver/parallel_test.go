@@ -1,0 +1,77 @@
+package driver
+
+// Tests for the shared parallelism clamp and the Options-based dispatch.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+)
+
+func TestClampParallel(t *testing.T) {
+	auto := runtime.GOMAXPROCS(0)
+	cases := []struct{ in, want int }{
+		{0, auto}, {-3, auto}, {1, 1}, {4, 4},
+	}
+	for _, tc := range cases {
+		if got := ClampParallel(tc.in); got != tc.want {
+			t.Errorf("ClampParallel(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunOptsSpeculativeFpart(t *testing.T) {
+	c, err := Load(Source{Builtin: "c3540"}, device.XC3042)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBudget(2)
+	r, err := RunOpts(context.Background(), "fpart", c.Hypergraph, device.XC3042, Options{
+		SpecWidth: 4,
+		Budget:    b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Error("speculative fpart dispatch infeasible")
+	}
+	if r.Stats == nil || r.Stats.SpecRounds == 0 {
+		t.Error("speculative dispatch recorded no speculation rounds")
+	}
+	// The dispatch token was released: the budget is fully available again.
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Error("RunOpts leaked a budget token")
+	}
+}
+
+func TestRunOptsHonoursCancelledAcquire(t *testing.T) {
+	c, err := Load(Source{Builtin: "c3540"}, device.XC3042)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBudget(1)
+	if !b.TryAcquire() {
+		t.Fatal("fresh budget refused")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOpts(ctx, "fpart", c.Hypergraph, device.XC3042, Options{Budget: b}); err == nil {
+		t.Error("RunOpts ran with no free token and a dead context")
+	}
+}
+
+func TestRunOptsMultilevelCancellation(t *testing.T) {
+	c, err := Load(Source{Builtin: "c3540"}, device.XC3042)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOpts(ctx, "multilevel", c.Hypergraph, device.XC3042, Options{}); err == nil {
+		t.Error("multilevel dispatch ignored a cancelled context")
+	}
+}

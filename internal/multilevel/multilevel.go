@@ -10,6 +10,7 @@
 package multilevel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -169,11 +170,12 @@ func coarsen(h *hypergraph.Hypergraph, maxClusterSize int) (*level, bool) {
 // vCycleSplit selects a node set of the remainder whose projection targets
 // a device-sized, min-cut block: coarsen, split the coarsest level, then
 // uncoarsen with FM refinement at every level. Returns the chosen fine-level
-// node set and the number of levels used.
-func vCycleSplit(p *partition.Partition, rem partition.BlockID, dev device.Device, cfg Config) ([]hypergraph.NodeID, int, bool) {
+// node set and the number of levels used. Cancelling ctx aborts between
+// coarsening levels and mid-refinement, returning ctx's error.
+func vCycleSplit(ctx context.Context, p *partition.Partition, rem partition.BlockID, dev device.Device, cfg Config) ([]hypergraph.NodeID, int, bool, error) {
 	remNodes := p.NodesIn(rem)
 	if len(remNodes) < 2 {
-		return nil, 0, false
+		return nil, 0, false, nil
 	}
 	base, back := p.Hypergraph().Induced(remNodes)
 	levels := []*level{{h: base}}
@@ -182,6 +184,9 @@ func vCycleSplit(p *partition.Partition, rem partition.BlockID, dev device.Devic
 		maxCluster = 2
 	}
 	for levels[len(levels)-1].h.NumNodes() > cfg.CoarsestNodes {
+		if err := ctx.Err(); err != nil {
+			return nil, len(levels), false, err
+		}
 		lv, ok := coarsen(levels[len(levels)-1].h, maxCluster)
 		if !ok {
 			break
@@ -209,7 +214,9 @@ func vCycleSplit(p *partition.Partition, rem partition.BlockID, dev device.Devic
 			StackDepth:   -1,
 			MaxPasses:    4,
 		})
-		eng.Improve([]partition.BlockID{0, blkA}, 0, device.LowerBound(lh, dev))
+		if _, err := eng.ImproveCtx(ctx, []partition.BlockID{0, blkA}, 0, device.LowerBound(lh, dev)); err != nil {
+			return nil, len(levels), false, err
+		}
 		// Re-read side A and project one level down.
 		if li > 0 {
 			finer := levels[li-1].h
@@ -243,9 +250,9 @@ func vCycleSplit(p *partition.Partition, rem partition.BlockID, dev device.Devic
 	}
 	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
 	if len(set) == 0 || len(set) == len(remNodes) {
-		return nil, len(levels), false
+		return nil, len(levels), false, nil
 	}
-	return set, len(levels), true
+	return set, len(levels), true, nil
 }
 
 // growSplit grows a connectivity-first cluster on the coarse graph until
@@ -372,8 +379,18 @@ func ClusterOrder(h *hypergraph.Hypergraph) []hypergraph.NodeID {
 	return append(final, orphans...)
 }
 
-// Partition runs the multilevel peeling driver.
+// Partition runs the multilevel peeling driver. It is PartitionCtx with a
+// background context.
 func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	return PartitionCtx(context.Background(), h, dev, cfg)
+}
+
+// PartitionCtx runs the multilevel peeling driver under ctx. Cancellation
+// is polled at every peel iteration, between coarsening levels, and inside
+// each level's FM refinement, so even one V-cycle on a large circuit
+// aborts promptly; the partial solution is discarded and ctx's error is
+// returned.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
 	start := time.Now()
 	if err := dev.Validate(); err != nil {
 		return nil, err
@@ -399,11 +416,17 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 	}
 
 	for !p.Feasible(rem) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if p.NumBlocks() >= maxBlocks {
 			break
 		}
 		res.Iterations++
-		set, lv, ok := vCycleSplit(p, rem, dev, cfg)
+		set, lv, ok, err := vCycleSplit(ctx, p, rem, dev, cfg)
+		if err != nil {
+			return nil, err
+		}
 		res.Levels = lv
 		if ok {
 			// Saturate the min-cut side under both constraints, exactly as

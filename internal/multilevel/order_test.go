@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"testing"
 
 	"fpart/internal/device"
@@ -103,7 +104,7 @@ func TestVCycleSplitTinyRemainder(t *testing.T) {
 	h := b.MustBuild()
 	dev := device.Device{Name: "d", DatasheetCells: 4, Pins: 4, Fill: 1.0}
 	p := partitionOf(t, h, dev)
-	if _, _, ok := vCycleSplit(p, 0, dev, Config{}.normalize()); ok {
+	if _, _, ok, _ := vCycleSplit(context.Background(), p, 0, dev, Config{}.normalize()); ok {
 		t.Error("single-node remainder split")
 	}
 }

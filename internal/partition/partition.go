@@ -50,8 +50,14 @@ type Partition struct {
 	blockNodes  []int // node count per block (interior + pads)
 
 	netCnt [][]netBlock // per net: pins per block (sparse, insertion order)
-	cut    int          // nets with span >= 2
-	moves  int64        // total Move calls, for statistics
+	// netBacking is one contiguous array holding every net's initial
+	// single-entry counter; New/Reset carve netCnt[e] out of it as a
+	// len-1/cap-1 window so building a partition costs O(1) allocations
+	// instead of one per net. A net whose span grows reallocates its own
+	// counter on the heap (append past cap), never touching a neighbour.
+	netBacking []netBlock
+	cut        int   // nets with span >= 2
+	moves      int64 // total Move calls, for statistics
 
 	// Incremental solution-cost aggregates, maintained by Move and AddBlock
 	// so that CountFeasible, TerminalSum, Distance, and Classify are O(1)
@@ -104,25 +110,91 @@ func FromAssignment(h *hypergraph.Hypergraph, dev device.Device, blocks []BlockI
 
 // New creates a partition with a single block 0 containing every node.
 func New(h *hypergraph.Hypergraph, dev device.Device) *Partition {
-	p := &Partition{h: h, dev: dev, k: 1,
-		smax: dev.SMax(), tmax: dev.TMax(), auxCap: dev.AuxCap}
-	p.assign = make([]BlockID, h.NumNodes())
-	p.blockSize = []int{h.TotalSize()}
-	p.blockAux = []int{h.TotalAux()}
-	p.blockCutInc = []int{0}
-	p.blockPads = []int{h.NumPads()}
-	p.blockNodes = []int{h.NumNodes()}
-	p.netCnt = make([][]netBlock, h.NumNets())
-	for e := range p.netCnt {
-		p.netCnt[e] = []netBlock{{b: 0, c: int32(len(h.Pins(hypergraph.NetID(e))))}}
+	p := &Partition{}
+	p.Reset(h, dev)
+	return p
+}
+
+// Reset rebinds p to hypergraph h on device dev and returns it to the
+// initial single-block state, reusing every buffer that still fits. It makes
+// a pooled Partition behaviourally indistinguishable from New(h, dev).
+func (p *Partition) Reset(h *hypergraph.Hypergraph, dev device.Device) {
+	p.h, p.dev = h, dev
+	p.k = 1
+	p.smax, p.tmax, p.auxCap = dev.SMax(), dev.TMax(), dev.AuxCap
+	n := h.NumNodes()
+	if cap(p.assign) < n {
+		p.assign = make([]BlockID, n)
+	} else {
+		p.assign = p.assign[:n]
+		for i := range p.assign {
+			p.assign[i] = 0
+		}
 	}
+	p.blockSize = append(p.blockSize[:0], h.TotalSize())
+	p.blockAux = append(p.blockAux[:0], h.TotalAux())
+	p.blockCutInc = append(p.blockCutInc[:0], 0)
+	p.blockPads = append(p.blockPads[:0], h.NumPads())
+	p.blockNodes = append(p.blockNodes[:0], n)
+	nets := h.NumNets()
+	if cap(p.netCnt) < nets {
+		p.netCnt = make([][]netBlock, nets)
+	} else {
+		p.netCnt = p.netCnt[:nets]
+	}
+	if cap(p.netBacking) < nets {
+		p.netBacking = make([]netBlock, nets)
+	} else {
+		p.netBacking = p.netBacking[:nets]
+	}
+	for e := range p.netCnt {
+		p.netBacking[e] = netBlock{b: 0, c: int32(len(h.Pins(hypergraph.NetID(e))))}
+		p.netCnt[e] = p.netBacking[e : e+1 : e+1]
+	}
+	p.cut = 0
+	p.moves = 0
+	p.ebM, p.ebNum = 0, 0
+	p.feasCount = 0
 	p.termSum = p.Terminals(0)
-	p.sizeOver = max0(p.blockSize[0] - dev.SMax())
-	p.termOver = max0(p.Terminals(0) - dev.TMax())
+	p.sizeOver = max0(p.blockSize[0] - p.smax)
+	p.termOver = max0(p.Terminals(0) - p.tmax)
 	if p.Feasible(0) {
 		p.feasCount = 1
 	}
-	return p
+}
+
+// CopyFrom makes p a deep, independent copy of src, reusing p's buffers
+// (including each net counter's grown capacity across repeated copies).
+// Speculative peeling clones the live partition into pooled arenas with it,
+// and adopts the winning candidate back the same way.
+func (p *Partition) CopyFrom(src *Partition) {
+	p.h, p.dev = src.h, src.dev
+	p.k = src.k
+	p.smax, p.tmax, p.auxCap = src.smax, src.tmax, src.auxCap
+	p.assign = append(p.assign[:0], src.assign...)
+	p.blockSize = append(p.blockSize[:0], src.blockSize...)
+	p.blockAux = append(p.blockAux[:0], src.blockAux...)
+	p.blockCutInc = append(p.blockCutInc[:0], src.blockCutInc...)
+	p.blockPads = append(p.blockPads[:0], src.blockPads...)
+	p.blockNodes = append(p.blockNodes[:0], src.blockNodes...)
+	nets := len(src.netCnt)
+	if cap(p.netCnt) < nets {
+		grown := make([][]netBlock, nets)
+		copy(grown, p.netCnt[:cap(p.netCnt)])
+		p.netCnt = grown
+	} else {
+		p.netCnt = p.netCnt[:nets]
+	}
+	for e, s := range src.netCnt {
+		p.netCnt[e] = append(p.netCnt[e][:0], s...)
+	}
+	p.cut = src.cut
+	p.moves = src.moves
+	p.feasCount = src.feasCount
+	p.termSum = src.termSum
+	p.sizeOver = src.sizeOver
+	p.termOver = src.termOver
+	p.ebM, p.ebNum = src.ebM, src.ebNum
 }
 
 // Hypergraph returns the underlying circuit.
@@ -358,9 +430,22 @@ type Snapshot struct {
 
 // Snapshot copies the current assignment.
 func (p *Partition) Snapshot() Snapshot {
-	s := Snapshot{assign: make([]BlockID, len(p.assign)), k: p.k}
-	copy(s.assign, p.assign)
-	return s
+	return p.SnapshotInto(Snapshot{})
+}
+
+// SnapshotInto is Snapshot reusing buf's storage when it is large enough.
+// The sanchis engine keeps a freelist of retired snapshot buffers and
+// refills them through this, so the solution stacks of §3.6 stop costing one
+// allocation per stacked solution.
+func (p *Partition) SnapshotInto(buf Snapshot) Snapshot {
+	n := len(p.assign)
+	if cap(buf.assign) < n {
+		buf.assign = make([]BlockID, n)
+	}
+	buf.assign = buf.assign[:n]
+	copy(buf.assign, p.assign)
+	buf.k = p.k
+	return buf
 }
 
 // K returns the number of blocks at the time of the snapshot.

@@ -207,6 +207,17 @@ type Engine struct {
 	activeV []int32
 	gainBuf []int32
 
+	// bucketN/bucketMaxG are the dimensions the direction buckets were
+	// built with. Buckets survive direction-count changes (their arrays are
+	// per-cell, not per-direction), but a pooled engine rebound to a graph
+	// with a different cell count or gain range must drop them.
+	bucketN, bucketMaxG int
+
+	// snapFree is the snapshot-buffer freelist: retired solution snapshots
+	// (restart stacks, incumbent-best) are refilled via SnapshotInto instead
+	// of allocating one assignment copy per snapshot.
+	snapFree []partition.Snapshot
+
 	// st accumulates effort counters for the Improve call in flight.
 	st *Stats
 }
@@ -218,14 +229,60 @@ type moveRec struct {
 
 // New creates an engine over p.
 func New(p *partition.Partition, cfg Config) *Engine {
-	cfg = cfg.normalize()
-	return &Engine{
-		p:      p,
-		h:      p.Hypergraph(),
-		cfg:    cfg,
-		locked: make([]bool, p.Hypergraph().NumNodes()),
-		stamp:  make([]int32, p.Hypergraph().NumNodes()),
-		st:     new(Stats), // discarded scratch outside Improve calls
+	e := &Engine{}
+	e.Reset(p, cfg)
+	return e
+}
+
+// Reset rebinds the engine to partition p under cfg, reusing every scratch
+// buffer that still fits. The per-cell revision counters, lock stamps, and
+// level-2 memo stamps are rewound to their initial state, so a pooled engine
+// replays exactly the trajectory a fresh New(p, cfg) engine would — the
+// determinism guarantee of speculative peeling rests on this.
+func (e *Engine) Reset(p *partition.Partition, cfg Config) {
+	e.p = p
+	e.cfg = cfg.normalize()
+	h := p.Hypergraph()
+	if e.h != h {
+		e.h = h
+		e.szOf = nil // node sizes are per-graph; prepare rebuilds
+	}
+	n := h.NumNodes()
+	if cap(e.locked) < n {
+		e.locked = make([]bool, n)
+		e.stamp = make([]int32, n)
+	} else {
+		e.locked = e.locked[:n]
+		e.stamp = e.stamp[:n]
+		clearBools(e.locked[:cap(e.locked)])
+		clearInt32s(e.stamp[:cap(e.stamp)])
+	}
+	e.epoch = 0
+	clearInt32s(e.g2stamp[:cap(e.g2stamp)])
+	clearInt32s(e.cellRev[:cap(e.cellRev)])
+	if e.st == nil {
+		e.st = new(Stats) // discarded scratch outside Improve calls
+	}
+}
+
+// Unbind drops the engine's partition reference so a pooled engine does not
+// pin its last run's partition (which escapes to callers via core.Result).
+// Graph-shaped caches — buckets, the size table — stay resident and are
+// revalidated by the next Reset.
+func (e *Engine) Unbind() { e.p = nil }
+
+// clearBools and clearInt32s zero a buffer through its full capacity, so a
+// buffer sliced down and back up between Resets cannot resurface stale
+// values.
+func clearBools(b []bool) {
+	for i := range b {
+		b[i] = false
+	}
+}
+
+func clearInt32s(b []int32) {
+	for i := range b {
+		b[i] = 0
 	}
 }
 
@@ -494,8 +551,22 @@ func (e *Engine) initPass() {
 		maxG *= 2 // pin deltas reach ±2 per net
 	}
 	nd := e.nb() * (e.nb() - 1)
+	if n != e.bucketN || maxG != e.bucketMaxG {
+		// Bucket arrays are sized by cell count and gain range; an engine
+		// rebound to different dimensions (pooled reuse, a PinGain variant)
+		// must rebuild them. Within fixed dimensions buckets survive
+		// direction-count changes: slots beyond the previous count hold
+		// nil (fresh) or a stale bucket that Clear below resets.
+		full := e.buckets[:cap(e.buckets)]
+		for i := range full {
+			full[i] = nil
+		}
+		e.bucketN, e.bucketMaxG = n, maxG
+	}
 	if cap(e.buckets) < nd {
-		e.buckets = make([]*gain.Bucket, nd)
+		grown := make([]*gain.Bucket, nd)
+		copy(grown, e.buckets[:cap(e.buckets)])
+		e.buckets = grown
 	}
 	e.buckets = e.buckets[:nd]
 	for d := range e.buckets {
@@ -1151,7 +1222,7 @@ func (e *Engine) runPass(ctx context.Context, collect *stacks) (improved bool, m
 	// Materialize stack snapshots before rolling back (entries reference
 	// journal prefixes of this pass).
 	if collect != nil {
-		collect.materialize(e.p, e.journal)
+		collect.materialize(e.p, e.journal, e.takeSnap)
 	}
 
 	// Roll back to the best prefix.
@@ -1213,8 +1284,10 @@ func insertRanked(list []stackEntry, ent stackEntry, depth int, less func(a, b s
 
 // materialize converts journal-prefix entries into real snapshots by
 // replaying the pass journal from its start state. Called exactly once, at
-// the end of the collecting pass, while the journal is fully applied.
-func (s *stacks) materialize(p *partition.Partition, journal []moveRec) {
+// the end of the collecting pass, while the journal is fully applied. take
+// snapshots the partition's current state (the engine passes takeSnap, so
+// the buffers come from the freelist).
+func (s *stacks) materialize(p *partition.Partition, journal []moveRec, take func() partition.Snapshot) {
 	all := append(append([]*stackEntry{}, refs(s.semi)...), refs(s.infeas)...)
 	if len(all) == 0 {
 		return
@@ -1228,7 +1301,7 @@ func (s *stacks) materialize(p *partition.Partition, journal []moveRec) {
 			pos--
 			p.Move(journal[pos].v, journal[pos].from)
 		}
-		ent.snap = p.Snapshot()
+		ent.snap = take()
 		ent.hasSnap = true
 	}
 	// Reapply to return to the fully-applied state runPass expects.
@@ -1354,7 +1427,7 @@ func (e *Engine) ImproveCtx(ctx context.Context, blocks []partition.BlockID, rem
 
 	series(collect)
 	bestKey := e.key()
-	bestSnap := e.p.Snapshot()
+	bestSnap := e.takeSnap()
 
 	restart := func(label string, ents []stackEntry) {
 		for _, ent := range ents {
@@ -1370,7 +1443,8 @@ func (e *Engine) ImproveCtx(ctx context.Context, blocks []partition.BlockID, rem
 			series(nil)
 			if key := e.key(); key.Better(bestKey) {
 				bestKey = key
-				bestSnap = e.p.Snapshot()
+				e.giveSnap(bestSnap)
+				bestSnap = e.takeSnap()
 				e.cfg.Obs.Emit(obs.Event{Type: obs.SolutionAccepted, Label: label})
 			} else {
 				e.cfg.Obs.Emit(obs.Event{Type: obs.SolutionRejected, Label: label})
@@ -1381,6 +1455,37 @@ func (e *Engine) ImproveCtx(ctx context.Context, blocks []partition.BlockID, rem
 	restart("infeasible", collect.infeas)
 
 	e.p.Restore(bestSnap)
+	e.giveSnap(bestSnap)
+	retireSnaps(e, collect.semi)
+	retireSnaps(e, collect.infeas)
 	st.Improved = bestKey.Better(startKey)
 	return st, ctx.Err()
+}
+
+// retireSnaps returns the stack entries' snapshot buffers to the engine's
+// freelist once the restart series are done with them.
+func retireSnaps(e *Engine, ents []stackEntry) {
+	for i := range ents {
+		if ents[i].hasSnap {
+			e.giveSnap(ents[i].snap)
+			ents[i] = stackEntry{}
+		}
+	}
+}
+
+// takeSnap snapshots the current partition into a buffer drawn from the
+// snapshot freelist (or a fresh one when the freelist is dry).
+func (e *Engine) takeSnap() partition.Snapshot {
+	var buf partition.Snapshot
+	if n := len(e.snapFree); n > 0 {
+		buf = e.snapFree[n-1]
+		e.snapFree = e.snapFree[:n-1]
+	}
+	return e.p.SnapshotInto(buf)
+}
+
+// giveSnap retires a snapshot's buffer to the freelist. The caller must not
+// use the snapshot afterwards: the next takeSnap overwrites it.
+func (e *Engine) giveSnap(s partition.Snapshot) {
+	e.snapFree = append(e.snapFree, s)
 }

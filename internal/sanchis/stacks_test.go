@@ -65,7 +65,7 @@ func TestMaterializeRestoresExactPrefixes(t *testing.T) {
 		{key: partition.Key{F: 1}, prefixLen: 1},
 		{key: partition.Key{F: 0}, prefixLen: 3},
 	}
-	s.materialize(p, journal)
+	s.materialize(p, journal, p.Snapshot)
 	for _, ent := range s.semi {
 		if !ent.hasSnap {
 			t.Fatal("entry missing snapshot")

@@ -22,6 +22,7 @@ package seed
 
 import (
 	"math"
+	"sync"
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
@@ -53,19 +54,51 @@ type tracker struct {
 }
 
 func newTracker(p *partition.Partition, rem partition.BlockID) *tracker {
-	h := p.Hypergraph()
-	t := &tracker{
-		p:      p,
-		h:      h,
-		rem:    rem,
-		inC:    make([]bool, h.NumNodes()),
-		pinsIn: make([]int32, h.NumNets()),
-		remPin: make([]int32, h.NumNets()),
-	}
-	for i := range t.remPin {
-		t.remPin[i] = -1
-	}
+	t := new(tracker)
+	t.reset(p, rem)
 	return t
+}
+
+// reset rebinds the tracker to (p, rem) and clears its state, reusing the
+// three graph-sized slices when they still fit. Pooled callers rely on a
+// reset tracker being indistinguishable from a fresh one.
+func (t *tracker) reset(p *partition.Partition, rem partition.BlockID) {
+	h := p.Hypergraph()
+	t.p, t.h, t.rem = p, h, rem
+	t.inC = resizeBools(t.inC, h.NumNodes())
+	t.pinsIn = resizeInt32s(t.pinsIn, h.NumNets(), 0)
+	t.remPin = resizeInt32s(t.remPin, h.NumNets(), -1)
+	t.size, t.aux, t.term, t.pads, t.nodes, t.intCut = 0, 0, 0, 0, 0, 0
+}
+
+// resizeBools returns a false-filled n-slice, reusing b's storage when it
+// fits.
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// resizeInt32s returns an n-slice filled with fill, reusing s's storage when
+// it fits.
+func resizeInt32s(s []int32, n int, fill int32) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+		if fill == 0 {
+			return s
+		}
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = fill
+	}
+	return s
 }
 
 // remainderPins returns the number of pins net e has inside the remainder.
@@ -144,19 +177,27 @@ func (t *tracker) Add(v hypergraph.NodeID) {
 // Contains reports whether v is already in the cluster.
 func (t *tracker) Contains(v hypergraph.NodeID) bool { return t.inC[v] }
 
+// bfsScratch recycles the distance array and queue of restrictedBFS across
+// peels (the seeding phase runs two BFS sweeps per peel step).
+type bfsScratch struct {
+	dist  []int32
+	queue []hypergraph.NodeID
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
 // restrictedBFS returns hop distances from seedNode over remainder nodes
-// only; -1 for unreached.
-func restrictedBFS(p *partition.Partition, rem partition.BlockID, seedNode hypergraph.NodeID) []int32 {
+// only; -1 for unreached. The returned slice belongs to bs and is valid
+// until bs returns to the pool.
+func restrictedBFS(bs *bfsScratch, p *partition.Partition, rem partition.BlockID, seedNode hypergraph.NodeID) []int32 {
 	h := p.Hypergraph()
-	dist := make([]int32, h.NumNodes())
-	for i := range dist {
-		dist[i] = -1
-	}
+	dist := resizeInt32s(bs.dist, h.NumNodes(), -1)
+	bs.dist = dist
 	dist[seedNode] = 0
-	queue := []hypergraph.NodeID{seedNode}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue := bs.queue[:0]
+	queue = append(queue, seedNode)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, e := range h.Nets(v) {
 			for _, u := range h.Pins(e) {
 				if p.Block(u) != rem {
@@ -169,6 +210,7 @@ func restrictedBFS(p *partition.Partition, rem partition.BlockID, seedNode hyper
 			}
 		}
 	}
+	bs.queue = queue[:0]
 	return dist
 }
 
@@ -194,7 +236,9 @@ func seeds(p *partition.Partition, rem partition.BlockID) (s1, s2 hypergraph.Nod
 	if s1 < 0 {
 		s1 = nodes[0] // pad-only remainder: degenerate but handled
 	}
-	dist := restrictedBFS(p, rem, s1)
+	bs := bfsPool.Get().(*bfsScratch)
+	defer bfsPool.Put(bs)
+	dist := restrictedBFS(bs, p, rem, s1)
 	s2 = -1
 	best := -1
 	const inf = math.MaxInt32
@@ -234,12 +278,14 @@ func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.D
 	smax := dev.SMax()
 
 	mk := func(s hypergraph.NodeID) *grow {
-		g := &grow{t: newTracker(p, rem), inFront: make([]bool, h.NumNodes())}
+		g := newGrow(p, rem)
 		g.add(p, h, rem, s)
 		return g
 	}
 	a := mk(s1)
 	b := mk(s2)
+	defer a.release()
+	defer b.release()
 
 	taken := func(v hypergraph.NodeID) bool { return a.t.Contains(v) || b.t.Contains(v) }
 
@@ -305,7 +351,7 @@ func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.D
 	if b.t.size > a.t.size {
 		a = b
 	}
-	return a.members, true
+	return a.detachMembers(), true
 }
 
 // add extends a grow cluster with v and refreshes its frontier.
@@ -333,6 +379,36 @@ type grow struct {
 	frontier []hypergraph.NodeID
 	inFront  []bool
 	done     bool
+}
+
+// growPool recycles grow clusters across peel steps: each §3.2 seeding pass
+// builds up to three of them, and the tracker plus membership slices are all
+// graph-sized.
+var growPool = sync.Pool{New: func() any { return &grow{t: new(tracker)} }}
+
+// newGrow draws a fully reset grow cluster from the pool.
+func newGrow(p *partition.Partition, rem partition.BlockID) *grow {
+	g := growPool.Get().(*grow)
+	g.t.reset(p, rem)
+	g.inFront = resizeBools(g.inFront, p.Hypergraph().NumNodes())
+	g.frontier = g.frontier[:0]
+	g.members = g.members[:0]
+	g.done = false
+	return g
+}
+
+// detachMembers hands ownership of the member list to the caller, so the
+// cluster can return to the pool while its result escapes.
+func (g *grow) detachMembers() []hypergraph.NodeID {
+	m := g.members
+	g.members = nil
+	return m
+}
+
+// release returns g to the pool, dropping its partition binding.
+func (g *grow) release() {
+	g.t.p, g.t.h = nil, nil
+	growPool.Put(g)
 }
 
 // RatioCutSweep runs the ratio-cut sweep from both seed points and returns
@@ -371,6 +447,17 @@ type attEntry struct {
 	a  int32
 	id hypergraph.NodeID
 }
+
+// sweepScratch recycles one ratio-cut sweep's working state (tracker,
+// attraction array, lazy heap, member list) across the two sweeps per peel.
+type sweepScratch struct {
+	t       *tracker
+	attract []int32
+	heap    attHeap
+	members []hypergraph.NodeID
+}
+
+var sweepPool = sync.Pool{New: func() any { return &sweepScratch{t: new(tracker)} }}
 
 // attHeap is a binary max-heap ordered by (attraction desc, node ID asc),
 // with lazy deletion: every attraction increment pushes a fresh entry, and
@@ -431,10 +518,20 @@ func (hp *attHeap) pop() attEntry {
 // records the best ratio prefix.
 func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device, s hypergraph.NodeID, remNodes []hypergraph.NodeID, totalSize int) (set []hypergraph.NodeID, ratio float64, found bool) {
 	h := p.Hypergraph()
-	t := newTracker(p, rem)
-	attract := make([]int32, h.NumNodes())
-	var heap attHeap
-	var members []hypergraph.NodeID
+	sc := sweepPool.Get().(*sweepScratch)
+	t := sc.t
+	t.reset(p, rem)
+	attract := resizeInt32s(sc.attract, h.NumNodes(), 0)
+	sc.attract = attract
+	heap := sc.heap[:0]
+	members := sc.members[:0]
+	defer func() {
+		// Retire the scratch with its grown capacities; members never
+		// escapes (the best prefix is copied out below).
+		sc.heap, sc.members = heap[:0], members[:0]
+		sc.t.p, sc.t.h = nil, nil
+		sweepPool.Put(sc)
+	}()
 
 	add := func(v hypergraph.NodeID) {
 		t.Add(v)
@@ -509,7 +606,8 @@ func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device,
 // baseline's min-cut side).
 func Grow(p *partition.Partition, rem partition.BlockID, dev device.Device, init []hypergraph.NodeID) []hypergraph.NodeID {
 	h := p.Hypergraph()
-	g := &grow{t: newTracker(p, rem), inFront: make([]bool, h.NumNodes())}
+	g := newGrow(p, rem)
+	defer g.release()
 	for _, v := range init {
 		g.add(p, h, rem, v)
 	}
@@ -549,7 +647,7 @@ func Grow(p *partition.Partition, rem partition.BlockID, dev device.Device, init
 			}
 		}
 		if bestV < 0 {
-			return g.members
+			return g.detachMembers()
 		}
 		g.add(p, h, rem, bestV)
 	}

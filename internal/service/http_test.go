@@ -149,13 +149,13 @@ func TestHTTPLiveEventStreaming(t *testing.T) {
 	unblock := func() { releaseOnce.Do(func() { close(release) }) }
 	defer unblock() // never leave the stub blocked when a Fatal unwinds
 	started := make(chan struct{})
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
-		em := obs.NewEmitter(sink, "test")
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
+		em := obs.NewEmitter(opts.Sink, "test")
 		em.Emit(obs.Event{Type: obs.RunStart})
 		close(started)
 		<-release
 		em.Emit(obs.Event{Type: obs.RunEnd})
-		return driver.Run(context.Background(), method, h, dev, sink)
+		return driver.RunOpts(context.Background(), method, h, dev, opts)
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -231,13 +231,13 @@ func TestHTTPStatusCodes(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
 		case <-ctx.Done():
 		}
-		return driver.Run(context.Background(), method, h, dev, sink)
+		return driver.RunOpts(context.Background(), method, h, dev, opts)
 	}
 	defer close(release)
 	ts := httptest.NewServer(s.Handler())
@@ -292,7 +292,7 @@ func TestHTTPCancel(t *testing.T) {
 	defer shutdownClean(t, s)
 
 	started := make(chan struct{})
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()

@@ -48,6 +48,10 @@ type metrics struct {
 	computations atomic.Int64
 	busy         atomic.Int64
 
+	specRounds atomic.Int64
+	specWins   atomic.Int64
+	specLosses atomic.Int64
+
 	phase [obs.NumPhases]histogram
 }
 
@@ -62,12 +66,15 @@ func (m *metrics) finished(state State) {
 	}
 }
 
-// observePhases folds one completed run's per-phase wall times into the
-// histograms.
+// observePhases folds one completed run's per-phase wall times and
+// speculation outcomes into the aggregates.
 func (m *metrics) observePhases(st *obs.Stats) {
 	for p := obs.Phase(0); p < obs.NumPhases; p++ {
 		m.phase[p].observe(st.PhaseTime[p].Seconds())
 	}
+	m.specRounds.Add(int64(st.SpecRounds))
+	m.specWins.Add(int64(st.SpecWins))
+	m.specLosses.Add(int64(st.SpecLosses))
 }
 
 // hitRate is cache hits (including coalesced riders) over all admissions
@@ -114,6 +121,9 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	c("fpartd_cache_misses_total", s.m.cacheMisses.Load(), "submissions that queued a computation")
 	c("fpartd_coalesced_total", s.m.coalesced.Load(), "submissions coalesced onto an in-flight computation")
 	c("fpartd_computations_total", s.m.computations.Load(), "partitioning runs executed by the pool")
+	c("fpartd_spec_rounds_total", s.m.specRounds.Load(), "speculative peeling rounds raced")
+	c("fpartd_spec_wins_total", s.m.specWins.Load(), "speculative rounds won by a non-base candidate")
+	c("fpartd_spec_losses_total", s.m.specLosses.Load(), "speculative candidates discarded")
 
 	const hn = "fpartd_phase_seconds"
 	fmt.Fprintf(w, "# HELP %s wall time per algorithm phase per run\n# TYPE %s histogram\n", hn, hn)

@@ -24,13 +24,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/driver"
 	"fpart/internal/hypergraph"
@@ -41,8 +41,14 @@ import (
 
 // Config tunes the service. The zero value is production-ready.
 type Config struct {
-	// Workers sizes the worker pool; 0 means runtime.GOMAXPROCS(0).
+	// Workers sizes the worker pool and the shared CPU budget; 0 means
+	// runtime.GOMAXPROCS(0) (via driver.ClampParallel).
 	Workers int
+	// SpecWidth is the speculative peeling width applied to fpart jobs
+	// (driver.Options.SpecWidth); ≤ 1 runs the sequential peel. Speculation
+	// draws its extra concurrency from the same Workers-sized budget the
+	// job runners use, so jobs plus speculation never oversubscribe.
+	SpecWidth int
 	// QueueDepth bounds the number of admitted-but-unstarted jobs; a full
 	// queue rejects submissions with ErrQueueFull (HTTP 429). 0 means 64.
 	QueueDepth int
@@ -64,9 +70,7 @@ type Config struct {
 }
 
 func (c Config) normalize() Config {
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
+	c.Workers = driver.ClampParallel(c.Workers)
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
@@ -211,9 +215,13 @@ type Service struct {
 	nextID atomic.Int64
 	m      metrics
 
+	// budget is the shared CPU budget (capacity = Workers): job dispatches
+	// hold one token each and in-run speculation borrows spare ones.
+	budget *core.Budget
+
 	// run dispatches a job's computation; tests substitute it to model
 	// slow or failing runs.
-	run func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error)
+	run func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error)
 }
 
 // New starts a service with cfg's worker pool running.
@@ -228,7 +236,8 @@ func New(cfg Config) *Service {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		baseCtx:  ctx,
 		cancel:   cancel,
-		run:      driver.Run,
+		budget:   core.NewBudget(cfg.Workers),
+		run:      driver.RunOpts,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -484,7 +493,11 @@ func (s *Service) runJob(job *Job) {
 	s.mu.Unlock()
 
 	s.m.busy.Add(1)
-	res, err := s.run(ctx, job.method, job.h, job.device, job.bcast)
+	res, err := s.run(ctx, job.method, job.h, job.device, driver.Options{
+		Sink:      job.bcast,
+		SpecWidth: s.cfg.SpecWidth,
+		Budget:    s.budget,
+	})
 	s.m.busy.Add(-1)
 	s.m.computations.Add(1)
 	cancel()

@@ -162,14 +162,14 @@ func TestConcurrentSubmissionsCoalesce(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{}, n)
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		return driver.Run(ctx, method, h, dev, sink)
+		return driver.RunOpts(ctx, method, h, dev, opts)
 	}
 
 	jobs := make([]*Job, n)
@@ -218,13 +218,13 @@ func TestQueueBackpressure(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
 		case <-ctx.Done():
 		}
-		return driver.Run(context.Background(), method, h, dev, sink)
+		return driver.RunOpts(context.Background(), method, h, dev, opts)
 	}
 	defer close(release)
 
@@ -291,7 +291,7 @@ func TestShutdownCancelsInFlight(t *testing.T) {
 	s := New(Config{Workers: 1})
 
 	started := make(chan struct{})
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		close(started)
 		<-ctx.Done() // a run that never finishes on its own
 		return nil, ctx.Err()
@@ -322,14 +322,14 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{}, 4)
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		return driver.Run(context.Background(), method, h, dev, sink)
+		return driver.RunOpts(context.Background(), method, h, dev, opts)
 	}
 
 	running, err := s.Submit(phgRequest(uniquePHG(10)))
@@ -368,7 +368,7 @@ func TestJobTimeout(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer shutdownClean(t, s)
 
-	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*driver.Result, error) {
+	s.run = func(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts driver.Options) (*driver.Result, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}

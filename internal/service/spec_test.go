@@ -1,0 +1,101 @@
+package service
+
+// Concurrency tests for speculative peeling through the daemon: two
+// simultaneous jobs drawing engines and arenas from the shared pools, and
+// the /metrics exposure of the speculation counters. Run under -race (the
+// verify script's race leg includes this package).
+
+import (
+	"strings"
+	"testing"
+
+	"fpart/internal/hypergraph"
+)
+
+func TestConcurrentSpeculativeJobs(t *testing.T) {
+	s := New(Config{Workers: 2, SpecWidth: 4})
+	defer shutdownClean(t, s)
+
+	// Two different built-in circuits so neither caching nor coalescing
+	// collapses the pair: both run at once, racing 4 candidates each over
+	// pooled arenas.
+	a, err := s.Submit(Request{Circuit: "c3540", Device: "XC3042"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(Request{Circuit: "s5378", Device: "XC3042"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, a)
+	waitTerminal(t, b)
+
+	for _, j := range []*Job{a, b} {
+		snap := s.Snapshot(j)
+		if snap.State != StateDone {
+			t.Fatalf("job %s: state %s (err %v)", snap.ID, snap.State, snap.Err)
+		}
+		if snap.Result == nil || !snap.Result.Feasible {
+			t.Fatalf("job %s: no feasible result", snap.ID)
+		}
+		if err := snap.Result.Partition.Validate(); err != nil {
+			t.Errorf("job %s: corrupt partition after pooled run: %v", snap.ID, err)
+		}
+		if snap.Result.Stats == nil || snap.Result.Stats.SpecRounds == 0 {
+			t.Errorf("job %s: no speculation recorded under SpecWidth 4", snap.ID)
+		}
+	}
+
+	var sb strings.Builder
+	s.WriteMetrics(&sb)
+	metrics := sb.String()
+	for _, name := range []string{
+		"fpartd_spec_rounds_total",
+		"fpartd_spec_wins_total",
+		"fpartd_spec_losses_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if strings.Contains(metrics, "fpartd_spec_rounds_total 0\n") {
+		t.Error("spec rounds not folded into metrics")
+	}
+}
+
+// TestServiceResultMatchesDirectRun: a pooled, budgeted daemon run must
+// produce the same solution as a direct sequential-width call, whatever
+// engines the pools hand out.
+func TestServiceResultMatchesDirectRun(t *testing.T) {
+	s := New(Config{Workers: 1, SpecWidth: 4})
+	defer shutdownClean(t, s)
+	j, err := s.Submit(Request{Circuit: "c3540", Device: "XC3042"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	snap := s.Snapshot(j)
+	if snap.State != StateDone {
+		t.Fatalf("state %s (err %v)", snap.State, snap.Err)
+	}
+
+	s2 := New(Config{Workers: 4, SpecWidth: 4})
+	defer shutdownClean(t, s2)
+	j2, err := s2.Submit(Request{Circuit: "c3540", Device: "XC3042"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j2)
+	snap2 := s2.Snapshot(j2)
+	if snap2.State != StateDone {
+		t.Fatalf("state %s (err %v)", snap2.State, snap2.Err)
+	}
+
+	// Same width, different budgets: bit-identical assignments.
+	p1, p2 := snap.Result.Partition, snap2.Result.Partition
+	for v := 0; v < p1.Hypergraph().NumNodes(); v++ {
+		if p1.Block(hypergraph.NodeID(v)) != p2.Block(hypergraph.NodeID(v)) {
+			t.Fatalf("node %d assigned differently under 1 vs 4 workers", v)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+#!/bin/sh
+# Record the PR4 perf artifact (BENCH_PR4.json): the Table 6 grid with
+# allocation counts from the pooled-arena engine plus the speculative
+# peeling benchmark at worker budgets 1 and 4. Per circuit/device the JSON
+# carries best ns/op and allocs/op (BenchmarkTable6CPUTime), the alloc
+# reduction against a pre-arena baseline capture, and the wall-clock ratio
+# of BenchmarkTable6Speculative/parallel1 over /parallel4 (same width-4
+# candidate set, so solutions are identical and the ratio isolates
+# concurrency). host_cpus is stamped into the file because that ratio is
+# bounded by min(width, cores): on a 1-CPU host it hovers around 1.0.
+#
+# Usage:
+#   scripts/bench_pr4.sh [-count N] [-benchtime T] [-out FILE] \
+#                        [-alloc-baseline RAW] [-input RAW]
+#
+#   -count N           repetitions per benchmark (default 3; best run kept)
+#   -benchtime T       go test -benchtime value (default 1x)
+#   -out FILE          output JSON (default BENCH_PR4.json)
+#   -alloc-baseline R  raw `go test -bench Table6CPUTime` capture taken
+#                      before the arena layer (default
+#                      BENCH_PR4_BASELINE_ALLOCS.txt); supplies
+#                      baseline_allocs_per_op and alloc_reduction
+#   -input RAW         summarize an existing raw capture instead of
+#                      benchmarking
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT=3
+BENCHTIME=1x
+OUT=BENCH_PR4.json
+ALLOC_BASELINE=BENCH_PR4_BASELINE_ALLOCS.txt
+INPUT=
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -count) COUNT=$2; shift 2 ;;
+        -benchtime) BENCHTIME=$2; shift 2 ;;
+        -out) OUT=$2; shift 2 ;;
+        -alloc-baseline) ALLOC_BASELINE=$2; shift 2 ;;
+        -input) INPUT=$2; shift 2 ;;
+        *) echo "usage: scripts/bench_pr4.sh [-count N] [-benchtime T] [-out FILE] [-alloc-baseline RAW] [-input RAW]" >&2; exit 2 ;;
+    esac
+done
+[ -f "$ALLOC_BASELINE" ] || ALLOC_BASELINE=
+
+if [ -n "$INPUT" ]; then
+    RAW=$INPUT
+else
+    RAW=$(mktemp)
+    trap 'rm -f "$RAW"' EXIT
+    go test -run '^$' -bench 'BenchmarkTable6(CPUTime|Speculative)$' \
+        -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+fi
+
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+awk -v baseline_file="$ALLOC_BASELINE" -v cpus="$CPUS" '
+# strip the trailing -GOMAXPROCS suffix go test appends on multi-proc hosts
+function strip(name) { sub(/-[0-9]+$/, "", name); return name }
+# scan the "value unit" metric pairs that follow "N ns/op"
+function metric(unit,    i) {
+    for (i = 5; i < NF; i += 2) if ($(i + 1) == unit) return $i + 0
+    return -1
+}
+function median(vals, n,    tmp, i, j, t) {
+    if (n == 0) return 0
+    for (i = 1; i <= n; i++) tmp[i] = vals[i]
+    for (i = 2; i <= n; i++) {
+        t = tmp[i]
+        for (j = i - 1; j >= 1 && tmp[j] > t; j--) tmp[j + 1] = tmp[j]
+        tmp[j + 1] = t
+    }
+    if (n % 2) return tmp[(n + 1) / 2]
+    return (tmp[n / 2] + tmp[n / 2 + 1]) / 2
+}
+BEGIN {
+    if (baseline_file != "") {
+        while ((getline line < baseline_file) > 0) {
+            if (line !~ /^BenchmarkTable6CPUTime\//) continue
+            nf = split(line, f, /[ \t]+/)
+            split(strip(f[1]), p, "/")
+            bk = p[2] "/" p[3]
+            for (i = 5; i < nf; i += 2)
+                if (f[i + 1] == "allocs/op") balloc[bk] = f[i] + 0
+        }
+        close(baseline_file)
+    }
+}
+/^BenchmarkTable6CPUTime\// {
+    split(strip($1), p, "/")
+    k = p[2] "/" p[3]
+    ns = $3 + 0
+    if (!(k in best) || ns < best[k]) {
+        best[k] = ns
+        allocs[k] = metric("allocs/op")
+    }
+    if (!(k in seen)) { order[++n] = k; seen[k] = 1 }
+}
+/^BenchmarkTable6Speculative\// {
+    split(strip($1), p, "/")
+    k = p[2] "/" p[3]
+    ns = $3 + 0
+    if (p[4] == "parallel1") { if (!(k in spec1) || ns < spec1[k]) spec1[k] = ns }
+    if (p[4] == "parallel4") { if (!(k in spec4) || ns < spec4[k]) spec4[k] = ns }
+    rss = metric("peak-rss-kb")
+    if (rss > peak_rss) peak_rss = rss
+}
+END {
+    printf "{\n  \"benchmark\": \"BenchmarkTable6CPUTime + BenchmarkTable6Speculative\",\n"
+    printf "  \"metric\": \"best ns/op of the recorded runs\",\n"
+    printf "  \"host_cpus\": %d,\n", cpus
+    if (peak_rss > 0) printf "  \"peak_rss_kb\": %.0f,\n", peak_rss
+    printf "  \"instances\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        split(k, kp, "/")
+        printf "    {\"circuit\": \"%s\", \"device\": \"%s\", \"ns_per_op\": %.0f", kp[1], kp[2], best[k]
+        if (allocs[k] >= 0) printf ", \"allocs_per_op\": %.0f", allocs[k]
+        if (k in balloc && allocs[k] >= 0 && balloc[k] > 0) {
+            red = 1 - allocs[k] / balloc[k]
+            printf ", \"baseline_allocs_per_op\": %.0f, \"alloc_reduction\": %.2f", balloc[k], red
+            reds[++nred] = red
+        }
+        if (k in spec1 && k in spec4 && spec4[k] > 0) {
+            sp = spec1[k] / spec4[k]
+            printf ", \"spec_parallel1_ns\": %.0f, \"spec_parallel4_ns\": %.0f, \"parallel_speedup\": %.2f",
+                spec1[k], spec4[k], sp
+            sps[++nsp] = sp
+        }
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"median_alloc_reduction\": %.2f,\n", median(reds, nred)
+    printf "  \"median_parallel_speedup\": %.2f\n", median(sps, nsp)
+    printf "}\n"
+}
+' "$RAW" > "$OUT"
+echo "wrote $OUT"

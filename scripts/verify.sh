@@ -1,6 +1,7 @@
 #!/bin/sh
 # The repository's verify gate (see ROADMAP.md):
-# build + vet + gofmt + full tests + race run of the concurrency tests.
+# build + vet + gofmt + full tests + race run of the concurrency tests +
+# a short-mode pass over every benchmark so the harness cannot silently rot.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,5 +14,6 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 go test ./...
-go test -race ./internal/obs ./internal/core ./internal/sanchis ./internal/service ./internal/driver
+go test -race ./internal/obs ./internal/core ./internal/sanchis ./internal/service ./internal/driver ./internal/multilevel
+go test -short -run '^$' -bench . -benchtime 1x .
 echo "verify: all green"
