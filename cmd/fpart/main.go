@@ -11,6 +11,7 @@
 //	fpart -device XC3020 -circuit s9234 -timeout 10s       # bounded run
 //	fpart -device XC3020 -circuit s9234 -trace-format text # event stream on stderr
 //	fpart -device XC3020 -circuit s9234 -out dir/          # per-block netlists
+//	fpart -list-methods                                    # engine registry listing
 //
 // BLIF inputs are technology-mapped to CLBs for the architecture selected
 // with -arch before partitioning. Circuit loading and method dispatch are
@@ -29,6 +30,7 @@ import (
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/driver"
+	"fpart/internal/engine"
 	"fpart/internal/hypergraph"
 	"fpart/internal/netlist"
 	"fpart/internal/obs"
@@ -51,7 +53,7 @@ func run() error {
 	devName := flag.String("device", "XC3020", "target device: XC3020, XC3042, XC3090, XC2064")
 	format := flag.String("format", "phg", "input format: phg, hgr, blif")
 	arch := flag.String("arch", "", "CLB architecture for BLIF mapping: XC2000 or XC3000 (default: the device's family)")
-	method := flag.String("method", "fpart", "partitioner: fpart, portfolio, kwayx, flow, multilevel")
+	method := flag.String("method", "fpart", "partitioner: "+engine.UsageString()+" (see -list-methods)")
 	circuit := flag.String("circuit", "", "use a built-in synthetic MCNC benchmark instead of a file")
 	assign := flag.Bool("assign", false, "print the full node-to-block assignment")
 	stats := flag.Bool("stats", false, "print the solution-quality report (and, for -method fpart, the effort counters)")
@@ -60,13 +62,19 @@ func run() error {
 	saveAssign := flag.String("saveassign", "", "write the node-to-block assignment to this file (verify with cmd/verify)")
 	replicateFlag := flag.Bool("replicate", false, "after partitioning a BLIF input, run the functional replication pass (needs -format blif)")
 	fill := flag.Float64("fill", 0, "override the device filling ratio δ (0 keeps the paper's value)")
-	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit; fpart and portfolio only)")
+	timeout := flag.Duration("timeout", 0, "abort partitioning after this duration, e.g. 30s (0 = no limit)")
 	parallel := flag.Int("parallel", 0, "worker budget for speculation and portfolio racing (0 = all CPUs)")
 	spec := flag.Int("spec", 1, "speculative peeling width for -method fpart: race this many candidate bipartitions per peel step (1 = sequential)")
-	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json (fpart and portfolio only)")
+	traceFormat := flag.String("trace-format", "", "stream algorithm events to stderr: text or json")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the partitioning run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after partitioning) to this file")
+	listMethods := flag.Bool("list-methods", false, "list the registered partitioning methods with their capability flags and exit")
 	flag.Parse()
+
+	if *listMethods {
+		engine.WriteList(os.Stdout)
+		return nil
+	}
 
 	dev, ok := device.ByName(*devName)
 	if !ok {

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,6 +89,8 @@ func run() error {
 	cfg := svc.Config()
 	log.Printf("fpartd: %d workers, queue %d, cache %d entries",
 		cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+	log.Printf("fpartd: methods: %s (GET /methods for capabilities)",
+		strings.Join(driver.Methods(), ", "))
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

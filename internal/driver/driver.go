@@ -4,8 +4,11 @@
 //
 // Both entry points consume it — the one-shot `cmd/fpart` CLI and the
 // long-running `cmd/fpartd` service — so the circuit-loading rules (format
-// selection, BLIF technology mapping, parser limits) and the method
-// registry live in exactly one place.
+// selection, BLIF technology mapping, parser limits) live in exactly one
+// place. Method dispatch resolves through the internal/engine registry:
+// every partitioner sits behind the same instrumented, cancellable
+// Engine interface, and RunOpts only adds the shared Budget token
+// discipline on top.
 package driver
 
 import (
@@ -14,18 +17,13 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"time"
 
-	"fpart/internal/core"
 	"fpart/internal/device"
-	"fpart/internal/flow"
+	"fpart/internal/engine"
 	"fpart/internal/gen"
 	"fpart/internal/hypergraph"
-	"fpart/internal/kwayx"
-	"fpart/internal/multilevel"
 	"fpart/internal/netlist"
 	"fpart/internal/obs"
-	"fpart/internal/partition"
 	"fpart/internal/techmap"
 )
 
@@ -142,36 +140,22 @@ func BuiltinNames() []string {
 }
 
 // Methods lists the partitioning methods Run dispatches, in documentation
-// order. "fpart" is the paper's algorithm; "portfolio" races the
-// core.DefaultPortfolio configuration mix; the rest are baselines.
-func Methods() []string {
-	return []string{"fpart", "portfolio", "kwayx", "flow", "multilevel"}
-}
+// order, derived from the engine registry. "fpart" is the paper's
+// algorithm; "portfolio" races the core.DefaultPortfolio configuration
+// mix; the rest are baselines.
+func Methods() []string { return engine.Names() }
 
-// ValidMethod reports whether Run accepts method.
+// ValidMethod reports whether Run accepts method (i.e. whether an engine
+// of that name is registered).
 func ValidMethod(method string) bool {
-	for _, m := range Methods() {
-		if m == method {
-			return true
-		}
-	}
-	return false
+	_, ok := engine.Lookup(method)
+	return ok
 }
 
-// Result is the outcome of one Run dispatch.
-type Result struct {
-	// Partition holds the final assignment.
-	Partition *partition.Partition
-	// K is the number of non-empty blocks; M the device lower bound.
-	K, M int
-	// Feasible reports whether every block meets the device constraints.
-	Feasible bool
-	// Stats carries the effort counters — non-nil for the fpart and
-	// portfolio methods only (the baselines are uninstrumented).
-	Stats *core.Stats
-	// Elapsed is the wall time of the dispatch.
-	Elapsed time.Duration
-}
+// Result is the outcome of one Run dispatch. Every registered engine is
+// instrumented, so Stats is non-nil on success and Elapsed is the engine's
+// own measurement (token waits and dispatch overhead excluded).
+type Result = engine.Result
 
 // ClampParallel normalizes a user-facing worker/parallelism count: values
 // below 1 (the "auto" setting of `fpart -parallel 0` and `fpartd
@@ -184,79 +168,34 @@ func ClampParallel(n int) int {
 	return n
 }
 
-// Options tunes a RunOpts dispatch beyond the method name.
-type Options struct {
-	// Sink receives structured events from the fpart and portfolio methods.
-	Sink obs.Sink
-	// SpecWidth is the speculative peeling width for the fpart method
-	// (core.Config.SpecWidth); ≤ 1 selects the sequential peel. It does not
-	// multiply the portfolio — portfolio members already race whole runs.
-	SpecWidth int
-	// Budget, when non-nil, is the shared concurrency budget. RunOpts holds
-	// one token for the run itself; speculation and portfolio members draw
-	// extra tokens from the same pool when available.
-	Budget *core.Budget
-}
+// Options tunes a RunOpts dispatch beyond the method name. It is the
+// engine layer's option set: Sink receives every registered engine's event
+// stream, SpecWidth widens the fpart engine's speculative peel, and Budget
+// is the shared concurrency pool (RunOpts holds one token for the run
+// itself; budgeted engines draw extras from the same pool).
+type Options = engine.Options
 
 // Run dispatches method on circuit h targeting dev. ctx and sink apply to
-// the fpart and portfolio methods (the kwayx and flow baselines have no
-// cancellation points and emit no events). It is RunOpts with only a sink.
+// every registered engine — all of them poll cancellation in their pass
+// loops and emit structured events. It is RunOpts with only a sink.
 func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, sink obs.Sink) (*Result, error) {
 	return RunOpts(ctx, method, h, dev, Options{Sink: sink})
 }
 
-// RunOpts dispatches method on circuit h targeting dev under opts. When
-// opts.Budget is set, the call blocks until a worker token is free (or ctx
-// dies) and holds it for the whole dispatch, so concurrent callers — the
-// fpartd job runners — cannot oversubscribe the machine.
+// RunOpts resolves method in the engine registry and dispatches it on
+// circuit h targeting dev under opts. When opts.Budget is set, the call
+// blocks until a worker token is free (or ctx dies) and holds it for the
+// whole dispatch, so concurrent callers — the fpartd job runners — cannot
+// oversubscribe the machine. An unknown method is rejected (quoting the
+// registry) before any token is taken.
 func RunOpts(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	eng, ok := engine.Lookup(method)
+	if !ok {
+		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, Methods())
+	}
 	if err := opts.Budget.Acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer opts.Budget.Release()
-	start := time.Now()
-	m := device.LowerBound(h, dev)
-	switch method {
-	case "fpart":
-		cfg := core.Default()
-		cfg.Sink = opts.Sink
-		cfg.SpecWidth = opts.SpecWidth
-		cfg.Budget = opts.Budget
-		r, err := core.Run(ctx, h, dev, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
-	case "portfolio":
-		cfgs := core.DefaultPortfolio()
-		for i := range cfgs {
-			cfgs[i].Sink = opts.Sink
-			cfgs[i].Budget = opts.Budget
-		}
-		r, err := core.Portfolio(ctx, h, dev, cfgs)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
-	case "kwayx":
-		r, err := kwayx.Partition(h, dev, kwayx.Config{})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
-	case "flow":
-		r, err := flow.Partition(h, dev, flow.Config{})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
-	case "multilevel":
-		r, err := multilevel.PartitionCtx(ctx, h, dev, multilevel.Config{})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Partition: r.Partition, K: r.K, M: m, Feasible: r.Feasible, Elapsed: time.Since(start)}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, Methods())
-	}
+	return eng.Run(ctx, h, dev, opts)
 }

@@ -95,11 +95,12 @@ func TestRunMethods(t *testing.T) {
 		if r.K < 1 || r.M < 1 || r.Partition == nil {
 			t.Fatalf("%s: degenerate result %+v", method, r)
 		}
-		instrumented := method == "fpart" || method == "portfolio"
-		if (r.Stats != nil) != instrumented {
-			t.Fatalf("%s: stats presence = %v", method, r.Stats != nil)
+		// Every registered engine is instrumented: Stats present, events
+		// flowing.
+		if r.Stats == nil {
+			t.Fatalf("%s: no stats", method)
 		}
-		if instrumented && coll.Count(obs.RunStart) == 0 {
+		if coll.Count(obs.RunStart) == 0 {
 			t.Fatalf("%s: no events reached the sink", method)
 		}
 	}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+
+	"fpart/internal/device"
+	"fpart/internal/flow"
+	"fpart/internal/hypergraph"
+	"fpart/internal/kwayx"
+	"fpart/internal/multilevel"
+)
+
+// kwayxEngine wraps kwayx.PartitionCtx, the k-way.x recursive
+// bipartitioning baseline of §3 / Tables 2–5.
+type kwayxEngine struct{}
+
+func init() { Register(2, kwayxEngine{}) }
+
+func (kwayxEngine) Name() string { return "kwayx" }
+
+func (kwayxEngine) Caps() Capabilities {
+	return Capabilities{
+		Cancellable:  true,
+		Instrumented: true,
+		Summary:      "k-way.x recursive bipartitioning baseline (Kuznar-Brglez-Kozminski)",
+	}
+}
+
+func (kwayxEngine) Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	r, err := kwayx.PartitionCtx(ctx, h, dev, kwayx.Config{Sink: opts.Sink, Label: opts.Label})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+}
+
+// flowEngine wraps flow.PartitionCtx, the FBB-MW flow-based baseline.
+type flowEngine struct{}
+
+func init() { Register(3, flowEngine{}) }
+
+func (flowEngine) Name() string { return "flow" }
+
+func (flowEngine) Caps() Capabilities {
+	return Capabilities{
+		Cancellable:  true,
+		Instrumented: true,
+		Summary:      "FBB-MW flow-based peeling baseline (Liu-Wong max-flow min-cut)",
+	}
+}
+
+func (flowEngine) Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	r, err := flow.PartitionCtx(ctx, h, dev, flow.Config{Sink: opts.Sink, Label: opts.Label})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+}
+
+// multilevelEngine wraps multilevel.PartitionCtx, the hMETIS-style
+// coarsen/split/refine baseline.
+type multilevelEngine struct{}
+
+func init() { Register(4, multilevelEngine{}) }
+
+func (multilevelEngine) Name() string { return "multilevel" }
+
+func (multilevelEngine) Caps() Capabilities {
+	return Capabilities{
+		Cancellable:  true,
+		Instrumented: true,
+		Summary:      "multilevel coarsen/split/refine baseline (hMETIS-style V-cycles)",
+	}
+}
+
+func (multilevelEngine) Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	r, err := multilevel.PartitionCtx(ctx, h, dev, multilevel.Config{Sink: opts.Sink, Label: opts.Label})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+}

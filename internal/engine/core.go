@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"context"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// fpartEngine wraps core.Run: the paper's guided iterative improvement,
+// including speculative peeling when Options.SpecWidth > 1.
+type fpartEngine struct{}
+
+func init() { Register(0, fpartEngine{}) }
+
+func (fpartEngine) Name() string { return "fpart" }
+
+func (fpartEngine) Caps() Capabilities {
+	return Capabilities{
+		Cancellable:  true,
+		Instrumented: true,
+		Budgeted:     true,
+		Summary:      "guided iterative improvement of Krupnova & Saucier (the paper's algorithm)",
+	}
+}
+
+func (fpartEngine) Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	cfg := core.Default()
+	cfg.Sink = opts.Sink
+	cfg.Label = opts.Label
+	cfg.SpecWidth = opts.SpecWidth
+	cfg.Budget = opts.Budget
+	r, err := core.Run(ctx, h, dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+}
+
+// portfolioEngine wraps core.Portfolio over the DefaultPortfolio
+// configuration mix (engine-variant racing of one method); Race is the
+// engine-agnostic generalization that mixes registered methods instead.
+type portfolioEngine struct{}
+
+func init() { Register(1, portfolioEngine{}) }
+
+func (portfolioEngine) Name() string { return "portfolio" }
+
+func (portfolioEngine) Caps() Capabilities {
+	return Capabilities{
+		Cancellable:  true,
+		Instrumented: true,
+		Budgeted:     true,
+		Summary:      "races the core.DefaultPortfolio configuration mix, first K=M win cancels the rest",
+	}
+}
+
+func (portfolioEngine) Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	cfgs := core.DefaultPortfolio()
+	for i := range cfgs {
+		cfgs[i].Sink = opts.Sink
+		cfgs[i].Budget = opts.Budget
+	}
+	r, err := core.Portfolio(ctx, h, dev, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible, Stats: &r.Stats, Elapsed: r.Elapsed}, nil
+}

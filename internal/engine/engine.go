@@ -1,0 +1,232 @@
+// Package engine puts every partitioner of the repository behind one
+// instrumented, cancellable interface and a self-registration registry.
+//
+// The FPART paper's value is comparative — §5 pits guided iterative
+// improvement against set-cover and multilevel baselines — so the pipeline
+// must treat "which partitioner" as data, not as a hardcoded switch. Each
+// algorithm package's adapter registers itself here under a stable name
+// ("fpart", "portfolio", "kwayx", "flow", "multilevel"); the driver, the
+// fpartd service, and the CLIs all resolve methods through Lookup and
+// derive their method lists, usage strings, and capability matrices from
+// the registry. Race generalizes core.Portfolio to an engine-agnostic
+// portfolio: any mix of registered methods competes under one shared
+// core.Budget, with the same lexicographic winner selection.
+//
+// Every registered engine honours the same contract:
+//
+//   - Run returns promptly with ctx.Err() when ctx is cancelled, including
+//     before the first move (engines poll in their pass loops);
+//   - events flow to Options.Sink and effort counters land in
+//     Result.Stats (nil sinks are free — the obs.Emitter is nil-safe);
+//   - Result.Elapsed is measured by the engine itself, not by the caller's
+//     stopwatch, so queueing and token waits never pollute it.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
+	"fpart/internal/partition"
+)
+
+// Capabilities describes what a registered engine supports; the service
+// and CLI surface these flags so callers know what instrumentation to
+// expect before dispatching.
+type Capabilities struct {
+	// Cancellable engines poll ctx in their pass loops and return ctx.Err()
+	// promptly, even mid-pass.
+	Cancellable bool
+	// Instrumented engines emit obs events to Options.Sink and fill
+	// Result.Stats.
+	Instrumented bool
+	// Budgeted engines draw extra concurrency tokens from Options.Budget
+	// (speculation, portfolio members) beyond the one the caller holds.
+	Budgeted bool
+	// Summary is a one-line description for method listings.
+	Summary string
+}
+
+// Flags renders the capability booleans as a stable comma-joined list
+// ("cancellable,instrumented,budgeted"), or "-" when none are set.
+func (c Capabilities) Flags() string {
+	var out []string
+	if c.Cancellable {
+		out = append(out, "cancellable")
+	}
+	if c.Instrumented {
+		out = append(out, "instrumented")
+	}
+	if c.Budgeted {
+		out = append(out, "budgeted")
+	}
+	if len(out) == 0 {
+		return "-"
+	}
+	return strings.Join(out, ",")
+}
+
+// Options tunes one Run dispatch beyond the method choice.
+type Options struct {
+	// Sink receives structured events from the run.
+	Sink obs.Sink
+	// Label tags the run's events (obs.Event.Source); empty means the
+	// engine's default labelling.
+	Label string
+	// SpecWidth is the speculative peeling width for the fpart engine
+	// (core.Config.SpecWidth); ≤ 1 selects the sequential peel. It does not
+	// multiply the portfolio — portfolio members already race whole runs.
+	SpecWidth int
+	// Budget, when non-nil, is the shared concurrency budget budgeted
+	// engines draw extra tokens from. The caller is expected to hold one
+	// token for the run itself (driver.RunOpts acquires it).
+	Budget *core.Budget
+}
+
+// Result is the outcome of one engine dispatch.
+type Result struct {
+	// Partition holds the final assignment.
+	Partition *partition.Partition
+	// K is the number of non-empty blocks; M the device lower bound.
+	K, M int
+	// Feasible reports whether every block meets the device constraints.
+	Feasible bool
+	// Stats carries the effort counters; non-nil for every instrumented
+	// engine (all registered engines are).
+	Stats *obs.Stats
+	// Elapsed is the wall time of the run, measured by the engine itself.
+	Elapsed time.Duration
+}
+
+// Engine is one partitioning method behind the common contract described
+// in the package comment.
+type Engine interface {
+	// Name is the registry key ("fpart", "kwayx", ...).
+	Name() string
+	// Caps reports the engine's capability flags.
+	Caps() Capabilities
+	// Run partitions circuit h targeting device dev under opts.
+	Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error)
+}
+
+// registry is the global engine table. Engines register at init time; the
+// rank fixes the documentation order regardless of init sequencing, so
+// Names() is deterministic.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]regEntry{}
+)
+
+type regEntry struct {
+	eng  Engine
+	rank int
+}
+
+// Register adds e to the registry under e.Name(). rank orders method
+// listings (lower first; the paper's algorithm is 0, baselines follow).
+// Registering a duplicate name panics: it is a programmer error that
+// would make dispatch ambiguous.
+func Register(rank int, e Engine) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate Register(%q)", name))
+	}
+	registry[name] = regEntry{eng: e, rank: rank}
+}
+
+// Lookup resolves a registered engine by name.
+func Lookup(name string) (Engine, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ent, ok := registry[name]
+	return ent.eng, ok
+}
+
+// Names lists the registered engine names in rank order (documentation
+// order: the paper's algorithm first, then the baselines).
+func Names() []string {
+	infos := List()
+	out := make([]string, len(infos))
+	for i, inf := range infos {
+		out[i] = inf.Name
+	}
+	return out
+}
+
+// Info pairs a registered engine's name with its capabilities.
+type Info struct {
+	Name string
+	Caps Capabilities
+}
+
+// List returns every registered engine's name and capabilities in rank
+// order.
+func List() []Info {
+	regMu.RLock()
+	type ranked struct {
+		inf  Info
+		rank int
+	}
+	ents := make([]ranked, 0, len(registry))
+	for name, ent := range registry {
+		ents = append(ents, ranked{Info{Name: name, Caps: ent.eng.Caps()}, ent.rank})
+	}
+	regMu.RUnlock()
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].rank != ents[j].rank {
+			return ents[i].rank < ents[j].rank
+		}
+		return ents[i].inf.Name < ents[j].inf.Name
+	})
+	out := make([]Info, len(ents))
+	for i, e := range ents {
+		out[i] = e.inf
+	}
+	return out
+}
+
+// WriteList renders the registry as an aligned text table — one engine per
+// line with its capability flags and summary. `fpart -list-methods` prints
+// exactly this, and the README method table mirrors it.
+func WriteList(w io.Writer) {
+	infos := List()
+	wide := 0
+	for _, inf := range infos {
+		if len(inf.Name) > wide {
+			wide = len(inf.Name)
+		}
+	}
+	for _, inf := range infos {
+		fmt.Fprintf(w, "%-*s  %-36s %s\n", wide, inf.Name, inf.Caps.Flags(), inf.Caps.Summary)
+	}
+}
+
+// UsageString is the one-line method enumeration for flag help text,
+// generated from the registry ("fpart, portfolio, kwayx, ...").
+func UsageString() string {
+	return strings.Join(Names(), ", ")
+}
+
+// Run dispatches the named engine, or an error quoting the registry when
+// the name is unknown. The caller is responsible for Budget token
+// acquisition (see driver.RunOpts).
+func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
+	eng, ok := Lookup(method)
+	if !ok {
+		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, Names())
+	}
+	return eng.Run(ctx, h, dev, opts)
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// ring builds c clusters of n nodes each, chained into a cycle, with pads —
+// the standard small-but-nontrivial test circuit of the baseline packages.
+func ring(t testing.TB, c, n, pads int) *hypergraph.Hypergraph {
+	t.Helper()
+	var b hypergraph.Builder
+	sets := make([][]hypergraph.NodeID, c)
+	for ci := 0; ci < c; ci++ {
+		for i := 0; i < n; i++ {
+			sets[ci] = append(sets[ci], b.AddInterior("v", 1))
+		}
+		for i := 0; i+1 < n; i++ {
+			b.AddNet("in", sets[ci][i], sets[ci][i+1])
+			if i+2 < n {
+				b.AddNet("in2", sets[ci][i], sets[ci][i+2])
+			}
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		b.AddNet("bridge", sets[ci][n-1], sets[(ci+1)%c][0])
+	}
+	for i := 0; i < pads; i++ {
+		pd := b.AddPad("p")
+		b.AddNet("pe", pd, sets[i%c][i%n])
+	}
+	return b.MustBuild()
+}
+
+// realNames is the registry content every build of the repo ships; tests
+// assert on this prefix (not the whole listing) so test-only fake engines
+// registered at high ranks cannot interfere.
+var realNames = []string{"fpart", "portfolio", "kwayx", "flow", "multilevel"}
+
+func TestRegistryOrderAndCaps(t *testing.T) {
+	infos := List()
+	if len(infos) < len(realNames) {
+		t.Fatalf("registry too small: %+v", infos)
+	}
+	for i, want := range realNames {
+		inf := infos[i]
+		if inf.Name != want {
+			t.Fatalf("List()[%d] = %q, want %q (rank order broken)", i, inf.Name, want)
+		}
+		if !inf.Caps.Cancellable || !inf.Caps.Instrumented {
+			t.Errorf("%s: every shipped engine is cancellable+instrumented: %+v", inf.Name, inf.Caps)
+		}
+		if inf.Caps.Summary == "" {
+			t.Errorf("%s: missing summary", inf.Name)
+		}
+		wantBudgeted := want == "fpart" || want == "portfolio"
+		if inf.Caps.Budgeted != wantBudgeted {
+			t.Errorf("%s: Budgeted = %v, want %v", inf.Name, inf.Caps.Budgeted, wantBudgeted)
+		}
+	}
+	for _, name := range Names() {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Names() lists %q but Lookup misses it", name)
+		}
+	}
+}
+
+func TestCapabilitiesFlags(t *testing.T) {
+	if got := (Capabilities{}).Flags(); got != "-" {
+		t.Errorf("empty caps: %q", got)
+	}
+	all := Capabilities{Cancellable: true, Instrumented: true, Budgeted: true}
+	if got := all.Flags(); got != "cancellable,instrumented,budgeted" {
+		t.Errorf("full caps: %q", got)
+	}
+}
+
+func TestUsageStringAndWriteList(t *testing.T) {
+	if !strings.HasPrefix(UsageString(), strings.Join(realNames, ", ")) {
+		t.Errorf("UsageString() = %q, want the registry in rank order", UsageString())
+	}
+	var sb strings.Builder
+	WriteList(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) < len(realNames) {
+		t.Fatalf("WriteList: %d lines", len(lines))
+	}
+	for i, want := range realNames {
+		if !strings.HasPrefix(lines[i], want) {
+			t.Errorf("WriteList line %d = %q, want method %q first", i, lines[i], want)
+		}
+		if !strings.Contains(lines[i], "cancellable,instrumented") {
+			t.Errorf("WriteList line %d lacks capability flags: %q", i, lines[i])
+		}
+	}
+}
+
+func TestRegisterRejectsBadEngines(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { Register(999, fake{name: ""}) })
+	mustPanic("duplicate", func() { Register(999, fake{name: "fpart"}) })
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	h := ring(t, 2, 4, 2)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	_, err := Run(context.Background(), "simulated-annealing", h, dev, Options{})
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	for _, want := range append([]string{"simulated-annealing"}, realNames...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should quote the registry (missing %q): %v", want, err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"context"
+
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
 	"fpart/internal/partition"
@@ -154,9 +156,17 @@ func (nw *fbbNetwork) evaluate(side []int32) (size, term int) {
 // skipped for speed but candidates are still tracked by the final pick).
 // It returns the chosen node set, or ok=false when nothing fits.
 func FBBPeel(p *partition.Partition, rem partition.BlockID, dev device.Device, minFill float64) ([]hypergraph.NodeID, bool) {
+	set, ok, _ := fbbPeelCtx(context.Background(), p, rem, dev, minFill)
+	return set, ok
+}
+
+// fbbPeelCtx is FBBPeel with cancellation: the grow loop — one max-flow
+// plus merge per round, the carve's pass loop — polls ctx and returns its
+// error when the context dies mid-carve.
+func fbbPeelCtx(ctx context.Context, p *partition.Partition, rem partition.BlockID, dev device.Device, minFill float64) ([]hypergraph.NodeID, bool, error) {
 	remNodes := p.NodesIn(rem)
 	if len(remNodes) < 2 {
-		return nil, false
+		return nil, false, nil
 	}
 	nw := buildNetwork(p, rem)
 	h := p.Hypergraph()
@@ -185,6 +195,9 @@ func FBBPeel(p *partition.Partition, rem partition.BlockID, dev device.Device, m
 	bestSize := -1
 	guard := len(remNodes) + 4
 	for iter := 0; iter < guard; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		src, sink := nw.cutSides()
 		// The candidate block is the smaller side of the cut (the min cut
 		// can hug either terminal depending on the seeds); grow it toward
@@ -229,12 +242,12 @@ func FBBPeel(p *partition.Partition, rem partition.BlockID, dev device.Device, m
 		}
 	}
 	if bestSize <= 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	// The min cut can jump far past S_MAX between merges, leaving a small
 	// nucleus as the best flow candidate. Saturate it greedily (pin-aware)
 	// the way FBB-MW's balancing merge does.
-	return seed.Grow(p, rem, dev, best), true
+	return seed.Grow(p, rem, dev, best), true, nil
 }
 
 // sideSize sums interior sizes over a side's flow indices.

@@ -1,12 +1,14 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 	"fpart/internal/seed"
 )
@@ -18,7 +20,10 @@ type Result struct {
 	M          int
 	Feasible   bool
 	Iterations int
-	Elapsed    time.Duration
+	// Stats carries the effort counters of the run (iterations, per-phase
+	// wall time; the flow carve is accounted as the seed phase).
+	Stats   obs.Stats
+	Elapsed time.Duration
 }
 
 // Config tunes the FBB-MW-style driver.
@@ -28,13 +33,29 @@ type Config struct {
 	MinFill float64
 	// MaxBlocks caps iterations; zero selects 4·M+32.
 	MaxBlocks int
+	// Sink, when non-nil, receives one obs.Event per peeled block.
+	Sink obs.Sink
+	// Label tags this run's events (obs.Event.Source).
+	Label string
 }
 
 // Partition runs the flow-based multi-way partitioning: FBB peels one
 // device-feasible block per iteration until the remainder fits, mirroring
-// the FBB-MW recursion of Liu & Wong.
+// the FBB-MW recursion of Liu & Wong. It is PartitionCtx with a background
+// context.
 func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	return PartitionCtx(context.Background(), h, dev, cfg)
+}
+
+// PartitionCtx runs the flow-based multi-way partitioning under ctx.
+// Cancellation is polled at every peel iteration and inside the FBB grow
+// loop (each min-cut/merge round), so even one slow carve aborts promptly;
+// the partial solution is discarded and ctx's error is returned.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,22 +71,37 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 	if cfg.MinFill == 0 {
 		cfg.MinFill = 0.55
 	}
+	em := obs.NewEmitter(cfg.Sink, cfg.Label)
 
 	p := partition.New(h, dev)
 	m := device.LowerBound(h, dev)
 	rem := partition.BlockID(0)
 	res := &Result{Partition: p, M: m}
+	res.Stats.PeakBlocks = p.NumBlocks()
 	maxBlocks := cfg.MaxBlocks
 	if maxBlocks == 0 {
 		maxBlocks = 4*m + 32
 	}
 
+	em.Emit(obs.Event{Type: obs.RunStart, M: m})
 	for !p.Feasible(rem) {
+		if err := ctx.Err(); err != nil {
+			em.Emit(obs.Event{Type: obs.Cancelled})
+			return nil, err
+		}
 		if p.NumBlocks() >= maxBlocks {
 			break
 		}
 		res.Iterations++
-		set, ok := FBBPeel(p, rem, dev, cfg.MinFill)
+		res.Stats.Iterations++
+		em.Emit(obs.Event{Type: obs.BipartitionStart, Iteration: res.Iterations})
+		t0 := time.Now()
+		set, ok, err := fbbPeelCtx(ctx, p, rem, dev, cfg.MinFill)
+		if err != nil {
+			res.Stats.PhaseTime[obs.PhaseSeed] += time.Since(t0)
+			em.Emit(obs.Event{Type: obs.Cancelled})
+			return nil, err
+		}
 		if !ok {
 			// Flow found no pin-feasible side: fall back to a pin-aware
 			// greedy carve from the biggest node so the recursion can
@@ -74,14 +110,23 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 			if len(set) == 0 {
 				set = greedyFallback(p, rem, dev)
 			}
-			if len(set) == 0 {
-				break
-			}
+		}
+		res.Stats.PhaseTime[obs.PhaseSeed] += time.Since(t0)
+		if len(set) == 0 {
+			break
 		}
 		nb := p.AddBlock()
 		for _, v := range set {
 			p.Move(v, nb)
+			res.Stats.MovesApplied++
 		}
+		if p.NumBlocks() > res.Stats.PeakBlocks {
+			res.Stats.PeakBlocks = p.NumBlocks()
+		}
+		em.Emit(obs.Event{
+			Type: obs.BipartitionEnd, Iteration: res.Iterations,
+			Block: int(nb), Size: p.Size(nb), Terminals: p.Terminals(nb),
+		})
 		if p.Nodes(rem) == 0 {
 			break
 		}
@@ -93,6 +138,7 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 		}
 	}
 	res.Elapsed = time.Since(start)
+	em.Emit(obs.Event{Type: obs.RunEnd, K: res.K, M: m, Feasible: res.Feasible})
 	return res, nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
 	"fpart/internal/partition"
 	"fpart/internal/sanchis"
 	"fpart/internal/seed"
@@ -33,6 +34,10 @@ type Config struct {
 	MaxClusterFrac float64
 	// MaxBlocks caps peeling iterations; zero selects 4·M+32.
 	MaxBlocks int
+	// Sink, when non-nil, receives one obs.Event per peeled block.
+	Sink obs.Sink
+	// Label tags this run's events (obs.Event.Source).
+	Label string
 }
 
 func (c Config) normalize() Config {
@@ -53,7 +58,11 @@ type Result struct {
 	Feasible   bool
 	Iterations int
 	Levels     int // coarsening levels used by the last peel
-	Elapsed    time.Duration
+	// Stats carries the effort counters of the run: the V-cycle split
+	// (coarsen + refine) is accounted as the seed phase, its per-level FM
+	// refinement counters fold into the move/pass totals.
+	Stats   obs.Stats
+	Elapsed time.Duration
 }
 
 // level is one rung of the coarsening hierarchy.
@@ -172,7 +181,7 @@ func coarsen(h *hypergraph.Hypergraph, maxClusterSize int) (*level, bool) {
 // uncoarsen with FM refinement at every level. Returns the chosen fine-level
 // node set and the number of levels used. Cancelling ctx aborts between
 // coarsening levels and mid-refinement, returning ctx's error.
-func vCycleSplit(ctx context.Context, p *partition.Partition, rem partition.BlockID, dev device.Device, cfg Config) ([]hypergraph.NodeID, int, bool, error) {
+func vCycleSplit(ctx context.Context, p *partition.Partition, rem partition.BlockID, dev device.Device, cfg Config, st *obs.Stats) ([]hypergraph.NodeID, int, bool, error) {
 	remNodes := p.NodesIn(rem)
 	if len(remNodes) < 2 {
 		return nil, 0, false, nil
@@ -214,7 +223,14 @@ func vCycleSplit(ctx context.Context, p *partition.Partition, rem partition.Bloc
 			StackDepth:   -1,
 			MaxPasses:    4,
 		})
-		if _, err := eng.ImproveCtx(ctx, []partition.BlockID{0, blkA}, 0, device.LowerBound(lh, dev)); err != nil {
+		est, err := eng.ImproveCtx(ctx, []partition.BlockID{0, blkA}, 0, device.LowerBound(lh, dev))
+		st.ImproveCalls++
+		st.Passes += est.Passes
+		st.MovesEvaluated += est.MovesEvaluated
+		st.MovesApplied += est.MovesApplied
+		st.MovesGated += est.MovesGated
+		st.BucketOps += est.BucketOps
+		if err != nil {
 			return nil, len(levels), false, err
 		}
 		// Re-read side A and project one level down.
@@ -389,9 +405,13 @@ func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result
 // is polled at every peel iteration, between coarsening levels, and inside
 // each level's FM refinement, so even one V-cycle on a large circuit
 // aborts promptly; the partial solution is discarded and ctx's error is
-// returned.
+// returned. Structured events flow to cfg.Sink and effort counters land in
+// Result.Stats.
 func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -405,26 +425,35 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Devi
 		}
 	}
 	cfg = cfg.normalize()
+	em := obs.NewEmitter(cfg.Sink, cfg.Label)
 
 	p := partition.New(h, dev)
 	m := device.LowerBound(h, dev)
 	rem := partition.BlockID(0)
 	res := &Result{Partition: p, M: m}
+	res.Stats.PeakBlocks = p.NumBlocks()
 	maxBlocks := cfg.MaxBlocks
 	if maxBlocks == 0 {
 		maxBlocks = 4*m + 32
 	}
 
+	em.Emit(obs.Event{Type: obs.RunStart, M: m})
 	for !p.Feasible(rem) {
 		if err := ctx.Err(); err != nil {
+			em.Emit(obs.Event{Type: obs.Cancelled})
 			return nil, err
 		}
 		if p.NumBlocks() >= maxBlocks {
 			break
 		}
 		res.Iterations++
-		set, lv, ok, err := vCycleSplit(ctx, p, rem, dev, cfg)
+		res.Stats.Iterations++
+		em.Emit(obs.Event{Type: obs.BipartitionStart, Iteration: res.Iterations})
+		t0 := time.Now()
+		set, lv, ok, err := vCycleSplit(ctx, p, rem, dev, cfg, &res.Stats)
 		if err != nil {
+			res.Stats.PhaseTime[obs.PhaseSeed] += time.Since(t0)
+			em.Emit(obs.Event{Type: obs.Cancelled})
 			return nil, err
 		}
 		res.Levels = lv
@@ -436,13 +465,22 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Devi
 		if !ok || len(set) == 0 {
 			set = seed.Grow(p, rem, dev, biggestSeed(p, rem))
 		}
+		res.Stats.PhaseTime[obs.PhaseSeed] += time.Since(t0)
 		if len(set) == 0 {
 			break
 		}
 		nb := p.AddBlock()
 		for _, v := range set {
 			p.Move(v, nb)
+			res.Stats.MovesApplied++
 		}
+		if p.NumBlocks() > res.Stats.PeakBlocks {
+			res.Stats.PeakBlocks = p.NumBlocks()
+		}
+		em.Emit(obs.Event{
+			Type: obs.BipartitionEnd, Iteration: res.Iterations,
+			Block: int(nb), Size: p.Size(nb), Terminals: p.Terminals(nb),
+		})
 		if p.Nodes(rem) == 0 {
 			break
 		}
@@ -454,6 +492,7 @@ func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Devi
 		}
 	}
 	res.Elapsed = time.Since(start)
+	em.Emit(obs.Event{Type: obs.RunEnd, K: res.K, M: m, Feasible: res.Feasible})
 	return res, nil
 }
 

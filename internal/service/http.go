@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"fpart/internal/engine"
 	"fpart/internal/hypergraph"
 	"fpart/internal/obs"
 	"fpart/internal/quality"
@@ -94,6 +95,16 @@ func viewOf(snap Snapshot, withAssignment bool) JobView {
 	return v
 }
 
+// MethodView is the JSON rendering of one registered engine in the
+// GET /methods discovery response.
+type MethodView struct {
+	Name         string `json:"name"`
+	Cancellable  bool   `json:"cancellable"`
+	Instrumented bool   `json:"instrumented"`
+	Budgeted     bool   `json:"budgeted"`
+	Summary      string `json:"summary"`
+}
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/partition        submit a job (202; 200 on a cache hit)
@@ -102,11 +113,13 @@ func viewOf(snap Snapshot, withAssignment bool) JobView {
 //	DELETE /v1/jobs/{id}        cancel a live job
 //	GET    /v1/jobs/{id}/events stream the job's events (NDJSON, or SSE
 //	                            when Accept includes text/event-stream)
+//	GET    /methods             engine registry discovery (names + caps)
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness probe
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/partition", s.handleSubmit)
+	mux.HandleFunc("GET /methods", handleMethods)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -119,6 +132,23 @@ func (s *Service) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleMethods renders the engine registry so clients can discover
+// which method names Submit accepts and what each engine guarantees.
+func handleMethods(w http.ResponseWriter, r *http.Request) {
+	infos := engine.List()
+	views := make([]MethodView, len(infos))
+	for i, info := range infos {
+		views[i] = MethodView{
+			Name:         info.Name,
+			Cancellable:  info.Caps.Cancellable,
+			Instrumented: info.Caps.Instrumented,
+			Budgeted:     info.Caps.Budgeted,
+			Summary:      info.Caps.Summary,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"methods": views})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

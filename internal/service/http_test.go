@@ -259,6 +259,20 @@ func TestHTTPStatusCodes(t *testing.T) {
 		t.Fatalf("empty request: want 400, got %d", resp.StatusCode)
 	}
 
+	// 400: unknown method, rejected at submit by the engine-registry lookup;
+	// the error quotes the registry so the client sees what is valid.
+	respM, bodyM := postJSON(t, ts, "/v1/partition", apiRequest{
+		Netlist: uniquePHG(39), Format: "phg", Device: "XC3020", Method: "simulated-annealing",
+	})
+	if respM.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown method: want 400, got %d: %s", respM.StatusCode, bodyM)
+	}
+	for _, want := range []string{"simulated-annealing", "fpart", "kwayx", "multilevel"} {
+		if !strings.Contains(string(bodyM), want) {
+			t.Fatalf("unknown-method error should quote the registry (missing %q): %s", want, bodyM)
+		}
+	}
+
 	// 404: unknown job.
 	if resp := getJSON(t, ts, "/v1/jobs/job-999", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job: want 404, got %d", resp.StatusCode)
@@ -353,8 +367,9 @@ func TestHTTPMetrics(t *testing.T) {
 		"fpartd_cache_misses_total 1",
 		"fpartd_computations_total 1",
 		"fpartd_cache_hit_rate 0.5000",
-		`fpartd_phase_seconds_bucket{phase="improve",le="+Inf"} 1`,
+		`fpartd_phase_seconds_bucket{method="fpart",phase="improve",le="+Inf"} 1`,
 		"fpartd_jobs_done_total 2",
+		`fpartd_jobs_total{method="fpart",state="done"} 2`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
@@ -366,5 +381,44 @@ func TestHTTPMetrics(t *testing.T) {
 
 	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
 		t.Fatal("healthz should be 200")
+	}
+}
+
+// TestHTTPMethods covers the engine-registry discovery endpoint: the
+// listing mirrors driver.Methods() order, carries capability flags, and
+// every advertised name is accepted at submit.
+func TestHTTPMethods(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdownClean(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out struct {
+		Methods []MethodView `json:"methods"`
+	}
+	if resp := getJSON(t, ts, "/methods", &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/methods: want 200, got %d", resp.StatusCode)
+	}
+	want := driver.Methods()
+	if len(out.Methods) != len(want) {
+		t.Fatalf("want %d methods, got %+v", len(want), out.Methods)
+	}
+	for i, m := range out.Methods {
+		if m.Name != want[i] {
+			t.Fatalf("method %d: want %q, got %q", i, want[i], m.Name)
+		}
+		if !m.Cancellable || !m.Instrumented || m.Summary == "" {
+			t.Fatalf("method %s should advertise cancellable+instrumented and a summary: %+v", m.Name, m)
+		}
+	}
+
+	// Discovery is honest: every advertised method is accepted at submit.
+	for _, m := range out.Methods {
+		resp, body := postJSON(t, ts, "/v1/partition", apiRequest{
+			Netlist: tinyPHG, Format: "phg", Device: "XC3020", Method: m.Name,
+		})
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %s: %d %s", m.Name, resp.StatusCode, body)
+		}
 	}
 }

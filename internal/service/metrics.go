@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -34,8 +35,16 @@ func (h *histogram) observe(seconds float64) {
 	}
 }
 
+// methodState keys the per-method job lifecycle counters.
+type methodState struct {
+	method string
+	state  State
+}
+
 // metrics aggregates the service's operational counters. Counters are
-// atomic so the hot paths never contend with the /metrics scrape.
+// atomic so the hot paths never contend with the /metrics scrape; the
+// per-method breakdowns live behind one small mutex because every method
+// label is a map key.
 type metrics struct {
 	submitted    atomic.Int64
 	done         atomic.Int64
@@ -52,10 +61,16 @@ type metrics struct {
 	specWins   atomic.Int64
 	specLosses atomic.Int64
 
-	phase [obs.NumPhases]histogram
+	mu sync.Mutex
+	// jobs counts terminal jobs per (method, state):
+	// fpartd_jobs_total{method,state}.
+	jobs map[methodState]int64
+	// phase holds the per-phase wall-time histograms per method:
+	// fpartd_phase_seconds{method,phase}.
+	phase map[string]*[obs.NumPhases]histogram
 }
 
-func (m *metrics) finished(state State) {
+func (m *metrics) finished(method string, state State) {
 	switch state {
 	case StateDone:
 		m.done.Add(1)
@@ -63,14 +78,32 @@ func (m *metrics) finished(state State) {
 		m.failed.Add(1)
 	case StateCanceled:
 		m.canceled.Add(1)
+	default:
+		return
 	}
+	m.mu.Lock()
+	if m.jobs == nil {
+		m.jobs = make(map[methodState]int64)
+	}
+	m.jobs[methodState{method, state}]++
+	m.mu.Unlock()
 }
 
 // observePhases folds one completed run's per-phase wall times and
-// speculation outcomes into the aggregates.
-func (m *metrics) observePhases(st *obs.Stats) {
+// speculation outcomes into the method's aggregates.
+func (m *metrics) observePhases(method string, st *obs.Stats) {
+	m.mu.Lock()
+	if m.phase == nil {
+		m.phase = make(map[string]*[obs.NumPhases]histogram)
+	}
+	hs, ok := m.phase[method]
+	if !ok {
+		hs = new([obs.NumPhases]histogram)
+		m.phase[method] = hs
+	}
+	m.mu.Unlock()
 	for p := obs.Phase(0); p < obs.NumPhases; p++ {
-		m.phase[p].observe(st.PhaseTime[p].Seconds())
+		hs[p].observe(st.PhaseTime[p].Seconds())
 	}
 	m.specRounds.Add(int64(st.SpecRounds))
 	m.specWins.Add(int64(st.SpecWins))
@@ -116,6 +149,25 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	c("fpartd_jobs_done_total", s.m.done.Load(), "jobs finished successfully")
 	c("fpartd_jobs_failed_total", s.m.failed.Load(), "jobs finished with an error")
 	c("fpartd_jobs_canceled_total", s.m.canceled.Load(), "jobs canceled or aborted")
+
+	// Per-method job lifecycle, labelled by the engine-registry method name.
+	s.m.mu.Lock()
+	keys := make([]methodState, 0, len(s.m.jobs))
+	for k := range s.m.jobs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].method != keys[j].method {
+			return keys[i].method < keys[j].method
+		}
+		return keys[i].state < keys[j].state
+	})
+	fmt.Fprintf(w, "# HELP fpartd_jobs_total terminal jobs by method and state\n# TYPE fpartd_jobs_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "fpartd_jobs_total{method=%q,state=%q} %d\n", k.method, string(k.state), s.m.jobs[k])
+	}
+	s.m.mu.Unlock()
+
 	c("fpartd_jobs_rejected_total", s.m.rejected.Load(), "submissions rejected by queue backpressure")
 	c("fpartd_cache_hits_total", s.m.cacheHits.Load(), "submissions answered from the result cache")
 	c("fpartd_cache_misses_total", s.m.cacheMisses.Load(), "submissions that queued a computation")
@@ -126,16 +178,28 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	c("fpartd_spec_losses_total", s.m.specLosses.Load(), "speculative candidates discarded")
 
 	const hn = "fpartd_phase_seconds"
-	fmt.Fprintf(w, "# HELP %s wall time per algorithm phase per run\n# TYPE %s histogram\n", hn, hn)
-	for p := obs.Phase(0); p < obs.NumPhases; p++ {
-		h := &s.m.phase[p]
-		h.mu.Lock()
-		for i, b := range phaseBounds {
-			fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n", hn, p.String(), fmt.Sprintf("%g", b), h.buckets[i])
+	fmt.Fprintf(w, "# HELP %s wall time per algorithm phase per run, by method\n# TYPE %s histogram\n", hn, hn)
+	s.m.mu.Lock()
+	methods := make([]string, 0, len(s.m.phase))
+	for method := range s.m.phase {
+		methods = append(methods, method)
+	}
+	sort.Strings(methods)
+	s.m.mu.Unlock()
+	for _, method := range methods {
+		s.m.mu.Lock()
+		hs := s.m.phase[method]
+		s.m.mu.Unlock()
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			h := &hs[p]
+			h.mu.Lock()
+			for i, b := range phaseBounds {
+				fmt.Fprintf(w, "%s_bucket{method=%q,phase=%q,le=%q} %d\n", hn, method, p.String(), fmt.Sprintf("%g", b), h.buckets[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{method=%q,phase=%q,le=\"+Inf\"} %d\n", hn, method, p.String(), h.count)
+			fmt.Fprintf(w, "%s_sum{method=%q,phase=%q} %g\n", hn, method, p.String(), h.sum)
+			fmt.Fprintf(w, "%s_count{method=%q,phase=%q} %d\n", hn, method, p.String(), h.count)
+			h.mu.Unlock()
 		}
-		fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", hn, p.String(), h.count)
-		fmt.Fprintf(w, "%s_sum{phase=%q} %g\n", hn, p.String(), h.sum)
-		fmt.Fprintf(w, "%s_count{phase=%q} %d\n", hn, p.String(), h.count)
-		h.mu.Unlock()
 	}
 }

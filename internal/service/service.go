@@ -323,7 +323,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		job.bcast.Close()
 		close(job.done)
 		s.m.cacheHits.Add(1)
-		s.m.finished(StateDone)
+		s.m.finished(job.method, StateDone)
 		s.remember(job)
 		return job, nil
 	}
@@ -516,7 +516,7 @@ func (s *Service) runJob(job *Job) {
 	report := quality.Analyze(res.Partition, res.M)
 	s.cache.add(job.key, cacheEntry{res: res, report: report, events: job.bcast.Events()})
 	if res.Stats != nil {
-		s.m.observePhases(res.Stats)
+		s.m.observePhases(job.method, res.Stats)
 	}
 	s.completeLocked(job, StateDone, res, nil)
 }
@@ -532,7 +532,7 @@ func (s *Service) completeLocked(job *Job, state State, res *driver.Result, err 
 		report := quality.Analyze(res.Partition, res.M)
 		job.report = &report
 	}
-	s.m.finished(state)
+	s.m.finished(job.method, state)
 	close(job.done)
 	for _, f := range job.followers {
 		if f.terminal() {
@@ -543,7 +543,7 @@ func (s *Service) completeLocked(job *Job, state State, res *driver.Result, err 
 		f.err = err
 		f.result = job.result
 		f.report = job.report
-		s.m.finished(state)
+		s.m.finished(f.method, state)
 		close(f.done)
 	}
 	job.followers = nil
@@ -556,7 +556,7 @@ func (s *Service) finishFollowerLocked(f *Job, state State, err error) {
 	f.state = state
 	f.finished = time.Now()
 	f.err = err
-	s.m.finished(state)
+	s.m.finished(f.method, state)
 	close(f.done)
 }
 

@@ -43,6 +43,24 @@ done
 
 curl -fsS "$base/healthz" >/dev/null || fail "healthz"
 
+# Method discovery must list the engine registry, paper's algorithm first.
+methods=$(curl -fsS "$base/methods") || fail "methods"
+case "$methods" in
+*'"name":"fpart"'*'"name":"kwayx"'*'"name":"multilevel"'*) ;;
+*) fail "method discovery missing registry entries: $methods" ;;
+esac
+case "$methods" in
+*'"cancellable":true'*) ;;
+*) fail "method discovery missing capability flags: $methods" ;;
+esac
+
+# Unknown methods are rejected at submit with the registry quoted.
+code=$(curl -sS -o "$workdir/badmethod.json" -w '%{http_code}' -X POST \
+    -d '{"circuit":"s9234","device":"XC3020","method":"anneal"}' \
+    "$base/v1/partition") || fail "bad-method submit"
+[ "$code" = "400" ] || fail "unknown method: want HTTP 400, got $code"
+grep -q 'fpart' "$workdir/badmethod.json" || fail "400 body should quote the registry"
+
 # Submit a built-in benchmark; first submission must be a fresh computation.
 body='{"circuit":"s9234","device":"XC3020","method":"fpart"}'
 resp=$(curl -fsS -X POST -d "$body" "$base/v1/partition") || fail "submit"
