@@ -137,6 +137,8 @@ func BenchmarkTable6CPUTime(b *testing.B) {
 				}
 				b.ReportMetric(float64(moves)/float64(b.N), "moves/op")
 				b.ReportMetric(float64(bucketOps)/float64(b.N), "bucketops/op")
+				b.StopTimer()
+				b.ReportMetric(peakRSSKB(), "peak-rss-kb")
 			})
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -520,10 +521,15 @@ func Portfolio(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device,
 		if members[i].Budget.TryAcquire() {
 			spawned[i] = true
 			wg.Add(1)
+			// Tag profiler samples on portfolio goroutines with the member
+			// they run, so concurrent-run profiles split by strategy.
+			labels := pprof.Labels("method", "portfolio", "candidate", members[i].Label)
 			go func(i int) {
-				defer wg.Done()
-				defer members[i].Budget.Release()
-				runOne(i)
+				pprof.Do(runCtx, labels, func(context.Context) {
+					defer wg.Done()
+					defer members[i].Budget.Release()
+					runOne(i)
+				})
 			}(i)
 		}
 	}

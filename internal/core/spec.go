@@ -20,6 +20,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"fpart/internal/obs"
@@ -129,11 +131,20 @@ func (s *speculator) round(r *runState) (peelOutcome, error) {
 			c := &s.cands[i]
 			c.spawned = true
 			wg.Add(1)
-			go func() {
+			// Profiler labels tag every sample taken on a speculation
+			// goroutine with the peel step and candidate variant, so a CPU
+			// or goroutine profile of a concurrent run attributes time to
+			// (method, peel, candidate) instead of one anonymous closure.
+			labels := pprof.Labels(
+				"method", "speculate",
+				"peel", strconv.Itoa(r.iter),
+				"candidate", s.labels[i%len(s.labels)],
+			)
+			go pprof.Do(roundCtx, labels, func(context.Context) {
 				defer wg.Done()
 				defer r.cfg.Budget.Release()
 				runCand(c)
-			}()
+			})
 		}
 	}
 	runCand(&s.cands[0])

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"fpart/internal/core"
@@ -85,10 +86,15 @@ func Race(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, memb
 		if budget.TryAcquire() {
 			spawned[i] = true
 			wg.Add(1)
+			// Tag profiler samples on race goroutines with the engine they
+			// run, so a profile of a mixed-method race splits by method.
+			labels := pprof.Labels("method", members[i].Method, "candidate", opts[i].Label)
 			go func(i int) {
-				defer wg.Done()
-				defer budget.Release()
-				runOne(i)
+				pprof.Do(runCtx, labels, func(context.Context) {
+					defer wg.Done()
+					defer budget.Release()
+					runOne(i)
+				})
 			}(i)
 		}
 	}

@@ -68,9 +68,30 @@ type Net struct {
 
 // Hypergraph is an immutable-after-build circuit hypergraph. Build one with
 // a Builder, or deserialize one with the netlist package.
+//
+// Internally the incidence structure is stored as two flat CSR
+// (compressed sparse row) slabs built once at Build time: the pin lists of
+// all nets concatenated into pinOfNet (indexed by netOff) and the transpose
+// — the net lists of all nodes — concatenated into netOfNode (indexed by
+// nodeOff). Node.Nets and Net.Pins are subslices of these slabs, so the
+// legacy struct-based accessors and the zero-alloc span accessors
+// (NetPins, NodeNets) read the same contiguous memory.
 type Hypergraph struct {
 	nodes []Node
 	nets  []Net
+
+	// CSR incidence slabs; see the type comment.
+	pinOfNet  []NodeID
+	netOff    []int32 // len nets+1; net e's pins are pinOfNet[netOff[e]:netOff[e+1]]
+	netOfNode []NetID
+	nodeOff   []int32 // len nodes+1; node v's nets are netOfNode[nodeOff[v]:nodeOff[v+1]]
+
+	// Packed per-node attribute arrays: the hot paths read sizes, kinds,
+	// and aux demands through these instead of pulling whole Node structs
+	// (whose Name headers would waste cache lines) into the working set.
+	nodeSize []int32
+	nodeAux  []int32
+	nodeKind []NodeKind
 
 	totalSize int
 	totalAux  int
@@ -108,13 +129,43 @@ func (h *Hypergraph) Node(id NodeID) *Node { return &h.nodes[id] }
 func (h *Hypergraph) Net(id NetID) *Net { return &h.nets[id] }
 
 // Nets returns the nets incident to node id. The slice must not be modified.
-func (h *Hypergraph) Nets(id NodeID) []NetID { return h.nodes[id].Nets }
+func (h *Hypergraph) Nets(id NodeID) []NetID { return h.netOfNode[h.nodeOff[id]:h.nodeOff[id+1]] }
 
 // Pins returns the pins of net id. The slice must not be modified.
-func (h *Hypergraph) Pins(id NetID) []NodeID { return h.nets[id].Pins }
+func (h *Hypergraph) Pins(id NetID) []NodeID { return h.pinOfNet[h.netOff[id]:h.netOff[id+1]] }
+
+// NodeNets is the CSR span accessor for the nets incident to node id: a
+// zero-alloc view into the flat transpose slab. Identical to Nets; the
+// explicit name marks call sites migrated to the flat layout.
+func (h *Hypergraph) NodeNets(id NodeID) []NetID { return h.netOfNode[h.nodeOff[id]:h.nodeOff[id+1]] }
+
+// NetPins is the CSR span accessor for the pins of net id: a zero-alloc
+// view into the flat pin slab. Identical to Pins; the explicit name marks
+// call sites migrated to the flat layout.
+func (h *Hypergraph) NetPins(id NetID) []NodeID { return h.pinOfNet[h.netOff[id]:h.netOff[id+1]] }
 
 // Degree returns the number of nets incident to node id.
-func (h *Hypergraph) Degree(id NodeID) int { return len(h.nodes[id].Nets) }
+func (h *Hypergraph) Degree(id NodeID) int { return int(h.nodeOff[id+1] - h.nodeOff[id]) }
+
+// NetDegree returns the number of pins on net id without touching the pin
+// slab (one offset subtraction).
+func (h *Hypergraph) NetDegree(id NetID) int { return int(h.netOff[id+1] - h.netOff[id]) }
+
+// NumPins returns the total pin count Σ_e |pins(e)| — the length of the
+// CSR pin slab.
+func (h *Hypergraph) NumPins() int { return len(h.pinOfNet) }
+
+// SizeOf returns the size of node v from the packed attribute array. It is
+// the hot-path equivalent of Node(v).Size.
+func (h *Hypergraph) SizeOf(v NodeID) int { return int(h.nodeSize[v]) }
+
+// AuxOf returns the secondary-resource demand of node v from the packed
+// attribute array. It is the hot-path equivalent of Node(v).Aux.
+func (h *Hypergraph) AuxOf(v NodeID) int { return int(h.nodeAux[v]) }
+
+// KindOf returns the kind of node v from the packed attribute array. It is
+// the hot-path equivalent of Node(v).Kind.
+func (h *Hypergraph) KindOf(v NodeID) NodeKind { return h.nodeKind[v] }
 
 // NodeIDs returns all node IDs in increasing order.
 func (h *Hypergraph) NodeIDs() []NodeID {
@@ -229,32 +280,72 @@ func (b *Builder) AddNet(name string, pins ...NodeID) NetID {
 // It fails if any net references an unknown node or has fewer than one pin.
 // Single-pin nets are permitted (they can never be cut) but nets with zero
 // pins are rejected.
+//
+// Build assembles the flat CSR incidence slabs in two counting-sort passes
+// and repoints every Net.Pins and Node.Nets at its slab span, so the whole
+// incidence structure costs four allocations regardless of net count and
+// all accessors read contiguous memory.
 func (b *Builder) Build() (*Hypergraph, error) {
 	h := &Hypergraph{nodes: b.nodes, nets: b.nets}
-	for i := range h.nodes {
-		h.nodes[i].Nets = nil
-	}
+	n, m := len(h.nodes), len(h.nets)
+
+	// Pass 1: validate, size the slabs, count node degrees into nodeOff.
+	h.nodeOff = make([]int32, n+1)
+	h.netOff = make([]int32, m+1)
+	totalPins := 0
 	for ei := range h.nets {
 		e := &h.nets[ei]
 		if len(e.Pins) == 0 {
 			return nil, fmt.Errorf("hypergraph: net %d (%q) has no pins", ei, e.Name)
 		}
 		for _, p := range e.Pins {
-			if p < 0 || int(p) >= len(h.nodes) {
+			if p < 0 || int(p) >= n {
 				return nil, fmt.Errorf("hypergraph: net %d (%q) references unknown node %d", ei, e.Name, p)
 			}
-			h.nodes[p].Nets = append(h.nodes[p].Nets, NetID(ei))
+			h.nodeOff[p+1]++
 		}
+		totalPins += len(e.Pins)
+		h.netOff[ei+1] = int32(totalPins)
 	}
+	for i := 0; i < n; i++ {
+		h.nodeOff[i+1] += h.nodeOff[i]
+	}
+
+	// Pass 2: fill the pin slab (net-major, preserving each net's pin
+	// order) and the transpose (cursor fill in ascending net order, which
+	// reproduces the legacy per-node insertion order exactly).
+	h.pinOfNet = make([]NodeID, totalPins)
+	h.netOfNode = make([]NetID, totalPins)
+	cursor := make([]int32, n)
+	copy(cursor, h.nodeOff[:n])
+	for ei := range h.nets {
+		e := &h.nets[ei]
+		copy(h.pinOfNet[h.netOff[ei]:h.netOff[ei+1]], e.Pins)
+		for _, p := range e.Pins {
+			h.netOfNode[cursor[p]] = NetID(ei)
+			cursor[p]++
+		}
+		e.Pins = h.pinOfNet[h.netOff[ei]:h.netOff[ei+1]:h.netOff[ei+1]]
+	}
+
+	// Packed attribute arrays + aggregate stats; repoint Node.Nets at the
+	// transpose slab.
+	h.nodeSize = make([]int32, n)
+	h.nodeAux = make([]int32, n)
+	h.nodeKind = make([]NodeKind, n)
 	for i := range h.nodes {
-		n := &h.nodes[i]
-		if n.Kind == Interior {
-			h.totalSize += n.Size
+		nd := &h.nodes[i]
+		nd.Nets = h.netOfNode[h.nodeOff[i]:h.nodeOff[i+1]:h.nodeOff[i+1]]
+		h.nodeSize[i] = int32(nd.Size)
+		h.nodeAux[i] = int32(nd.Aux)
+		h.nodeKind[i] = nd.Kind
+		if nd.Kind == Interior {
+			h.totalSize += nd.Size
 		} else {
 			h.numPads++
 		}
-		h.totalAux += n.Aux
-		if d := len(n.Nets); d > h.maxDegree {
+		h.totalAux += nd.Aux
+		if d := len(nd.Nets); d > h.maxDegree {
 			h.maxDegree = d
 		}
 	}

@@ -16,6 +16,7 @@ package partition
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
@@ -26,12 +27,6 @@ type BlockID int32
 
 // NoBlock is the nil block; used for "no remainder" in cost evaluation.
 const NoBlock BlockID = -1
-
-// netBlock records how many pins a net has in one block.
-type netBlock struct {
-	b BlockID
-	c int32
-}
 
 // Partition is a mutable k-way partition over a hypergraph. All nodes are
 // always assigned to some block; a fresh Partition places everything in
@@ -49,15 +44,20 @@ type Partition struct {
 	blockPads   []int // pad nodes per block (T_i^E)
 	blockNodes  []int // node count per block (interior + pads)
 
-	netCnt [][]netBlock // per net: pins per block (sparse, insertion order)
-	// netBacking is one contiguous array holding every net's initial
-	// single-entry counter; New/Reset carve netCnt[e] out of it as a
-	// len-1/cap-1 window so building a partition costs O(1) allocations
-	// instead of one per net. A net whose span grows reallocates its own
-	// counter on the heap (append past cap), never touching a neighbour.
-	netBacking []netBlock
-	cut        int   // nets with span >= 2
-	moves      int64 // total Move calls, for statistics
+	// Per-net block state, packed structure-of-arrays (PR 7 layout): one
+	// stride-wide row of pin counts per net in blockPins, the net's span in
+	// spans, and a touched-block bitset in netTouch (twords words per net).
+	// stride (≥ k, doubling growth) fixes the row width so PinCount and the
+	// Move inner loop are single indexed loads, and CopyFrom is three flat
+	// copies over contiguous slabs.
+	stride    int
+	twords    int
+	blockPins []int32
+	spans     []int32
+	netTouch  []uint64
+
+	cut   int   // nets with span >= 2
+	moves int64 // total Move calls, for statistics
 
 	// Incremental solution-cost aggregates, maintained by Move and AddBlock
 	// so that CountFeasible, TerminalSum, Distance, and Classify are O(1)
@@ -83,6 +83,27 @@ func max0(x int) int {
 		return 0
 	}
 	return x
+}
+
+// growZeroed32 returns buf resized to n with every element zeroed, reusing
+// its backing array when it is large enough.
+func growZeroed32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growZeroed64 is growZeroed32 for bitset words.
+func growZeroed64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // FromAssignment builds a partition of h with k blocks from an explicit
@@ -137,19 +158,19 @@ func (p *Partition) Reset(h *hypergraph.Hypergraph, dev device.Device) {
 	p.blockPads = append(p.blockPads[:0], h.NumPads())
 	p.blockNodes = append(p.blockNodes[:0], n)
 	nets := h.NumNets()
-	if cap(p.netCnt) < nets {
-		p.netCnt = make([][]netBlock, nets)
-	} else {
-		p.netCnt = p.netCnt[:nets]
+	// Keep the previous stride when the existing slabs already hold it, so
+	// a pooled partition cycling through same-shaped jobs never restrides.
+	if p.stride < 4 || cap(p.blockPins) < nets*p.stride {
+		p.stride = 4
 	}
-	if cap(p.netBacking) < nets {
-		p.netBacking = make([]netBlock, nets)
-	} else {
-		p.netBacking = p.netBacking[:nets]
-	}
-	for e := range p.netCnt {
-		p.netBacking[e] = netBlock{b: 0, c: int32(len(h.Pins(hypergraph.NetID(e))))}
-		p.netCnt[e] = p.netBacking[e : e+1 : e+1]
+	p.twords = (p.stride + 63) / 64
+	p.blockPins = growZeroed32(p.blockPins, nets*p.stride)
+	p.spans = growZeroed32(p.spans, nets)
+	p.netTouch = growZeroed64(p.netTouch, nets*p.twords)
+	for e := 0; e < nets; e++ {
+		p.blockPins[e*p.stride] = int32(h.NetDegree(hypergraph.NetID(e)))
+		p.spans[e] = 1
+		p.netTouch[e*p.twords] = 1 // bit 0: block 0 holds every pin
 	}
 	p.cut = 0
 	p.moves = 0
@@ -177,17 +198,11 @@ func (p *Partition) CopyFrom(src *Partition) {
 	p.blockCutInc = append(p.blockCutInc[:0], src.blockCutInc...)
 	p.blockPads = append(p.blockPads[:0], src.blockPads...)
 	p.blockNodes = append(p.blockNodes[:0], src.blockNodes...)
-	nets := len(src.netCnt)
-	if cap(p.netCnt) < nets {
-		grown := make([][]netBlock, nets)
-		copy(grown, p.netCnt[:cap(p.netCnt)])
-		p.netCnt = grown
-	} else {
-		p.netCnt = p.netCnt[:nets]
-	}
-	for e, s := range src.netCnt {
-		p.netCnt[e] = append(p.netCnt[e][:0], s...)
-	}
+	// The packed net state copies as three flat slab memmoves.
+	p.stride, p.twords = src.stride, src.twords
+	p.blockPins = append(p.blockPins[:0], src.blockPins...)
+	p.spans = append(p.spans[:0], src.spans...)
+	p.netTouch = append(p.netTouch[:0], src.netTouch...)
 	p.cut = src.cut
 	p.moves = src.moves
 	p.feasCount = src.feasCount
@@ -210,6 +225,9 @@ func (p *Partition) NumBlocks() int { return p.k }
 func (p *Partition) AddBlock() BlockID {
 	id := BlockID(p.k)
 	p.k++
+	if p.k > p.stride {
+		p.restride()
+	}
 	p.blockSize = append(p.blockSize, 0)
 	p.blockAux = append(p.blockAux, 0)
 	p.blockCutInc = append(p.blockCutInc, 0)
@@ -247,25 +265,67 @@ func (p *Partition) Cut() int { return p.cut }
 // for algorithm effort used in statistics.
 func (p *Partition) Moves() int64 { return p.moves }
 
-// PinCount returns the number of pins net e has in block b.
-func (p *Partition) PinCount(e hypergraph.NetID, b BlockID) int {
-	for _, nb := range p.netCnt[e] {
-		if nb.b == b {
-			return int(nb.c)
-		}
+// restride doubles the row width of the packed per-net state so it can
+// hold the new block count, copying every net's row into the wider layout.
+// Restrides are O(numNets·stride) but happen only log(k) times per run.
+func (p *Partition) restride() {
+	nets := len(p.spans)
+	oldStride, oldTwords := p.stride, p.twords
+	newStride := oldStride * 2
+	for newStride < p.k {
+		newStride *= 2
 	}
-	return 0
+	newTwords := (newStride + 63) / 64
+	pins := make([]int32, nets*newStride)
+	for e := 0; e < nets; e++ {
+		copy(pins[e*newStride:e*newStride+oldStride], p.blockPins[e*oldStride:(e+1)*oldStride])
+	}
+	touch := make([]uint64, nets*newTwords)
+	for e := 0; e < nets; e++ {
+		copy(touch[e*newTwords:e*newTwords+oldTwords], p.netTouch[e*oldTwords:(e+1)*oldTwords])
+	}
+	p.blockPins, p.netTouch = pins, touch
+	p.stride, p.twords = newStride, newTwords
+}
+
+// PinCount returns the number of pins net e has in block b. It is a single
+// indexed load into the packed pin-count matrix.
+func (p *Partition) PinCount(e hypergraph.NetID, b BlockID) int {
+	return int(p.blockPins[int(e)*p.stride+int(b)])
 }
 
 // Span returns the number of distinct blocks net e touches.
-func (p *Partition) Span(e hypergraph.NetID) int { return len(p.netCnt[e]) }
+func (p *Partition) Span(e hypergraph.NetID) int { return int(p.spans[e]) }
 
-// Blocks appends the blocks touched by net e to dst and returns it.
+// Blocks appends the blocks touched by net e to dst and returns it, in
+// ascending block order (a scan of the net's membership bitset).
 func (p *Partition) Blocks(e hypergraph.NetID, dst []BlockID) []BlockID {
-	for _, nb := range p.netCnt[e] {
-		dst = append(dst, nb.b)
+	base := int(e) * p.twords
+	for w := 0; w < p.twords; w++ {
+		word := p.netTouch[base+w]
+		for word != 0 {
+			dst = append(dst, BlockID(w*64+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
 	}
 	return dst
+}
+
+// OtherBlock returns the lowest-numbered block other than b touched by net
+// e, or b itself when no such block exists. For span-2 nets this is the
+// unique second endpoint, found in O(k/64) words of the membership bitset.
+func (p *Partition) OtherBlock(e hypergraph.NetID, b BlockID) BlockID {
+	base := int(e) * p.twords
+	for w := 0; w < p.twords; w++ {
+		word := p.netTouch[base+w]
+		if w == int(b)/64 {
+			word &^= 1 << (uint(b) % 64)
+		}
+		if word != 0 {
+			return BlockID(w*64 + bits.TrailingZeros64(word))
+		}
+	}
+	return b
 }
 
 // NodesIn returns the IDs of all nodes assigned to block b, in ID order.
@@ -309,16 +369,16 @@ func (p *Partition) MoveTrace(v hypergraph.NodeID, to BlockID, buf []NetDelta) [
 	}
 	p.moves++
 	p.assign[v] = to
-	node := p.h.Node(v)
+	size, aux := p.h.SizeOf(v), p.h.AuxOf(v)
 	oldFromS, oldFromT, oldFromAux := p.blockSize[from], p.Terminals(from), p.blockAux[from]
 	oldToS, oldToT, oldToAux := p.blockSize[to], p.Terminals(to), p.blockAux[to]
-	p.blockSize[from] -= node.Size
-	p.blockSize[to] += node.Size
-	p.blockAux[from] -= node.Aux
-	p.blockAux[to] += node.Aux
+	p.blockSize[from] -= size
+	p.blockSize[to] += size
+	p.blockAux[from] -= aux
+	p.blockAux[to] += aux
 	p.blockNodes[from]--
 	p.blockNodes[to]++
-	if node.Kind == hypergraph.Pad {
+	if p.h.KindOf(v) == hypergraph.Pad {
 		if p.ebM > 0 {
 			pads, m := p.h.NumPads(), p.ebM
 			p.ebNum += max0(pads-m*(p.blockPads[from]-1)) - max0(pads-m*p.blockPads[from])
@@ -328,52 +388,31 @@ func (p *Partition) MoveTrace(v hypergraph.NodeID, to BlockID, buf []NetDelta) [
 		p.blockPads[to]++
 	}
 
-	for _, e := range node.Nets {
-		cnt := p.netCnt[e]
-		spanBefore := len(cnt)
-
-		fromLeft, toJoined := false, false
-		fi, ti := -1, -1
-		for i := range cnt {
-			switch cnt[i].b {
-			case from:
-				fi = i
-			case to:
-				ti = i
-			}
-		}
+	for _, e := range p.h.NodeNets(v) {
+		row := int(e) * p.stride
+		cf := p.blockPins[row+int(from)]
+		ct := p.blockPins[row+int(to)]
+		spanBefore := p.spans[e]
 		if buf != nil {
-			nd := NetDelta{Net: e, FromPins: cnt[fi].c, SpanBefore: int32(spanBefore)}
-			if ti >= 0 {
-				nd.ToPins = cnt[ti].c
-			}
-			buf = append(buf, nd)
+			buf = append(buf, NetDelta{Net: e, FromPins: cf, ToPins: ct, SpanBefore: spanBefore})
 		}
-		cnt[fi].c--
-		if cnt[fi].c == 0 {
-			fromLeft = true
+		p.blockPins[row+int(from)] = cf - 1
+		p.blockPins[row+int(to)] = ct + 1
+		fromLeft := cf == 1
+		toJoined := ct == 0
+		spanAfter := spanBefore
+		tbase := int(e) * p.twords
+		if fromLeft {
+			p.netTouch[tbase+int(from)/64] &^= 1 << (uint(from) % 64)
+			spanAfter--
 		}
-		if ti >= 0 {
-			cnt[ti].c++
-		} else {
-			toJoined = true
+		if toJoined {
+			p.netTouch[tbase+int(to)/64] |= 1 << (uint(to) % 64)
+			spanAfter++
 		}
-
-		// Apply structural changes to the sparse counter.
-		if fromLeft && toJoined {
-			cnt[fi] = netBlock{b: to, c: 1} // reuse the vacated slot
-		} else if fromLeft {
-			last := len(cnt) - 1
-			cnt[fi] = cnt[last]
-			cnt = cnt[:last]
-			p.netCnt[e] = cnt
-		} else if toJoined {
-			cnt = append(cnt, netBlock{b: to, c: 1})
-			p.netCnt[e] = cnt
-		}
-		spanAfter := len(p.netCnt[e])
+		p.spans[e] = spanAfter
 		if buf != nil {
-			buf[len(buf)-1].SpanAfter = int32(spanAfter)
+			buf[len(buf)-1].SpanAfter = spanAfter
 		}
 
 		wasCut, isCut := spanBefore >= 2, spanAfter >= 2

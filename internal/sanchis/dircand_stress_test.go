@@ -1,0 +1,92 @@
+package sanchis
+
+// Temporary stress harness for the direction-candidate cache equivalence.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+func TestDirCandStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	devices := []device.Device{
+		{Name: "tiny", DatasheetCells: 8, Pins: 8, Fill: 1.0},
+		{Name: "tight", DatasheetCells: 12, Pins: 10, Fill: 1.0},
+		{Name: "roomy", DatasheetCells: 20, Pins: 24, Fill: 1.0},
+	}
+	for seed := int64(1); seed <= 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var b hypergraph.Builder
+		n := 40 + r.Intn(160)
+		for i := 0; i < n; i++ {
+			if r.Intn(8) == 0 {
+				b.AddPad("p")
+			} else {
+				b.AddInterior("v", 1+r.Intn(3))
+			}
+		}
+		for e := 0; e < n+r.Intn(2*n); e++ {
+			d := 2 + r.Intn(5)
+			pins := make([]hypergraph.NodeID, d)
+			for i := range pins {
+				pins[i] = hypergraph.NodeID(r.Intn(n))
+			}
+			b.AddNet("e", pins...)
+		}
+		h := b.MustBuild()
+		k := 2 + r.Intn(14)
+		assign := make([]partition.BlockID, h.NumNodes())
+		for v := range assign {
+			assign[v] = partition.BlockID(r.Intn(k))
+		}
+		for _, dev := range devices {
+			m := device.LowerBound(h, dev)
+			rem := partition.BlockID(k - 1)
+			blocks := make([]partition.BlockID, k)
+			for i := range blocks {
+				blocks[i] = partition.BlockID(i)
+			}
+			for _, pin := range []bool{false, true} {
+				run := func(disable bool) ([]partition.BlockID, partition.Key, Stats) {
+					old := disableDirBound
+					disableDirBound = disable
+					defer func() { disableDirBound = old }()
+					p, err := partition.FromAssignment(h, dev, assign, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := Default()
+					cfg.PinGain = pin
+					e := New(p, cfg)
+					st := e.Improve(blocks, rem, m)
+					out := make([]partition.BlockID, h.NumNodes())
+					for v := range out {
+						out[v] = p.Block(hypergraph.NodeID(v))
+					}
+					return out, p.Key(cfg.Cost, rem, m), st
+				}
+				gotA, keyA, stA := run(false)
+				gotB, keyB, stB := run(true)
+				if keyA != keyB {
+					t.Errorf("seed %d dev %s pin %v: key cached=%v full=%v", seed, dev.Name, pin, keyA, keyB)
+				}
+				if stA.MovesApplied != stB.MovesApplied || stA.Passes != stB.Passes || stA.BucketOps != stB.BucketOps {
+					t.Errorf("seed %d dev %s pin %v: stats cached=(%d moves, %d passes, %d bops) full=(%d, %d, %d)",
+						seed, dev.Name, pin, stA.MovesApplied, stA.Passes, stA.BucketOps, stB.MovesApplied, stB.Passes, stB.BucketOps)
+				}
+				for v := range gotA {
+					if gotA[v] != gotB[v] {
+						t.Fatalf("seed %d dev %s pin %v: node %d cached=%d full=%d",
+							seed, dev.Name, pin, v, gotA[v], gotB[v])
+					}
+				}
+			}
+		}
+	}
+}

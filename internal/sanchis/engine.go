@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fpart/internal/gain"
 	"fpart/internal/hypergraph"
@@ -164,10 +165,27 @@ type Engine struct {
 	// admissibility test of the selection loop.
 	szOf []int32
 
+	// buckets[d] points into slab, which backs every direction's gain
+	// bucket with one shared allocation family (cache-adjacent, one Clear
+	// pass per initPass instead of per-bucket rebuilds).
 	buckets []*gain.Bucket
+	slab    *gain.Slab
 	locked  []bool
 	stamp   []int32
 	epoch   int32
+
+	// netLock[net*nb + bi] counts the locked pins of net in active block
+	// blocks[bi]. Maintained by applyMove (a cell locks in its destination
+	// block and never moves again within the pass) and zeroed by initPass,
+	// it makes the binding-number lock tests of gain2 and gainLevels O(1)
+	// per net instead of a scan over the net's pins.
+	netLock []int32
+
+	// netIdx maps a net to its index in the current move's netBuf trace
+	// during a sharded flush, -1 otherwise. Sized by NumNets; only the
+	// entries of the moved cell's nets are ever set, and they are reset
+	// before the flush returns.
+	netIdx []int32
 
 	journal []moveRec
 
@@ -186,11 +204,11 @@ type Engine struct {
 	lvCand, lvBest []int
 	topScratch     []int32
 
-	// dirBound caches, per direction, a proven upper bound on anything the
-	// direction can contribute to best-move selection; applyMove dirties
-	// the directions whose source or destination is a move endpoint and
-	// initPass resets all. See selectBest.
-	dirBound []dirBound
+	// dirCand caches, per direction, the local winner the direction would
+	// contribute to best-move selection; applyMove dirties the directions
+	// whose source or destination is a move endpoint and initPass resets
+	// all. See selectBestCached.
+	dirCand []dirCand
 
 	// level-2 gain memo: one entry per (cell, outgoing-direction slot),
 	// valid while g2stamp matches the cell's revision counter. cellRev is
@@ -203,9 +221,12 @@ type Engine struct {
 	cellRev []int32
 
 	// parallel initPass scratch: the active cells of the pass and their
-	// per-direction seed gains.
-	activeV []int32
-	gainBuf []int32
+	// per-direction seed gains, plus the counting-sort grouping of active
+	// cells by source block used for the direction-major bucket fill.
+	activeV  []int32
+	gainBuf  []int32
+	blkOff   []int32
+	blkCells []int32
 
 	// bucketN/bucketMaxG are the dimensions the direction buckets were
 	// built with. Buckets survive direction-count changes (their arrays are
@@ -357,39 +378,33 @@ func (e *Engine) gainPin(v hypergraph.NodeID, f, t partition.BlockID) int {
 // gainLevels computes Krishnamurthy gains λ_2..λ_L for moving v from F to
 // T, restricted to nets with no pins outside {F, T}. λ_i counts nets whose
 // F-side binding number is i minus nets whose T-side binding number is
-// i−1; locked pins poison a side (binding number ∞). The result is built
-// in out (a reusable scratch buffer) and aliases it.
+// i−1; locked pins poison a side (binding number ∞, read from the O(1)
+// netLock counters). The result is built in out (a reusable scratch
+// buffer) and aliases it.
 func (e *Engine) gainLevels(v hypergraph.NodeID, f, t partition.BlockID, maxLevel int, out []int) []int {
 	out = out[:0]
 	for lvl := 2; lvl <= maxLevel; lvl++ { // levels 2..maxLevel
 		out = append(out, 0)
 	}
-	for _, net := range e.h.Nets(v) {
+	nb := e.nb()
+	fi, ti := e.blkIdx[f], e.blkIdx[t]
+	for _, net := range e.h.NodeNets(v) {
 		if e.p.Span(net) > 2 {
 			continue // pins in a third block, cheap O(1) pre-filter
 		}
-		pins := e.h.Pins(net)
 		pf := e.p.PinCount(net, f)
 		pt := e.p.PinCount(net, t)
-		if pf+pt != len(pins) {
+		if pf+pt != e.h.NetDegree(net) {
 			continue
 		}
-		lockF, lockT := 0, 0
-		for _, u := range pins {
-			if !e.locked[u] {
-				continue
-			}
-			if e.p.Block(u) == f {
-				lockF++
-			} else {
-				lockT++
-			}
-		}
+		base := int(net) * nb
+		freeF := e.netLock[base+fi] == 0
+		freeT := e.netLock[base+ti] == 0
 		for lvl := 2; lvl <= maxLevel; lvl++ {
-			if lockF == 0 && pf == lvl {
+			if freeF && pf == lvl {
 				out[lvl-2]++
 			}
-			if lockT == 0 && pt == lvl-1 {
+			if freeT && pt == lvl-1 {
 				out[lvl-2]--
 			}
 		}
@@ -428,34 +443,27 @@ func (e *Engine) gain2Of(v hypergraph.NodeID, f, t partition.BlockID) int {
 // gain2 returns the second-level Krishnamurthy gain of moving v from F to T,
 // restricted to nets with no pins outside {F, T} (nets spanning other blocks
 // cannot change cut state through F→T moves). Locked pins make a side
-// unusable, following the classical binding-number definition.
+// unusable, following the classical binding-number definition; the lock
+// tests read the per-(net, block) netLock counters, so the whole
+// evaluation is O(1) per net — no pin scan.
 func (e *Engine) gain2(v hypergraph.NodeID, f, t partition.BlockID) int {
 	g := 0
-	for _, net := range e.h.Nets(v) {
+	nb := e.nb()
+	fi, ti := e.blkIdx[f], e.blkIdx[t]
+	for _, net := range e.h.NodeNets(v) {
 		if e.p.Span(net) > 2 {
 			continue // pins in a third block, cheap O(1) pre-filter
 		}
-		pins := e.h.Pins(net)
 		pf := e.p.PinCount(net, f)
 		pt := e.p.PinCount(net, t)
-		if pf+pt != len(pins) {
+		if pf+pt != e.h.NetDegree(net) {
 			continue
 		}
-		lockF, lockT := 0, 0
-		for _, u := range pins {
-			if !e.locked[u] {
-				continue
-			}
-			if e.p.Block(u) == f {
-				lockF++
-			} else {
-				lockT++
-			}
-		}
-		if lockF == 0 && pf-lockF == 2 {
+		base := int(net) * nb
+		if pf == 2 && e.netLock[base+fi] == 0 {
 			g++
 		}
-		if lockT == 0 && pt-lockT == 1 {
+		if pt == 1 && e.netLock[base+ti] == 0 {
 			g--
 		}
 	}
@@ -535,6 +543,23 @@ var parallelInitThreshold = 4096
 // pool on machines where GOMAXPROCS is 1.
 var parallelInitWorkers = 0
 
+// parallelFlushThreshold is the minimum estimated pin-visit count (sum of
+// traced net degrees) above which deltaUpdate accumulates gain deltas in
+// parallel. Moves below it — the overwhelming majority — stay on the fused
+// serial path.
+var parallelFlushThreshold = 4096
+
+// parallelFlushWorkers overrides the flush worker count when positive; zero
+// selects min(GOMAXPROCS, 8). Tests set it to exercise the sharded path on
+// machines where GOMAXPROCS is 1.
+var parallelFlushWorkers = 0
+
+// flushShards is the fixed shard count of the parallel flush. It is
+// independent of the worker count: shards are contiguous, index-ordered
+// ranges of the dirty-cell list, each owned by exactly one worker, so the
+// accumulated deltas are bit-identical at any GOMAXPROCS.
+const flushShards = 8
+
 // initPass fills the direction buckets with every unlocked cell of every
 // active block and clears locks.
 //
@@ -551,43 +576,35 @@ func (e *Engine) initPass() {
 		maxG *= 2 // pin deltas reach ±2 per net
 	}
 	nd := e.nb() * (e.nb() - 1)
-	if n != e.bucketN || maxG != e.bucketMaxG {
-		// Bucket arrays are sized by cell count and gain range; an engine
-		// rebound to different dimensions (pooled reuse, a PinGain variant)
-		// must rebuild them. Within fixed dimensions buckets survive
-		// direction-count changes: slots beyond the previous count hold
-		// nil (fresh) or a stale bucket that Clear below resets.
-		full := e.buckets[:cap(e.buckets)]
-		for i := range full {
-			full[i] = nil
-		}
+	if e.slab == nil || n != e.bucketN || maxG != e.bucketMaxG || e.slab.Dirs() < nd {
+		// The slab is sized by cell count, gain range, and direction count;
+		// an engine rebound to wider dimensions (pooled reuse, a PinGain
+		// variant, more active blocks) rebuilds the whole family in one
+		// allocation burst. Narrower passes reuse a prefix of the slab.
+		e.slab = gain.NewSlab(nd, n, maxG)
 		e.bucketN, e.bucketMaxG = n, maxG
 	}
 	if cap(e.buckets) < nd {
-		grown := make([]*gain.Bucket, nd)
-		copy(grown, e.buckets[:cap(e.buckets)])
-		e.buckets = grown
+		e.buckets = make([]*gain.Bucket, nd)
 	}
 	e.buckets = e.buckets[:nd]
 	for d := range e.buckets {
-		if e.buckets[d] == nil {
-			e.buckets[d] = gain.NewBucket(n, maxG)
-		} else {
-			e.buckets[d].Clear()
-		}
+		e.buckets[d] = e.slab.Bucket(d)
+		e.buckets[d].Clear()
 	}
 	for i := range e.locked {
 		e.locked[i] = false
 	}
+	clear(e.netLock)
 	for i := range e.cellRev {
 		e.cellRev[i]++ // locks reset: every cached level-2 gain is stale
 	}
-	if cap(e.dirBound) < nd {
-		e.dirBound = make([]dirBound, nd)
+	if cap(e.dirCand) < nd {
+		e.dirCand = make([]dirCand, nd)
 	}
-	e.dirBound = e.dirBound[:nd]
-	for i := range e.dirBound {
-		e.dirBound[i] = dirBound{}
+	e.dirCand = e.dirCand[:nd]
+	for i := range e.dirCand {
+		e.dirCand[i] = dirCand{}
 	}
 
 	e.activeV = e.activeV[:0]
@@ -619,6 +636,48 @@ func (e *Engine) initPass() {
 			}
 		}
 	}
+	if !e.cfg.PinGain {
+		// First-level gains decompose per net: a span-1 net with other pins
+		// contributes −1 to every direction, and a span-2 net with v as the
+		// sole F pin contributes +1 to exactly one direction (its second
+		// endpoint). One net sweep per cell therefore fills all k−1 slots —
+		// O(deg) instead of O(k·deg) — which dominates initPass on the
+		// large-k Table 6 devices. The per-direction cellGain path above is
+		// kept for PinGain, whose per-net delta depends on the destination.
+		fill = func(lo, hi int) {
+			acc := make([]int32, slots)
+			for i := lo; i < hi; i++ {
+				v := hypergraph.NodeID(e.activeV[i])
+				b := e.p.Block(v)
+				fi := e.blkIdx[b]
+				var common int32
+				clearInt32s(acc)
+				for _, net := range e.h.NodeNets(v) {
+					switch e.p.Span(net) {
+					case 1:
+						if e.h.NetDegree(net) > 1 {
+							common--
+						}
+					case 2:
+						if e.p.PinCount(net, b) != 1 {
+							continue
+						}
+						ob := e.p.OtherBlock(net, b)
+						if si := e.blkIdx[ob]; si >= 0 {
+							if si > fi {
+								si--
+							}
+							acc[si]++
+						}
+					}
+				}
+				o := i * slots
+				for s := 0; s < slots; s++ {
+					e.gainBuf[o+s] = acc[s] + common
+				}
+			}
+		}
+	}
 	workers := parallelInitWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -645,15 +704,49 @@ func (e *Engine) initPass() {
 		wg.Wait()
 	}
 
+	// Insert direction-major: one bucket's list arrays stay hot while all of
+	// its cells stream in, instead of touching k−1 buckets per cell. LIFO
+	// lists only order cells within one direction, and cells arrive in the
+	// same ascending order under either loop nesting, so every seeded gain
+	// list is identical to the cell-major order's. A counting sort groups
+	// the active cells by source block, keeping ascending order per group.
+	nbk := e.nb()
+	if cap(e.blkOff) < nbk+1 {
+		e.blkOff = make([]int32, nbk+1)
+	}
+	e.blkOff = e.blkOff[:nbk+1]
+	for i := range e.blkOff {
+		e.blkOff[i] = 0
+	}
+	if cap(e.blkCells) < len(e.activeV) {
+		e.blkCells = make([]int32, len(e.activeV))
+	}
+	e.blkCells = e.blkCells[:len(e.activeV)]
+	for _, vi := range e.activeV {
+		e.blkOff[e.blkIdx[e.p.Block(hypergraph.NodeID(vi))]+1]++
+	}
+	for i := 1; i <= nbk; i++ {
+		e.blkOff[i] += e.blkOff[i-1]
+	}
+	// Fill with blkOff[fi] as a moving cursor; afterwards blkOff[fi] is the
+	// END of group fi, so groups are recovered as [prev end, blkOff[fi]).
 	for i, vi := range e.activeV {
 		fi := e.blkIdx[e.p.Block(hypergraph.NodeID(vi))]
+		e.blkCells[e.blkOff[fi]] = int32(i)
+		e.blkOff[fi]++
+	}
+	start := int32(0)
+	for fi := 0; fi < nbk; fi++ {
+		end := e.blkOff[fi]
+		group := e.blkCells[start:end]
+		start = end
 		base := fi * slots
-		o := i * slots
-		// Ascending slot order equals ascending direction order: dirIndex
-		// is monotone in the destination index for a fixed source.
 		for s := 0; s < slots; s++ {
-			e.buckets[base+s].Insert(vi, int(e.gainBuf[o+s]))
-			e.st.BucketOps++
+			bk := e.buckets[base+s]
+			for _, i := range group {
+				bk.Insert(e.activeV[i], int(e.gainBuf[int(i)*slots+s]))
+			}
+			e.st.BucketOps += len(group)
 		}
 	}
 }
@@ -670,38 +763,25 @@ type candidate struct {
 	bal   int   // S_FROM - S_TO at selection time
 }
 
-// dirBound is the cached selection bound of one direction: a proof,
-// recorded after a full evaluation, that every candidate the direction can
-// contribute compares ≤ (g1, g2, bal) under the selection order. The bound
-// stays valid until a move dirties the direction — a clean direction's
-// bucket, windows, balance, locks, and level-2 gains are all untouched —
-// and while it holds, a direction that cannot beat the incumbent is
-// skipped without rescanning its gain list.
-type dirBound struct {
+// dirCand is the cached local winner of one direction: the candidate the
+// direction would contribute to a full selection scan, computed without
+// reference to any other direction. The entry stays valid until a move
+// dirties the direction — a clean direction's bucket, windows, balance,
+// locks, and level-2 gains are all untouched, so its local winner cannot
+// change — and while it holds, selectBest reads the winner back in O(1)
+// instead of rescanning the gain list. On the large-k Table 6 devices a
+// move dirties only ~4k of the k·(k−1) directions, so this removes almost
+// the entire selection scan.
+type dirCand struct {
 	valid       bool
+	has         bool // direction contributes a candidate
+	v           int32
 	g1, g2, bal int32
 }
 
-// disableDirBound turns the per-direction selection-bound cache off; the
+// disableDirBound turns the per-direction candidate cache off; the
 // differential test proves the cache never changes a selection.
 var disableDirBound = false
-
-// boundSkip reports whether a direction with bound b is provably unable to
-// beat the incumbent best (strictly better in (g1, g2, bal) is required to
-// win, so a bound ≤ the incumbent's key means skip).
-func (e *Engine) boundSkip(b dirBound, best *candidate) bool {
-	if b.g1 != int32(best.g1) {
-		return b.g1 < int32(best.g1)
-	}
-	if !best.hasG2 {
-		best.g2 = e.gain2Of(best.v, best.from, best.to)
-		best.hasG2 = true
-	}
-	if b.g2 != int32(best.g2) {
-		return b.g2 < int32(best.g2)
-	}
-	return b.bal <= int32(best.bal)
-}
 
 // selectBest scans all directions for the best admissible move under the
 // ordering (g1, g2, S_FROM−S_TO). Returns ok=false when no admissible move
@@ -748,10 +828,13 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 		}
 		return c.bal > best.bal
 	}
-	// The bound cache assumes the selection order is exactly (g1, g2, bal);
-	// deeper Krishnamurthy levels compare lv vectors instead, so it is
-	// restricted to the published configuration.
-	useBound := e.cfg.UseLevel2 && e.cfg.GainLevels < 3 && !disableDirBound && len(e.dirBound) > 0
+	// The candidate cache assumes the selection order is exactly (g1, g2,
+	// bal); deeper Krishnamurthy levels compare lv vectors instead, so it
+	// is restricted to the published configuration.
+	fast := e.cfg.UseLevel2 && e.cfg.GainLevels < 3
+	if fast && !disableDirBound && len(e.dirCand) > 0 {
+		return e.selectBestCached(scratch)
+	}
 	for fi := range e.blocks {
 		for ti := range e.blocks {
 			if ti == fi {
@@ -765,9 +848,6 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			}
 			if found && topG < best.g1 {
 				continue // cannot beat the current best on g1
-			}
-			if useBound && found && e.dirBound[d].valid && e.boundSkip(e.dirBound[d], &best) {
-				continue // cached bound: cannot beat the current best
 			}
 			f, t := e.blocks[fi], e.blocks[ti]
 			bal := e.p.Size(f) - e.p.Size(t)
@@ -784,17 +864,43 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 					e.st.MovesGated++
 					continue
 				}
-				c := candidate{v: v, from: f, to: t, g1: topG, bal: bal}
-				if better(c) {
-					if !c.hasG2 && e.cfg.UseLevel2 {
-						c.g2 = e.gain2Of(c.v, c.from, c.to)
-						c.hasG2 = true
-					}
-					best, found = c, true
-				}
 				examined = true
+				if !fast {
+					c := candidate{v: v, from: f, to: t, g1: topG, bal: bal}
+					if better(c) {
+						if !c.hasG2 && e.cfg.UseLevel2 {
+							c.g2 = e.gain2Of(c.v, c.from, c.to)
+							c.hasG2 = true
+						}
+						best, found = c, true
+					}
+					continue
+				}
+				// Published configuration: the selection key is exactly
+				// (g1, g2, bal), inlined here without candidate copies —
+				// this comparison is the single hottest statement of a run.
+				// g1 (= topG) and bal are direction constants, so cells in
+				// the same top list compete on g2 alone, ties keeping the
+				// earlier (LIFO) cell, exactly as the generic comparator.
+				if found && topG == best.g1 {
+					cg2 := e.gain2Of(v, f, t)
+					if !best.hasG2 {
+						best.g2 = e.gain2Of(best.v, best.from, best.to)
+						best.hasG2 = true
+					}
+					if cg2 < best.g2 || (cg2 == best.g2 && bal <= best.bal) {
+						continue
+					}
+					best = candidate{v: v, from: f, to: t, g1: topG, bal: bal, g2: cg2, hasG2: true}
+					continue
+				}
+				if found && topG < best.g1 {
+					continue
+				}
+				best = candidate{v: v, from: f, to: t, g1: topG, bal: bal,
+					g2: e.gain2Of(v, f, t), hasG2: true}
+				found = true
 			}
-			stoppedByLimit, stoppedByBound := false, false
 			if !examined {
 				// Whole top list inadmissible: descend in gain order for
 				// the first admissible cell (bounded scan).
@@ -802,11 +908,9 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 				bk.ScanFrom(func(vi int32, g int) bool {
 					limit--
 					if limit < 0 {
-						stoppedByLimit = true
 						return false
 					}
 					if found && g < best.g1 {
-						stoppedByBound = true
 						return false
 					}
 					v := hypergraph.NodeID(vi)
@@ -819,36 +923,139 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 					if better(c) {
 						best, found = c, true
 					}
-					examined = true
 					return false // direction contributes its best admissible only
 				})
-			}
-			if !useBound {
-				continue
-			}
-			switch {
-			case examined:
-				// Every candidate the direction contributes compared ≤ the
-				// best standing right after the direction was processed.
-				if !best.hasG2 {
-					best.g2 = e.gain2Of(best.v, best.from, best.to)
-					best.hasG2 = true
-				}
-				e.dirBound[d] = dirBound{valid: true, g1: int32(best.g1), g2: int32(best.g2), bal: int32(best.bal)}
-			case stoppedByBound:
-				// Nothing admissible at or above best.g1: the direction's
-				// best contribution sits strictly below it.
-				e.dirBound[d] = dirBound{valid: true, g1: int32(best.g1) - 1, g2: math.MaxInt32, bal: math.MaxInt32}
-			case stoppedByLimit:
-				// Scan truncated: no bound learned, keep any prior one.
-			default:
-				// Gain list exhausted with nothing admissible: the direction
-				// cannot contribute at all while it stays clean.
-				e.dirBound[d] = dirBound{valid: true, g1: math.MinInt32, g2: math.MinInt32, bal: math.MinInt32}
 			}
 		}
 	}
 	return best, found
+}
+
+// selectBestCached is selectBest for the published (g1, g2, bal) selection
+// order, backed by the per-direction candidate cache: clean directions
+// contribute their cached local winner in a few loads, dirty directions are
+// re-evaluated once. Directions are visited in the same fixed (source,
+// destination) order as the full scan and a strict key improvement is
+// required to take the lead, so the selected move is identical — the
+// differential test drives both paths over random instances to prove it.
+func (e *Engine) selectBestCached(scratch []int32) (candidate, bool) {
+	var bv, bg1, bg2, bbal int32
+	bfi, bti := 0, 0
+	found := false
+	nb := e.nb()
+	d := 0
+	for fi := 0; fi < nb; fi++ {
+		for ti := 0; ti < nb; ti++ {
+			if ti == fi {
+				continue
+			}
+			c := &e.dirCand[d]
+			if !c.valid {
+				if found {
+					// A dirty direction whose bucket's best gain is strictly
+					// below the incumbent's g1 cannot take the lead (its
+					// local winner has g1 ≤ MaxGain, and the descent fallback
+					// only goes lower), so defer its recompute: it stays
+					// dirty and is probed again — one MaxGain load — on the
+					// next scan. The selected move is unchanged.
+					if mg, ok := e.buckets[d].MaxGain(); ok && int32(mg) < bg1 {
+						d++
+						continue
+					}
+				}
+				scratch = e.computeDirCand(d, fi, ti, scratch)
+			}
+			d++
+			if !c.has {
+				continue
+			}
+			if found {
+				if c.g1 != bg1 {
+					if c.g1 < bg1 {
+						continue
+					}
+				} else if c.g2 != bg2 {
+					if c.g2 < bg2 {
+						continue
+					}
+				} else if c.bal <= bbal {
+					continue
+				}
+			}
+			bv, bg1, bg2, bbal = c.v, c.g1, c.g2, c.bal
+			bfi, bti = fi, ti
+			found = true
+		}
+	}
+	if !found {
+		return candidate{}, false
+	}
+	return candidate{v: hypergraph.NodeID(bv), from: e.blocks[bfi], to: e.blocks[bti],
+		g1: int(bg1), g2: int(bg2), hasG2: true, bal: int(bbal)}, true
+}
+
+// computeDirCand evaluates direction d (blocks[fi] → blocks[ti]) in
+// isolation and caches its local winner: the admissible top-list cell with
+// the highest level-2 gain (earliest on ties — g1 and balance are direction
+// constants), or, when the whole top list is gated, the first admissible
+// cell within a bounded descent of the gain list. The computation never
+// reads the incumbent best of the surrounding scan, so the entry is exactly
+// the contribution a full scan would extract from this direction, for any
+// incumbent, as long as the direction stays clean.
+func (e *Engine) computeDirCand(d, fi, ti int, scratch []int32) []int32 {
+	c := &e.dirCand[d]
+	*c = dirCand{valid: true}
+	bk := e.buckets[d]
+	topG, ok := bk.MaxGain()
+	if !ok {
+		return scratch
+	}
+	f, t := e.blocks[fi], e.blocks[ti]
+	bal := int32(e.p.Size(f) - e.p.Size(t))
+	win := e.dirWindowFor(f, t)
+	scratch = scratch[:0]
+	scratch = bk.TopN(e.cfg.TieWidth, scratch)
+	for _, vi := range scratch {
+		e.st.MovesEvaluated++
+		if !win.admits(int(e.szOf[vi])) {
+			e.st.MovesGated++
+			continue
+		}
+		g2 := int32(e.gain2Of(hypergraph.NodeID(vi), f, t))
+		if !c.has || g2 > c.g2 {
+			c.has = true
+			c.v = vi
+			c.g1 = int32(topG)
+			c.g2 = g2
+			c.bal = bal
+		}
+	}
+	if c.has {
+		return scratch
+	}
+	// Whole top list inadmissible: descend in gain order for the first
+	// admissible cell (bounded scan, same 64-entry window the full scan
+	// uses — the bucket is unchanged while the direction is clean, so the
+	// window covers the same cells).
+	limit := 64
+	bk.ScanFrom(func(vi int32, g int) bool {
+		limit--
+		if limit < 0 {
+			return false
+		}
+		e.st.MovesEvaluated++
+		if !win.admits(int(e.szOf[vi])) {
+			e.st.MovesGated++
+			return true
+		}
+		c.has = true
+		c.v = vi
+		c.g1 = int32(g)
+		c.g2 = int32(e.gain2Of(hypergraph.NodeID(vi), f, t))
+		c.bal = bal
+		return false // direction contributes its first admissible only
+	})
+	return scratch
 }
 
 // cutContrib returns the contribution of one net to the cut gain of a cell
@@ -930,20 +1137,20 @@ func (e *Engine) applyMove(c candidate) {
 		e.buckets[e.dirIndex(fi, ti)].Remove(int32(v))
 		e.st.BucketOps++
 	}
-	// Dirty the selection-bound cache: only directions whose source or
+	// Dirty the candidate cache: only directions whose source or
 	// destination is a move endpoint see their buckets, sizes, locks, or
 	// level-2 gains change (the same locality argument the delta kernel
-	// rests on), so only those bounds are dropped.
-	if len(e.dirBound) > 0 {
+	// rests on), so only those local winners are dropped.
+	if len(e.dirCand) > 0 {
 		ti := e.blkIdx[c.to]
 		for j := range e.blocks {
 			if j != fi {
-				e.dirBound[e.dirIndex(fi, j)] = dirBound{}
-				e.dirBound[e.dirIndex(j, fi)] = dirBound{}
+				e.dirCand[e.dirIndex(fi, j)] = dirCand{}
+				e.dirCand[e.dirIndex(j, fi)] = dirCand{}
 			}
 			if j != ti {
-				e.dirBound[e.dirIndex(ti, j)] = dirBound{}
-				e.dirBound[e.dirIndex(j, ti)] = dirBound{}
+				e.dirCand[e.dirIndex(ti, j)] = dirCand{}
+				e.dirCand[e.dirIndex(j, ti)] = dirCand{}
 			}
 		}
 	}
@@ -953,8 +1160,20 @@ func (e *Engine) applyMove(c candidate) {
 	}
 	e.netBuf = e.p.MoveTrace(v, c.to, e.netBuf[:0])
 	e.locked[v] = true
+	e.lockNets(v, e.blkIdx[c.to])
 	e.journal = append(e.journal, moveRec{v: v, from: c.from, to: c.to})
 	e.deltaUpdate(v, c.from, c.to)
+}
+
+// lockNets records v's pins as locked in active block index ti on every net
+// of v. Locked cells never move again within the pass, so counting at lock
+// time keeps netLock exact: netLock[net*nb+bi] equals the number of locked
+// pins of net residing in blocks[bi].
+func (e *Engine) lockNets(v hypergraph.NodeID, ti int) {
+	nb := e.nb()
+	for _, net := range e.h.NodeNets(v) {
+		e.netLock[int(net)*nb+ti]++
+	}
 }
 
 // applyMoveRecompute is the wholesale update the delta kernel superseded:
@@ -965,6 +1184,7 @@ func (e *Engine) applyMoveRecompute(c candidate) {
 	v := c.v
 	e.p.Move(v, c.to)
 	e.locked[v] = true
+	e.lockNets(v, e.blkIdx[c.to])
 	e.journal = append(e.journal, moveRec{v: v, from: c.from, to: c.to})
 	e.epoch++
 	for _, net := range e.h.Nets(v) {
@@ -1009,6 +1229,16 @@ func (e *Engine) deltaUpdate(v hypergraph.NodeID, from, to partition.BlockID) {
 	}
 	e.epoch++
 	e.touched = e.touched[:0]
+	if workers := flushWorkerCount(); workers >= 2 {
+		est := 0
+		for _, net := range e.h.Nets(v) {
+			est += e.h.NetDegree(net)
+		}
+		if est >= parallelFlushThreshold {
+			e.deltaUpdateSharded(v, from, to, fi, ti, slots, contrib, workers)
+			return
+		}
+	}
 	for i, net := range e.h.Nets(v) {
 		nd := &e.netBuf[i]
 		pcFb, pcTb := nd.FromPins, nd.ToPins
@@ -1120,6 +1350,14 @@ func (e *Engine) deltaUpdate(v hypergraph.NodeID, from, to partition.BlockID) {
 		}
 	}
 
+	e.flushTouched(from, to, fi, ti, slots)
+}
+
+// flushTouched drains the accumulated gain deltas of every dirty cell into
+// the buckets, in first-touch order, restoring accum's all-zero invariant.
+// Shared by the fused and sharded flush paths; it is the only writer of the
+// buckets and the level-2 memo revisions, so it stays serial.
+func (e *Engine) flushTouched(from, to partition.BlockID, fi, ti, slots int) {
 	for _, ui := range e.touched {
 		u := hypergraph.NodeID(ui)
 		e.cellRev[u]++ // level-2 memo: neighbourhood changed
@@ -1155,6 +1393,179 @@ func (e *Engine) deltaUpdate(v hypergraph.NodeID, from, to partition.BlockID) {
 				e.accum[base+s] = 0
 				e.buckets[row+s].Adjust(ui, int(d))
 				e.st.BucketOps++
+			}
+		}
+	}
+}
+
+// flushWorkerCount resolves the parallel-flush worker count from the
+// override or GOMAXPROCS.
+func flushWorkerCount() int {
+	if parallelFlushWorkers > 0 {
+		return parallelFlushWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// deltaUpdateSharded is deltaUpdate for moves whose trace touches enough
+// pins to amortize goroutine handoff. It produces bit-identical results to
+// the fused path at any worker count:
+//
+//   - Pass A (serial) stamps dirty cells in the exact first-touch order of
+//     the fused scan — stamping precedes every accumulation shortcut there,
+//     so the orders coincide — and indexes the traced nets in netIdx.
+//   - Pass B (parallel) accumulates gain deltas cell-major: the dirty-cell
+//     list is cut into flushShards fixed, index-ordered ranges, each owned
+//     by exactly one worker, so every accum row has a single writer.
+//     Per-cell contributions sum over that cell's traced nets; integer
+//     addition is commutative, so neither shard scheduling nor the worker
+//     count can change any total.
+//   - The bucket flush reuses the serial flushTouched tail.
+func (e *Engine) deltaUpdateSharded(v hypergraph.NodeID, from, to partition.BlockID, fi, ti, slots int, contrib func(pcA, pcDest, span int32) int32, workers int) {
+	nets := e.h.Nets(v)
+	for i, net := range nets {
+		e.netIdx[net] = int32(i)
+		for _, u := range e.h.Pins(net) {
+			if u == v || e.locked[u] {
+				continue
+			}
+			if e.stamp[u] != e.epoch {
+				e.stamp[u] = e.epoch
+				e.touched = append(e.touched, int32(u))
+			}
+		}
+	}
+	shards := flushShards
+	if shards > len(e.touched) {
+		shards = len(e.touched)
+	}
+	if shards > 0 {
+		chunk := (len(e.touched) + shards - 1) / shards
+		if workers > shards {
+			workers = shards
+		}
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						return
+					}
+					lo := s * chunk
+					if lo >= len(e.touched) {
+						continue // ceil rounding can leave trailing empty shards
+					}
+					hi := lo + chunk
+					if hi > len(e.touched) {
+						hi = len(e.touched)
+					}
+					e.accumRange(from, to, fi, ti, slots, contrib, lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, net := range nets {
+		e.netIdx[net] = -1
+	}
+	e.flushTouched(from, to, fi, ti, slots)
+}
+
+// accumRange accumulates the gain deltas of the dirty cells in
+// touched[lo:hi]. Case analysis mirrors the fused deltaUpdate scan exactly,
+// transposed from net-major to cell-major.
+func (e *Engine) accumRange(from, to partition.BlockID, fi, ti, slots int, contrib func(pcA, pcDest, span int32) int32, lo, hi int) {
+	nb := e.nb()
+	for _, ui := range e.touched[lo:hi] {
+		u := hypergraph.NodeID(ui)
+		b := e.p.Block(u)
+		ufi := e.blkIdx[b]
+		if ufi < 0 {
+			continue
+		}
+		base := int(ui) * slots
+		for _, net := range e.h.NodeNets(u) {
+			i := e.netIdx[net]
+			if i < 0 {
+				continue
+			}
+			nd := &e.netBuf[i]
+			pcFb, pcTb := nd.FromPins, nd.ToPins
+			pcFa, pcTa := pcFb-1, pcTb+1
+			spanB, spanA := nd.SpanBefore, nd.SpanAfter
+			if spanB == spanA && pcFb >= 3 && pcTb >= 2 {
+				continue // no critical transition on this net
+			}
+			switch b {
+			case from:
+				if pcFb >= 3 && spanB == spanA {
+					continue
+				}
+				for tj := 0; tj < nb; tj++ {
+					if tj == ufi {
+						continue
+					}
+					s := tj
+					if tj > ufi {
+						s--
+					}
+					var before, after int32
+					if tj == ti {
+						before = contrib(pcFb, pcTb, spanB)
+						after = contrib(pcFa, pcTa, spanA)
+					} else {
+						pcD := int32(e.p.PinCount(net, e.blocks[tj]))
+						before = contrib(pcFb, pcD, spanB)
+						after = contrib(pcFa, pcD, spanA)
+					}
+					e.accum[base+s] += after - before
+				}
+			case to:
+				if pcTb >= 2 && spanB == spanA {
+					continue
+				}
+				for tj := 0; tj < nb; tj++ {
+					if tj == ufi {
+						continue
+					}
+					s := tj
+					if tj > ufi {
+						s--
+					}
+					var before, after int32
+					if tj == fi {
+						before = contrib(pcTb, pcFb, spanB)
+						after = contrib(pcTa, pcFa, spanA)
+					} else {
+						pcD := int32(e.p.PinCount(net, e.blocks[tj]))
+						before = contrib(pcTb, pcD, spanB)
+						after = contrib(pcTa, pcD, spanA)
+					}
+					e.accum[base+s] += after - before
+				}
+			default:
+				if spanB == spanA && pcFb > 1 {
+					continue
+				}
+				pcA := int32(e.p.PinCount(net, b))
+				s := fi
+				if fi > ufi {
+					s--
+				}
+				e.accum[base+s] += contrib(pcA, pcFa, spanA) - contrib(pcA, pcFb, spanB)
+				s = ti
+				if ti > ufi {
+					s--
+				}
+				e.accum[base+s] += contrib(pcA, pcTa, spanA) - contrib(pcA, pcTb, spanB)
 			}
 		}
 	}
@@ -1386,7 +1797,22 @@ func (e *Engine) prepare(blocks []partition.BlockID, remainder partition.BlockID
 	if len(e.szOf) != e.h.NumNodes() {
 		e.szOf = make([]int32, e.h.NumNodes())
 		for v := range e.szOf {
-			e.szOf[v] = int32(e.h.Node(hypergraph.NodeID(v)).Size)
+			e.szOf[v] = int32(e.h.SizeOf(hypergraph.NodeID(v)))
+		}
+	}
+	// Locked-pin counters, one row per net over the active blocks. initPass
+	// zeroes them each pass; sizing here re-zeroes too because the row
+	// stride follows the active block count.
+	if need := e.h.NumNets() * len(blocks); cap(e.netLock) < need {
+		e.netLock = make([]int32, need)
+	} else {
+		e.netLock = e.netLock[:need]
+		clear(e.netLock)
+	}
+	if len(e.netIdx) != e.h.NumNets() {
+		e.netIdx = make([]int32, e.h.NumNets())
+		for i := range e.netIdx {
+			e.netIdx[i] = -1
 		}
 	}
 }

@@ -98,6 +98,28 @@ func TestGain1MatchesBruteForce(t *testing.T) {
 	}
 }
 
+// bindDirs wires the direction-dependent engine state (active blocks, block
+// index, locked-pin counters) that prepare would normally build, for
+// white-box tests that call gain2/gainLevels without running a pass.
+func bindDirs(e *Engine, blocks ...partition.BlockID) {
+	e.blocks = blocks
+	e.blkIdx = make([]int, e.p.NumBlocks())
+	for i := range e.blkIdx {
+		e.blkIdx[i] = -1
+	}
+	for i, b := range blocks {
+		e.blkIdx[b] = i
+	}
+	e.netLock = make([]int32, e.h.NumNets()*len(blocks))
+}
+
+// lockCell marks v locked in its current block, maintaining the netLock
+// counters the way applyMove does.
+func lockCell(e *Engine, v hypergraph.NodeID) {
+	e.locked[v] = true
+	e.lockNets(v, e.blkIdx[e.p.Block(v)])
+}
+
 func TestGain2Handcrafted(t *testing.T) {
 	// Net {a, b, c}: a, b in F, c in T, nothing locked.
 	// Moving a (F→T): level-1 gain 0 (pF=2). Level-2: +1 for the two
@@ -113,7 +135,7 @@ func TestGain2Handcrafted(t *testing.T) {
 	bT := p.AddBlock()
 	p.Move(c, bT)
 	e := New(p, Default())
-	e.blocks = []partition.BlockID{0, bT}
+	bindDirs(e, 0, bT)
 	if g := e.gain1(a, 0, bT); g != 0 {
 		t.Errorf("gain1 = %d, want 0", g)
 	}
@@ -122,14 +144,15 @@ func TestGain2Handcrafted(t *testing.T) {
 	}
 	// Lock b: the F side becomes unusable, positive term vanishes. The T
 	// side has one unlocked pin (c), so the negative term applies: -1.
-	e.locked[b] = true
+	lockCell(e, b)
 	if g := e.gain2(a, 0, bT); g != -1 {
 		t.Errorf("gain2 with locked partner = %d, want -1", g)
 	}
 	// Lock c instead: negative term vanishes (locked T pin), positive
 	// term counts again.
 	e.locked[b] = false
-	e.locked[c] = true
+	clear(e.netLock)
+	lockCell(e, c)
 	if g := e.gain2(a, 0, bT); g != 1 {
 		t.Errorf("gain2 with locked T pin = %d, want 1", g)
 	}
@@ -149,6 +172,7 @@ func TestGain2IgnoresThirdBlockNets(t *testing.T) {
 	p.Move(b, bX) // pin in third block
 	p.Move(c, bT)
 	e := New(p, Default())
+	bindDirs(e, 0, bT, bX)
 	if g := e.gain2(a, 0, bT); g != 0 {
 		t.Errorf("gain2 = %d, want 0 for net touching a third block", g)
 	}

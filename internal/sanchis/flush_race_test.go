@@ -1,0 +1,126 @@
+package sanchis
+
+// Determinism pin for the sharded parallel gain flush: with the threshold
+// forced to zero every applied move takes the deltaUpdateSharded path, and
+// the resulting trajectory must be bit-identical to the fused serial flush
+// and to the wholesale-recompute reference at every worker count. Run under
+// -race (scripts/verify.sh does) this also proves the shards never write a
+// shared cell.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+type flushRun struct {
+	assign []partition.BlockID
+	key    partition.Key
+	st     Stats
+}
+
+func runFlushVariant(t *testing.T, h *hypergraph.Hypergraph, dev device.Device,
+	assign []partition.BlockID, k int, threshold, workers int, disableDelta bool) flushRun {
+	t.Helper()
+	oldT, oldW := parallelFlushThreshold, parallelFlushWorkers
+	parallelFlushThreshold = threshold
+	parallelFlushWorkers = workers
+	defer func() { parallelFlushThreshold, parallelFlushWorkers = oldT, oldW }()
+
+	p, err := partition.FromAssignment(h, dev, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := device.LowerBound(h, dev)
+	rem := partition.BlockID(k - 1)
+	blocks := make([]partition.BlockID, k)
+	for i := range blocks {
+		blocks[i] = partition.BlockID(i)
+	}
+	cfg := Default()
+	cfg.DisableDeltaGain = disableDelta
+	e := New(p, cfg)
+	st := e.Improve(blocks, rem, m)
+	out := make([]partition.BlockID, h.NumNodes())
+	for v := range out {
+		out[v] = p.Block(hypergraph.NodeID(v))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return flushRun{assign: out, key: p.Key(cfg.Cost, rem, m), st: st}
+}
+
+func TestShardedFlushDeterministicAcrossWorkers(t *testing.T) {
+	dev := device.Device{Name: "d", DatasheetCells: 16, Pins: 14, Fill: 1.0}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := randomCircuit(r)
+		k := 2 + r.Intn(4)
+		assign := make([]partition.BlockID, h.NumNodes())
+		for v := range assign {
+			assign[v] = partition.BlockID(r.Intn(k))
+		}
+
+		// Reference trajectories: wholesale recompute and fused serial flush.
+		ref := runFlushVariant(t, h, dev, assign, k, int(^uint(0)>>1), 0, true)
+		serial := runFlushVariant(t, h, dev, assign, k, int(^uint(0)>>1), 0, false)
+
+		check := func(name string, got flushRun) {
+			t.Helper()
+			if got.key != ref.key {
+				t.Errorf("seed %d %s: key %v, reference %v", seed, name, got.key, ref.key)
+			}
+			if got.st.MovesApplied != ref.st.MovesApplied || got.st.Passes != ref.st.Passes {
+				t.Errorf("seed %d %s: (%d moves, %d passes), reference (%d, %d)",
+					seed, name, got.st.MovesApplied, got.st.Passes, ref.st.MovesApplied, ref.st.Passes)
+			}
+			for v := range got.assign {
+				if got.assign[v] != ref.assign[v] {
+					t.Fatalf("seed %d %s: node %d in block %d, reference %d",
+						seed, name, v, got.assign[v], ref.assign[v])
+				}
+			}
+		}
+		check("serial-delta", serial)
+		// Sharded path at several worker counts; threshold 0 forces every
+		// flush through the shards regardless of move size.
+		for _, workers := range []int{2, 4, 7} {
+			check("sharded-"+string(rune('0'+workers)), runFlushVariant(t, h, dev, assign, k, 0, workers, false))
+		}
+	}
+}
+
+// TestShardedFlushAcrossGOMAXPROCS repeats the pin at GOMAXPROCS 1 and 4:
+// the shard→worker assignment is dynamic, so this exercises genuinely
+// different interleavings while the accumulated deltas must stay identical.
+func TestShardedFlushAcrossGOMAXPROCS(t *testing.T) {
+	dev := device.Device{Name: "d", DatasheetCells: 14, Pins: 12, Fill: 1.0}
+	r := rand.New(rand.NewSource(99))
+	h := randomCircuit(r)
+	k := 3
+	assign := make([]partition.BlockID, h.NumNodes())
+	for v := range assign {
+		assign[v] = partition.BlockID(r.Intn(k))
+	}
+	ref := runFlushVariant(t, h, dev, assign, k, int(^uint(0)>>1), 0, true)
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		got := runFlushVariant(t, h, dev, assign, k, 0, 4, false)
+		runtime.GOMAXPROCS(old)
+		if got.key != ref.key || got.st.MovesApplied != ref.st.MovesApplied {
+			t.Errorf("GOMAXPROCS %d: key %v moves %d, reference %v / %d",
+				procs, got.key, got.st.MovesApplied, ref.key, ref.st.MovesApplied)
+		}
+		for v := range got.assign {
+			if got.assign[v] != ref.assign[v] {
+				t.Fatalf("GOMAXPROCS %d: node %d in block %d, reference %d",
+					procs, v, got.assign[v], ref.assign[v])
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ func TestGainLevelsMatchesGain2AtLevel2(t *testing.T) {
 	h, _ := clusters(t, 2, 8)
 	p := scrambled(t, h, testDev, 2)
 	e := New(p, Default())
+	bindDirs(e, 0, 1)
 	for v := 0; v < h.NumNodes(); v++ {
 		id := hypergraph.NodeID(v)
 		from := p.Block(id)
@@ -42,6 +43,7 @@ func TestGainLevelsDepth(t *testing.T) {
 	blk := p.AddBlock()
 	p.Move(x, blk)
 	e := New(p, Default())
+	bindDirs(e, 0, blk)
 	lv := e.gainLevels(a, 0, blk, 4, nil)
 	if lv[0] != -1 || lv[1] != 1 || lv[2] != 0 {
 		t.Errorf("gainLevels = %v, want [-1 1 0]", lv)

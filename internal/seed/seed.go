@@ -455,6 +455,9 @@ type sweepScratch struct {
 	attract []int32
 	heap    attHeap
 	members []hypergraph.NodeID
+	mark    []int32             // per-node last-touched stamp, see sweepFrom
+	touched []hypergraph.NodeID // nodes stamped by the current add
+	epoch   int32
 }
 
 var sweepPool = sync.Pool{New: func() any { return &sweepScratch{t: new(tracker)} }}
@@ -533,16 +536,32 @@ func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device,
 		sweepPool.Put(sc)
 	}()
 
+	mark := resizeInt32s(sc.mark, h.NumNodes(), 0)
+	sc.mark = mark
+	sc.epoch = 0
 	add := func(v hypergraph.NodeID) {
 		t.Add(v)
 		members = append(members, v)
+		// A neighbour sharing several nets with v gains several attraction
+		// points but needs only ONE fresh heap entry — entries carrying the
+		// intermediate values would be superseded immediately and popped as
+		// stale. The epoch stamp dedups neighbours within this add; the top
+		// valid entry the lazy heap yields is unchanged.
+		sc.epoch++
+		sc.touched = sc.touched[:0]
 		for _, e := range h.Nets(v) {
 			for _, u := range h.Pins(e) {
 				if u != v && p.Block(u) == rem && !t.Contains(u) {
 					attract[u]++
-					heap.push(attEntry{a: attract[u], id: u})
+					if mark[u] != sc.epoch {
+						mark[u] = sc.epoch
+						sc.touched = append(sc.touched, u)
+					}
 				}
 			}
+		}
+		for _, u := range sc.touched {
+			heap.push(attEntry{a: attract[u], id: u})
 		}
 	}
 	add(s)

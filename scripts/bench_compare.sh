@@ -46,7 +46,19 @@ BEGIN {
 END {
     worst = 0
     for (k in new) {
-        if (!(k in old) || old[k] <= 0) continue
+        if (!(k in old)) {
+            # An instance with no baseline is a silent coverage hole, not a
+            # pass: report it per instance and fail, so a renamed or dropped
+            # grid entry cannot slip through as "no regression".
+            printf "MISSING    %-18s %12.0f ns/op (no baseline instance in old file)\n", k, new[k]
+            missing++
+            continue
+        }
+        if (old[k] <= 0) {
+            printf "MISSING    %-18s %12.0f ns/op (baseline ns_per_op is zero)\n", k, new[k]
+            missing++
+            continue
+        }
         matched++
         delta = (new[k] / old[k] - 1) * 100
         if (delta > tol) {
@@ -60,6 +72,10 @@ END {
         exit 2
     }
     printf "bench_compare: %d instances matched, worst slowdown %+.1f%% (tolerance %s%%)\n", matched, worst, tol
+    if (missing > 0) {
+        printf "bench_compare: %d instance(s) missing from the baseline\n", missing > "/dev/stderr"
+        exit 2
+    }
     if (bad > 0) exit 1
 }
 ' "$NEW"
