@@ -8,6 +8,14 @@
 //	fpartd -addr :8080
 //	fpartd -addr 127.0.0.1:0 -workers 4 -queue 128 -cache 256
 //
+// With -data-dir the result cache gains a disk-backed layer that survives
+// restarts; with -peers several daemons form a cluster that routes each
+// submission to its fingerprint's ring owner and steals work from busy
+// peers:
+//
+//	fpartd -addr 127.0.0.1:9001 -data-dir /var/lib/fpartd \
+//	       -peers 127.0.0.1:9001,127.0.0.1:9002 -advertise 127.0.0.1:9001
+//
 // Submit a job and follow it:
 //
 //	curl -s localhost:8080/v1/partition -d '{"circuit":"s9234","device":"XC3020"}'
@@ -34,8 +42,10 @@ import (
 	"syscall"
 	"time"
 
+	"fpart/internal/cluster"
 	"fpart/internal/driver"
 	"fpart/internal/service"
+	"fpart/internal/store"
 )
 
 func main() {
@@ -45,43 +55,185 @@ func main() {
 	}
 }
 
+// options collects the flag values so boot validation is testable apart
+// from flag.Parse and the daemon lifecycle.
+type options struct {
+	addr           string
+	workers        int
+	spec           int
+	queueDepth     int
+	cacheEntries   int
+	retention      int
+	defaultTimeout time.Duration
+	grace          time.Duration
+
+	dataDir    string
+	storeBytes int64
+
+	peers         string
+	advertise     string
+	replicas      int
+	stealInterval time.Duration
+	degradeAt     float64
+
+	cpuprofile string
+	memprofile string
+}
+
+// validate rejects nonsensical boot parameters outright. A negative pool
+// or queue size is always a typo; failing fast with the flag's name beats
+// silently normalizing it to a default the operator did not choose.
+func (o *options) validate() error {
+	type bound struct {
+		name string
+		v    int64
+	}
+	for _, b := range []bound{
+		{"-workers", int64(o.workers)},
+		{"-queue", int64(o.queueDepth)},
+		{"-cache", int64(o.cacheEntries)},
+		{"-retention", int64(o.retention)},
+		{"-spec", int64(o.spec)},
+		{"-replicas", int64(o.replicas)},
+		{"-store-bytes", o.storeBytes},
+		{"-grace", int64(o.grace)},
+		{"-default-timeout", int64(o.defaultTimeout)},
+		{"-steal-interval", int64(o.stealInterval)},
+	} {
+		if b.v < 0 {
+			return fmt.Errorf("%s must not be negative (got %v)", b.name, b.v)
+		}
+	}
+	if o.degradeAt > 1 {
+		return fmt.Errorf("-degrade-at is a queue-fill fraction in [0,1], or negative to disable (got %v)", o.degradeAt)
+	}
+	if o.dataDir == "" && o.storeBytes != 0 {
+		return errors.New("-store-bytes needs -data-dir")
+	}
+	peers := o.peerList()
+	if len(peers) == 0 {
+		if o.advertise != "" {
+			return errors.New("-advertise needs -peers")
+		}
+		return nil
+	}
+	self := o.selfAddr()
+	found := false
+	for _, p := range peers {
+		if p == "" {
+			return fmt.Errorf("-peers has an empty entry: %q", o.peers)
+		}
+		if p == self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("advertise address %q missing from -peers %q", self, o.peers)
+	}
+	return nil
+}
+
+// peerList splits -peers, trimming whitespace; empty means single-node.
+func (o *options) peerList() []string {
+	if strings.TrimSpace(o.peers) == "" {
+		return nil
+	}
+	parts := strings.Split(o.peers, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}
+
+// selfAddr is this peer's advertise address: -advertise, or -addr when
+// unset.
+func (o *options) selfAddr() string {
+	if o.advertise != "" {
+		return o.advertise
+	}
+	return o.addr
+}
+
 // run carries the whole daemon lifecycle so deferred cleanup (profile
 // teardown) survives error exits and panics.
 func run() error {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-	workers := flag.Int("workers", 0, "worker pool size and shared CPU budget (0 = GOMAXPROCS)")
-	spec := flag.Int("spec", 1, "speculative peeling width for fpart jobs: race this many candidates per peel step within the worker budget (1 = sequential)")
-	queueDepth := flag.Int("queue", 0, "bounded job queue depth; overflow is rejected with 429 (0 = 64)")
-	cacheEntries := flag.Int("cache", 0, "result cache capacity in entries, LRU-evicted (0 = 128)")
-	retention := flag.Int("retention", 0, "finished jobs kept queryable (0 = 1024)")
-	defaultTimeout := flag.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = unlimited)")
-	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period before in-flight jobs are canceled")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the daemon's lifetime to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at shutdown) to this file")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size and shared CPU budget (0 = GOMAXPROCS)")
+	flag.IntVar(&o.spec, "spec", 1, "speculative peeling width for fpart jobs: race this many candidates per peel step within the worker budget (1 = sequential)")
+	flag.IntVar(&o.queueDepth, "queue", 0, "bounded job queue depth; overflow is rejected with 429 (0 = 64)")
+	flag.IntVar(&o.cacheEntries, "cache", 0, "result cache capacity in entries, LRU-evicted (0 = 128)")
+	flag.IntVar(&o.retention, "retention", 0, "finished jobs kept queryable (0 = 1024)")
+	flag.DurationVar(&o.defaultTimeout, "default-timeout", 0, "per-job deadline when the request sets none (0 = unlimited)")
+	flag.DurationVar(&o.grace, "grace", 30*time.Second, "shutdown grace period before in-flight jobs are canceled")
+	flag.StringVar(&o.dataDir, "data-dir", "", "directory for the disk-backed result store; results survive restarts (empty = memory only)")
+	flag.Int64Var(&o.storeBytes, "store-bytes", 0, "disk store byte budget, LRU-evicted (0 = 256 MiB; needs -data-dir)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated static cluster membership (host:port,...); empty = single node")
+	flag.StringVar(&o.advertise, "advertise", "", "this peer's address as listed in -peers (default: -addr)")
+	flag.IntVar(&o.replicas, "replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = 64)")
+	flag.DurationVar(&o.stealInterval, "steal-interval", 0, "idle work-stealing poll interval (0 = 500ms)")
+	flag.Float64Var(&o.degradeAt, "degrade-at", 0, "queue-fill fraction that degrades expensive methods to a cheaper engine (0 = 0.75; negative disables)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the daemon's lifetime to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile (taken at shutdown) to this file")
 	flag.Parse()
 
-	stopProfiles, err := driver.StartProfiles(*cpuprofile, *memprofile, driver.StderrNotify)
+	if err := o.validate(); err != nil {
+		return err
+	}
+
+	stopProfiles, err := driver.StartProfiles(o.cpuprofile, o.memprofile, driver.StderrNotify)
 	if err != nil {
 		return err
 	}
 	defer stopProfiles()
 
+	var st *store.Store
+	if o.dataDir != "" {
+		st, err = store.Open(o.dataDir, o.storeBytes)
+		if err != nil {
+			return err
+		}
+	}
+
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		SpecWidth:      *spec,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		JobRetention:   *retention,
-		DefaultTimeout: *defaultTimeout,
+		Workers:        o.workers,
+		SpecWidth:      o.spec,
+		QueueDepth:     o.queueDepth,
+		CacheEntries:   o.cacheEntries,
+		JobRetention:   o.retention,
+		DefaultTimeout: o.defaultTimeout,
+		Store:          st,
+		DegradeAt:      o.degradeAt,
 	})
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stealCtx, stopSteal := context.WithCancel(context.Background())
+	defer stopSteal()
+	if peers := o.peerList(); len(peers) > 0 {
+		node, err := cluster.New(cluster.Config{
+			Self:          o.selfAddr(),
+			Peers:         peers,
+			Replicas:      o.replicas,
+			StealInterval: o.stealInterval,
+		})
+		if err != nil {
+			return err
+		}
+		svc.SetCluster(node)
+		go node.StealLoop(stealCtx, svc)
+		log.Printf("fpartd: cluster of %d peers, self %s", len(peers), node.Self())
+	}
+	if st != nil {
+		log.Printf("fpartd: disk store at %s (%d entries, %d bytes)", o.dataDir, st.Len(), st.Bytes())
 	}
 
 	// The smoke script and tests parse this line to learn the bound port.
@@ -99,17 +251,18 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("fpartd: %v: draining (grace %v)", s, *grace)
+		log.Printf("fpartd: %v: draining (grace %v)", s, o.grace)
 	case err := <-serveErr:
 		svc.Shutdown(context.Background())
 		return err
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
-	// Stop the listener first so no new jobs arrive, then drain the pool;
-	// jobs still running when the grace period expires are canceled via
-	// their contexts.
+	// Stop the steal loop and the listener first so no new work arrives,
+	// then drain the pool; jobs still running when the grace period expires
+	// are canceled via their contexts.
+	stopSteal()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("fpartd: http shutdown: %v", err)
 	}

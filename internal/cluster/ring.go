@@ -1,0 +1,109 @@
+// Package cluster shards the fpartd daemon across a static set of peers.
+//
+// Membership is configuration, not consensus: every peer is started with
+// the same `-peers` list and an `-advertise` address naming itself in that
+// list, and all routing state is derived deterministically from the list.
+// Three mechanisms ride on top:
+//
+//   - Routing. A consistent-hash ring (Ring) with replicated virtual
+//     nodes assigns every result fingerprint an owner peer. A submission
+//     arriving at a non-owner is forwarded over HTTP to the owner, so each
+//     fingerprint's cache/store entry concentrates on one peer and the
+//     cluster-wide hit rate approaches the single-node rate. Forwarded
+//     requests carry the X-Fpart-Forwarded header; a peer never re-forwards
+//     a forwarded request (single-hop loop prevention), and a dead owner
+//     degrades to local execution rather than an error.
+//   - Work stealing. An idle peer polls the others' POST /v1/steal
+//     endpoint; a loaded peer hands over one queued job spec. The thief
+//     executes it through its own service (budget, cache, and store
+//     included) and pushes the serialized result back to the victim, which
+//     completes the original job as if it had run locally.
+//   - Fault tolerance. Owners that stop answering are bypassed (forward
+//     fallback); stolen jobs whose thief disappears are requeued by the
+//     victim after a TTL (see internal/service).
+//
+// The package deliberately has no dependency on internal/service: the
+// service implements the small Source interface and owns the HTTP
+// endpoints, while this package owns ring math, the peer HTTP client, and
+// the steal loop.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a static peer set. Each peer is
+// projected onto the ring at Replicas pseudo-random points (virtual
+// nodes), which evens out the key share each peer owns; a key belongs to
+// the first virtual node at or clockwise of its hash. The ring is
+// immutable after construction and safe for concurrent use.
+type Ring struct {
+	peers  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring. replicas ≤ 0 selects 64 virtual nodes per
+// peer. Peers must be non-empty and unique.
+func NewRing(peers []string, replicas int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if replicas <= 0 {
+		replicas = 64
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{peers: append([]string(nil), peers...)}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", p, i)),
+				peer: p,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (vanishingly rare) break ties by peer name so
+		// every ring built from the same list routes identically.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the peer list the ring was built from.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner maps a key to the peer owning it.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].peer
+}
+
+// ringHash maps a string onto the ring's 64-bit circle. SHA-256 keeps the
+// virtual-node spread uniform regardless of how similar peer addresses
+// are (host:8080 vs host:8081 differ in one character).
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

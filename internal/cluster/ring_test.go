@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Error("empty peer address accepted")
+	}
+}
+
+func TestOwnerIsDeterministicAndValid(t *testing.T) {
+	peers := []string{"h1:8080", "h2:8080", "h3:8080"}
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(peers, 0)
+	valid := map[string]bool{}
+	for _, p := range peers {
+		valid[p] = true
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		o := r1.Owner(key)
+		if !valid[o] {
+			t.Fatalf("owner %q not a peer", o)
+		}
+		if o != r2.Owner(key) {
+			t.Fatalf("rings from the same list disagree on %q", key)
+		}
+	}
+}
+
+// Every peer must route identically regardless of the order its operator
+// wrote the -peers list in: the ring is a pure function of the peer SET.
+func TestOwnerIndependentOfListOrder(t *testing.T) {
+	a, _ := NewRing([]string{"h1:1", "h2:1", "h3:1"}, 32)
+	b, _ := NewRing([]string{"h3:1", "h1:1", "h2:1"}, 32)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("list order changed routing for %q", key)
+		}
+	}
+}
+
+func TestOwnershipRoughlyBalanced(t *testing.T) {
+	peers := []string{"h1:1", "h2:1", "h3:1", "h4:1"}
+	r, _ := NewRing(peers, 64)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / n
+		// Perfect balance is 0.25; replicated virtual nodes should keep
+		// every peer within a loose 2x band of it.
+		if share < 0.125 || share > 0.5 {
+			t.Errorf("peer %s owns %.1f%% of keys (counts %v)", p, 100*share, counts)
+		}
+	}
+}
+
+// Adding one peer must only reassign keys onto the new peer, never
+// shuffle keys between surviving peers — the property that makes
+// consistent hashing worth its salt for cache locality.
+func TestMinimalDisruptionOnGrowth(t *testing.T) {
+	old, _ := NewRing([]string{"h1:1", "h2:1", "h3:1"}, 64)
+	grown, _ := NewRing([]string{"h1:1", "h2:1", "h3:1", "h4:1"}, 64)
+	moved, toNew := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		a, b := old.Owner(key), grown.Owner(key)
+		if a != b {
+			moved++
+			if b == "h4:1" {
+				toNew++
+			}
+		}
+	}
+	if moved != toNew {
+		t.Errorf("%d keys moved between surviving peers", moved-toNew)
+	}
+	if toNew == 0 {
+		t.Error("new peer owns nothing")
+	}
+}

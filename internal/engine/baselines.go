@@ -22,6 +22,7 @@ func (kwayxEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		Cost:         1,
 		Summary:      "k-way.x recursive bipartitioning baseline (Kuznar-Brglez-Kozminski)",
 	}
 }
@@ -45,6 +46,7 @@ func (flowEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		Cost:         3,
 		Summary:      "FBB-MW flow-based peeling baseline (Liu-Wong max-flow min-cut)",
 	}
 }
@@ -69,6 +71,7 @@ func (multilevelEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		Cost:         2,
 		Summary:      "multilevel coarsen/split/refine baseline (hMETIS-style V-cycles)",
 	}
 }

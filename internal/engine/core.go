@@ -21,6 +21,7 @@ func (fpartEngine) Caps() Capabilities {
 		Cancellable:  true,
 		Instrumented: true,
 		Budgeted:     true,
+		Cost:         4,
 		Summary:      "guided iterative improvement of Krupnova & Saucier (the paper's algorithm)",
 	}
 }
@@ -52,6 +53,7 @@ func (portfolioEngine) Caps() Capabilities {
 		Cancellable:  true,
 		Instrumented: true,
 		Budgeted:     true,
+		Cost:         5,
 		Summary:      "races the core.DefaultPortfolio configuration mix, first K=M win cancels the rest",
 	}
 }

@@ -61,6 +61,21 @@ type metrics struct {
 	specWins   atomic.Int64
 	specLosses atomic.Int64
 
+	// Disk-store layer (service-side view; the store keeps its own
+	// hit/miss/eviction counters).
+	storeHits     atomic.Int64
+	storeMisses   atomic.Int64
+	storeBad      atomic.Int64
+	storeFailures atomic.Int64
+
+	// Cluster: stolen-job lifecycle on the victim side, plus degradation
+	// and batch activity.
+	stolenServed    atomic.Int64
+	stolenCompleted atomic.Int64
+	stealRequeued   atomic.Int64
+	degraded        atomic.Int64
+	batchGroups     atomic.Int64
+
 	mu sync.Mutex
 	// jobs counts terminal jobs per (method, state):
 	// fpartd_jobs_total{method,state}.
@@ -108,6 +123,31 @@ func (m *metrics) observePhases(method string, st *obs.Stats) {
 	m.specRounds.Add(int64(st.SpecRounds))
 	m.specWins.Add(int64(st.SpecWins))
 	m.specLosses.Add(int64(st.SpecLosses))
+}
+
+// meanRunSeconds is the degradation ladder's cost model: the measured
+// mean wall time of one run of method, summed across its per-phase
+// histograms. ok is false until at least one run completed.
+func (m *metrics) meanRunSeconds(method string) (float64, bool) {
+	m.mu.Lock()
+	hs, ok := m.phase[method]
+	m.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	var total float64
+	var count uint64
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		h := &hs[p]
+		h.mu.Lock()
+		total += h.sum
+		count = h.count // every phase is observed once per run
+		h.mu.Unlock()
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return total / float64(count), true
 }
 
 // hitRate is cache hits (including coalesced riders) over all admissions
@@ -176,6 +216,32 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	c("fpartd_spec_rounds_total", s.m.specRounds.Load(), "speculative peeling rounds raced")
 	c("fpartd_spec_wins_total", s.m.specWins.Load(), "speculative rounds won by a non-base candidate")
 	c("fpartd_spec_losses_total", s.m.specLosses.Load(), "speculative candidates discarded")
+
+	c("fpartd_degraded_total", s.m.degraded.Load(), "admissions degraded to a cheaper engine under load")
+	c("fpartd_batch_groups_total", s.m.batchGroups.Load(), "batch job groups admitted")
+	c("fpartd_stolen_served_total", s.m.stolenServed.Load(), "queued jobs handed to stealing peers")
+	c("fpartd_stolen_completed_total", s.m.stolenCompleted.Load(), "stolen jobs completed by a peer's result push")
+	c("fpartd_steal_requeued_total", s.m.stealRequeued.Load(), "stolen jobs requeued after the thief went silent")
+
+	if st := s.cfg.Store; st != nil {
+		ss := st.StatsNow()
+		g("fpartd_store_entries", ss.Entries, "results persisted on disk")
+		g("fpartd_store_bytes", ss.Bytes, "bytes of persisted results on disk")
+		c("fpartd_store_hits_total", ss.Hits, "disk-store lookups that returned a result")
+		c("fpartd_store_misses_total", ss.Misses, "disk-store lookups that found nothing")
+		c("fpartd_store_writes_total", ss.Writes, "results written to the disk store")
+		c("fpartd_store_evictions_total", ss.Evictions, "results evicted to respect the byte budget")
+		c("fpartd_store_corrupt_total", ss.Corrupt, "persisted entries dropped as corrupt")
+		c("fpartd_store_decode_errors_total", s.m.storeBad.Load(), "persisted payloads the service could not rebuild")
+		c("fpartd_store_write_failures_total", s.m.storeFailures.Load(), "results the service failed to persist")
+	}
+	if n := s.clusterNode; n != nil {
+		forwards, fallbacks, steals, stealFails := n.Counters()
+		c("fpartd_forward_total", forwards, "submissions forwarded to their owning peer")
+		c("fpartd_forward_fallback_total", fallbacks, "forwards that fell back to local execution")
+		c("fpartd_steal_total", steals, "jobs stolen from busy peers")
+		c("fpartd_steal_failures_total", stealFails, "steal attempts that failed in transit")
+	}
 
 	const hn = "fpartd_phase_seconds"
 	fmt.Fprintf(w, "# HELP %s wall time per algorithm phase per run, by method\n# TYPE %s histogram\n", hn, hn)

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"fpart/internal/device"
+	"fpart/internal/driver"
+	"fpart/internal/hypergraph"
+	"fpart/internal/obs"
+	"fpart/internal/partition"
+)
+
+// storedResult is the durable serialization of one completed run: the
+// payload the disk store files under a fingerprint key, and the envelope
+// a work-stealing thief pushes back to its victim. It carries the block
+// assignment rather than the partition object — the loader still has the
+// hypergraph (content addressing guarantees an identical structure), so
+// the partition and its quality report are rebuilt exactly, and the
+// payload stays a few bytes per cell.
+type storedResult struct {
+	Circuit string `json:"circuit,omitempty"`
+	Device  string `json:"device"`
+	// Fill is the device's resolved filling ratio (request overrides
+	// included), re-applied at decode so the rebuilt partition judges
+	// feasibility exactly as the original run did.
+	Fill     float64 `json:"fill"`
+	Method   string  `json:"method"`
+	K        int     `json:"k"`
+	M        int     `json:"m"`
+	Feasible bool    `json:"feasible"`
+	// Assignment maps node index to block.
+	Assignment []int32     `json:"assignment"`
+	ElapsedNS  int64       `json:"elapsed_ns"`
+	Stats      *obs.Stats  `json:"stats,omitempty"`
+	Events     []obs.Event `json:"events,omitempty"`
+}
+
+// encodeStored serializes a finished run for the disk store or a steal
+// result push. The device (resolved fill included) comes from the
+// partition itself.
+func encodeStored(circuit, method string, res *driver.Result, events []obs.Event) ([]byte, error) {
+	h := res.Partition.Hypergraph()
+	dev := res.Partition.Device()
+	assign := make([]int32, h.NumNodes())
+	for i := range assign {
+		assign[i] = int32(res.Partition.Block(hypergraph.NodeID(i)))
+	}
+	return json.Marshal(storedResult{
+		Circuit:    circuit,
+		Device:     dev.Name,
+		Fill:       dev.Fill,
+		Method:     method,
+		K:          res.K,
+		M:          res.M,
+		Feasible:   res.Feasible,
+		Assignment: assign,
+		ElapsedNS:  int64(res.Elapsed),
+		Stats:      res.Stats,
+		Events:     events,
+	})
+}
+
+// decodeStored rebuilds a driver.Result from a stored payload against the
+// hypergraph it was computed for. The device must resolve locally and the
+// assignment must cover the hypergraph — a payload that does not fit the
+// circuit (a hash collision would be the only honest cause) is an error,
+// never a silently wrong partition.
+func decodeStored(payload []byte, h *hypergraph.Hypergraph) (*driver.Result, *storedResult, error) {
+	var sr storedResult
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		return nil, nil, fmt.Errorf("stored result: %w", err)
+	}
+	dev, ok := device.ByName(sr.Device)
+	if !ok {
+		return nil, nil, fmt.Errorf("stored result names unknown device %q", sr.Device)
+	}
+	if sr.Fill > 0 {
+		dev = dev.WithFill(sr.Fill)
+	}
+	if len(sr.Assignment) != h.NumNodes() {
+		return nil, nil, fmt.Errorf("stored assignment covers %d of %d nodes", len(sr.Assignment), h.NumNodes())
+	}
+	blocks := make([]partition.BlockID, len(sr.Assignment))
+	k := 1
+	for i, b := range sr.Assignment {
+		blocks[i] = partition.BlockID(b)
+		if int(b)+1 > k {
+			k = int(b) + 1
+		}
+	}
+	p, err := partition.FromAssignment(h, dev, blocks, k)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stored result: %w", err)
+	}
+	return &driver.Result{
+		Partition: p,
+		K:         sr.K,
+		M:         sr.M,
+		Feasible:  sr.Feasible,
+		Stats:     sr.Stats,
+		Elapsed:   time.Duration(sr.ElapsedNS),
+	}, &sr, nil
+}

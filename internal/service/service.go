@@ -30,13 +30,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fpart/internal/cluster"
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/driver"
+	"fpart/internal/engine"
 	"fpart/internal/hypergraph"
 	"fpart/internal/netlist"
 	"fpart/internal/obs"
 	"fpart/internal/quality"
+	"fpart/internal/store"
 )
 
 // Config tunes the service. The zero value is production-ready.
@@ -67,6 +70,23 @@ type Config struct {
 	// Limits bounds the netlist parsers for uploaded circuits; the zero
 	// value applies netlist.DefaultLimits.
 	Limits netlist.Limits
+	// Store, when non-nil, is the disk-backed content-addressed result
+	// store layered under the in-memory cache: completed runs are written
+	// through, and a memory miss probes the disk before queueing a
+	// computation, so results survive restarts (and arrive via work
+	// stealing). nil keeps the service memory-only.
+	Store *store.Store
+	// DegradeAt is the queue-fill fraction at which admission control
+	// degrades expensive methods to a cheaper registry engine instead of
+	// rejecting with ErrQueueFull (0 = 0.75; negative disables
+	// degradation).
+	DegradeAt float64
+	// StealTTL bounds how long a stolen job may stay out with a work
+	// thief before the victim requeues it locally (0 = 30s).
+	StealTTL time.Duration
+	// GroupRetention bounds how many batch job groups stay queryable
+	// (0 = 256).
+	GroupRetention int
 }
 
 func (c Config) normalize() Config {
@@ -85,6 +105,15 @@ func (c Config) normalize() Config {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
+	}
+	if c.DegradeAt == 0 {
+		c.DegradeAt = 0.75
+	}
+	if c.StealTTL <= 0 {
+		c.StealTTL = 30 * time.Second
+	}
+	if c.GroupRetention <= 0 {
+		c.GroupRetention = 256
 	}
 	return c
 }
@@ -141,13 +170,24 @@ type Job struct {
 	circuit string
 
 	h *hypergraph.Hypergraph
+	// req retains the original submission (cleared at completion) so a
+	// queued job can be handed to a work-stealing peer verbatim.
+	req Request
+	// degradedFrom names the method the client asked for when admission
+	// control degraded this job to a cheaper engine ("" otherwise).
+	degradedFrom string
 
 	state     State
 	cached    bool
 	coalesced bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	// stolen marks a queued job handed to the work-stealing peer named in
+	// thief; stealTimer requeues it locally if no result comes back.
+	stolen     bool
+	thief      string
+	stealTimer *time.Timer
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
 
 	bcast  *obs.Broadcast
 	cancel context.CancelFunc
@@ -178,14 +218,21 @@ func (j *Job) Events() *obs.Broadcast { return j.bcast }
 
 // Snapshot is an immutable copy of a job's externally visible state.
 type Snapshot struct {
-	ID        string
-	Key       string
-	State     State
-	Method    string
-	Device    string
-	Circuit   string
-	Cached    bool
-	Coalesced bool
+	ID      string
+	Key     string
+	State   State
+	Method  string
+	Device  string
+	Circuit string
+	// DegradedFrom names the originally requested method when admission
+	// control substituted a cheaper engine ("" when it did not).
+	DegradedFrom string
+	Cached       bool
+	Coalesced    bool
+	// Stolen reports that the job is (or was) out with the named work
+	// thief.
+	Stolen    bool
+	Thief     string
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
@@ -205,15 +252,22 @@ type Service struct {
 	order    []string // submission order, for listing and retention
 	inflight map[string]*Job
 	cache    *resultCache
+	groups   map[string]*Group
+	grpOrder []string
 	closed   bool
+
+	// clusterNode is this peer's view of the fpartd cluster (nil when
+	// running single-node). Set once via SetCluster before serving.
+	clusterNode *cluster.Node
 
 	queue   chan *Job
 	wg      sync.WaitGroup
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	nextID atomic.Int64
-	m      metrics
+	nextID    atomic.Int64
+	nextGroup atomic.Int64
+	m         metrics
 
 	// budget is the shared CPU budget (capacity = Workers): job dispatches
 	// hold one token each and in-run speculation borrows spare ones.
@@ -233,6 +287,7 @@ func New(cfg Config) *Service {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		cache:    newResultCache(cfg.CacheEntries),
+		groups:   make(map[string]*Group),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		baseCtx:  ctx,
 		cancel:   cancel,
@@ -249,10 +304,32 @@ func New(cfg Config) *Service {
 // Config returns the normalized configuration the service runs with.
 func (s *Service) Config() Config { return s.cfg }
 
-// Submit validates and admits one partitioning request. The returned job
-// is already terminal for cache hits. ErrQueueFull and ErrShuttingDown
-// report admission failures; other errors are invalid requests.
-func (s *Service) Submit(req Request) (*Job, error) {
+// SetCluster attaches this peer's cluster node: submissions whose
+// fingerprint another peer owns are forwarded there, the steal endpoints
+// go live, and the cluster counters join /metrics. Call it once, before
+// the handler serves traffic.
+func (s *Service) SetCluster(n *cluster.Node) { s.clusterNode = n }
+
+// Cluster returns the attached cluster node (nil when single-node).
+func (s *Service) Cluster() *cluster.Node { return s.clusterNode }
+
+// prepared is a validated, circuit-loaded submission: everything needed
+// to either admit it locally or route it to its owning peer.
+type prepared struct {
+	req     Request
+	dev     device.Device
+	method  string
+	circuit *driver.Circuit
+	timeout time.Duration
+	// key is the content-addressed fingerprint under the *requested*
+	// method; admission may re-key if it degrades the method.
+	key string
+}
+
+// prepare validates req and loads its circuit without touching the
+// queue. The HTTP layer uses the returned fingerprint to route the
+// submission across the cluster before committing to local admission.
+func (s *Service) prepare(req Request) (*prepared, error) {
 	dev, ok := device.ByName(req.Device)
 	if !ok {
 		return nil, fmt.Errorf("unknown device %q", req.Device)
@@ -283,12 +360,39 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-
 	timeout := req.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
-	key := Fingerprint(c.Hypergraph, dev, method)
+	return &prepared{
+		req:     req,
+		dev:     dev,
+		method:  method,
+		circuit: c,
+		timeout: timeout,
+		key:     Fingerprint(c.Hypergraph, dev, method),
+	}, nil
+}
+
+// Submit validates and admits one partitioning request. The returned job
+// is already terminal for cache hits (memory or disk). ErrQueueFull and
+// ErrShuttingDown report admission failures; other errors are invalid
+// requests. Under queue pressure, admission may degrade the default
+// expensive method to a cheaper registry engine — the job then reports
+// the original method in Snapshot.DegradedFrom.
+func (s *Service) Submit(req Request) (*Job, error) {
+	prep, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitPrepared(prep)
+}
+
+// submitPrepared admits a prepared submission: memory cache, in-flight
+// coalescing, disk store, degradation ladder, then the bounded queue —
+// in that order.
+func (s *Service) submitPrepared(prep *prepared) (*Job, error) {
+	method, key := prep.method, prep.key
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -297,46 +401,61 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	}
 	job := &Job{
 		id:        "job-" + strconv.FormatInt(s.nextID.Add(1), 10),
-		key:       key,
-		method:    method,
-		device:    dev,
-		circuit:   c.Name,
-		h:         c.Hypergraph,
+		device:    prep.dev,
+		circuit:   prep.circuit.Name,
+		h:         prep.circuit.Hypergraph,
+		req:       prep.req,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
-		timeout:   timeout,
+		timeout:   prep.timeout,
 	}
 
-	if ent, ok := s.cache.get(key); ok {
-		// O(1) path: replay the cached outcome, including its event
-		// stream, without touching the queue.
-		job.state = StateDone
-		job.cached = true
-		job.started = job.submitted
-		job.finished = job.submitted
-		job.result = ent.res
-		job.report = &ent.report
-		job.bcast = obs.NewBroadcast()
-		for _, e := range ent.events {
-			job.bcast.Event(e)
+	for attempt := 0; ; attempt++ {
+		job.method, job.key = method, key
+
+		if ent, ok := s.cache.get(key); ok {
+			// O(1) path: replay the cached outcome, including its event
+			// stream, without touching the queue.
+			s.m.cacheHits.Add(1)
+			s.finishFromCacheLocked(job, ent)
+			return job, nil
 		}
-		job.bcast.Close()
-		close(job.done)
-		s.m.cacheHits.Add(1)
-		s.m.finished(job.method, StateDone)
-		s.remember(job)
-		return job, nil
-	}
 
-	if leader, ok := s.inflight[key]; ok {
-		// An identical computation is already queued or running: ride it.
-		job.state = leader.state
-		job.coalesced = true
-		job.bcast = leader.bcast
-		leader.followers = append(leader.followers, job)
-		s.m.coalesced.Add(1)
-		s.remember(job)
-		return job, nil
+		if leader, ok := s.inflight[key]; ok {
+			// An identical computation is already queued or running: ride it.
+			job.state = leader.state
+			job.coalesced = true
+			job.bcast = leader.bcast
+			leader.followers = append(leader.followers, job)
+			s.m.coalesced.Add(1)
+			s.remember(job)
+			return job, nil
+		}
+
+		if ent, ok := s.storeGetLocked(job); ok {
+			// Disk layer: a previous process (or a peer's steal run)
+			// already computed this fingerprint. Promote it to the memory
+			// cache and answer without queueing.
+			s.cache.add(key, ent)
+			s.m.storeHits.Add(1)
+			s.finishFromCacheLocked(job, ent)
+			return job, nil
+		}
+
+		// Nothing memoized: this request costs a computation. If the
+		// queue is near capacity and the method has a cheaper registered
+		// engine, degrade once and retry the lookups under the new key —
+		// a degraded request can still be a cache hit.
+		if attempt == 0 && s.shouldDegradeLocked() {
+			if alt, ok := s.cheaperEngineLocked(method); ok {
+				job.degradedFrom = method
+				method = alt
+				key = Fingerprint(prep.circuit.Hypergraph, prep.dev, alt)
+				s.m.degraded.Add(1)
+				continue
+			}
+		}
+		break
 	}
 
 	job.state = StateQueued
@@ -351,6 +470,87 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	s.m.cacheMisses.Add(1)
 	s.remember(job)
 	return job, nil
+}
+
+// finishFromCacheLocked completes a freshly submitted job from a
+// memoized entry, replaying the original run's event stream. Callers
+// hold mu.
+func (s *Service) finishFromCacheLocked(job *Job, ent cacheEntry) {
+	job.state = StateDone
+	job.cached = true
+	job.started = job.submitted
+	job.finished = job.submitted
+	job.result = ent.res
+	job.report = &ent.report
+	job.req = Request{}
+	job.bcast = obs.NewBroadcast()
+	for _, e := range ent.events {
+		job.bcast.Event(e)
+	}
+	job.bcast.Close()
+	close(job.done)
+	s.m.finished(job.method, StateDone)
+	s.remember(job)
+}
+
+// storeGetLocked probes the disk store for the job's fingerprint and
+// rebuilds the cache entry. Callers hold mu; the read is one small file.
+func (s *Service) storeGetLocked(job *Job) (cacheEntry, bool) {
+	if s.cfg.Store == nil {
+		return cacheEntry{}, false
+	}
+	payload, ok := s.cfg.Store.Get(job.key)
+	if !ok {
+		s.m.storeMisses.Add(1)
+		return cacheEntry{}, false
+	}
+	res, sr, err := decodeStored(payload, job.h)
+	if err != nil {
+		// The envelope passed the store's checksum but does not fit this
+		// circuit or decode — count it and recompute rather than serve it.
+		s.m.storeBad.Add(1)
+		return cacheEntry{}, false
+	}
+	report := quality.Analyze(res.Partition, res.M)
+	return cacheEntry{res: res, report: report, events: sr.Events}, true
+}
+
+// shouldDegradeLocked reports whether admission is under enough queue
+// pressure to trade quality for latency. Callers hold mu.
+func (s *Service) shouldDegradeLocked() bool {
+	if s.cfg.DegradeAt < 0 || s.cfg.DegradeAt > 1 {
+		return false
+	}
+	limit := int(s.cfg.DegradeAt * float64(cap(s.queue)))
+	if limit < 1 {
+		limit = 1
+	}
+	return len(s.queue) >= limit
+}
+
+// cheaperEngineLocked picks the degradation target for method: the
+// registered engine with a strictly lower Caps.Cost rank and the lowest
+// measured mean run time (per-method latency histograms); engines with
+// no observations yet fall back to their static cost rank. Callers hold
+// mu.
+func (s *Service) cheaperEngineLocked(method string) (string, bool) {
+	ladder := engine.CheaperThan(method)
+	if len(ladder) == 0 {
+		return "", false
+	}
+	best, bestMean := "", 0.0
+	for _, inf := range ladder {
+		if mean, ok := s.m.meanRunSeconds(inf.Name); ok {
+			if best == "" || mean < bestMean {
+				best, bestMean = inf.Name, mean
+			}
+		}
+	}
+	if best != "" {
+		return best, true
+	}
+	// No latency data yet: the ladder is sorted cheapest-first by rank.
+	return ladder[0].Name, true
 }
 
 // remember records the job for lookup and trims retention. Callers hold mu.
@@ -412,20 +612,23 @@ func (s *Service) Snapshot(j *Job) Snapshot {
 
 func (j *Job) snapshotLocked() Snapshot {
 	return Snapshot{
-		ID:        j.id,
-		Key:       j.key,
-		State:     j.state,
-		Method:    j.method,
-		Device:    j.device.Name,
-		Circuit:   j.circuit,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
-		Err:       j.err,
-		Result:    j.result,
-		Report:    j.report,
+		ID:           j.id,
+		Key:          j.key,
+		State:        j.state,
+		Method:       j.method,
+		Device:       j.device.Name,
+		Circuit:      j.circuit,
+		DegradedFrom: j.degradedFrom,
+		Cached:       j.cached,
+		Coalesced:    j.coalesced,
+		Stolen:       j.thief != "",
+		Thief:        j.thief,
+		Submitted:    j.submitted,
+		Started:      j.started,
+		Finished:     j.finished,
+		Err:          j.err,
+		Result:       j.result,
+		Report:       j.report,
 	}
 }
 
@@ -449,6 +652,17 @@ func (s *Service) Cancel(j *Job) bool {
 	case StateRunning:
 		if j.coalesced {
 			s.finishFollowerLocked(j, StateCanceled, context.Canceled)
+			return true
+		}
+		if j.stolen {
+			// The computation is out with a work thief; finish the local
+			// job now and drop the thief's eventual push as stale.
+			j.stolen = false
+			if j.stealTimer != nil {
+				j.stealTimer.Stop()
+			}
+			delete(s.inflight, j.key)
+			s.completeLocked(j, StateCanceled, nil, context.Canceled)
 			return true
 		}
 		if j.cancel != nil {
@@ -502,6 +716,12 @@ func (s *Service) runJob(job *Job) {
 	s.m.computations.Add(1)
 	cancel()
 
+	if err == nil {
+		// Write-through to the disk store before taking the service lock
+		// (file I/O off the submission path).
+		s.persistResult(job, res)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.inflight, job.key)
@@ -548,7 +768,26 @@ func (s *Service) completeLocked(job *Job, state State, res *driver.Result, err 
 	}
 	job.followers = nil
 	job.bcast.Close()
-	job.h = nil // the circuit is no longer needed; let it collect
+	job.h = nil         // the circuit is no longer needed; let it collect
+	job.req = Request{} // drop any retained netlist body
+	if job.stealTimer != nil {
+		job.stealTimer.Stop()
+		job.stealTimer = nil
+	}
+}
+
+// persistResult writes one finished run through to the disk store.
+func (s *Service) persistResult(job *Job, res *driver.Result) {
+	if s.cfg.Store == nil {
+		return
+	}
+	payload, err := encodeStored(job.circuit, job.method, res, job.bcast.Events())
+	if err == nil {
+		err = s.cfg.Store.Put(job.key, payload)
+	}
+	if err != nil {
+		s.m.storeFailures.Add(1)
+	}
 }
 
 // finishFollowerLocked detaches one coalesced follower early (cancel path).
@@ -562,6 +801,170 @@ func (s *Service) finishFollowerLocked(f *Job, state State, err error) {
 
 // QueueDepth reports the number of admitted-but-unstarted jobs.
 func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Idle reports whether this peer has spare capacity worth stealing for:
+// an empty queue and at least one free worker. It is the cluster steal
+// loop's gate (cluster.Source).
+func (s *Service) Idle() bool {
+	return len(s.queue) == 0 && s.m.busy.Load() < int64(s.cfg.Workers)
+}
+
+// StealOne hands the oldest queued leader job to the work thief named in
+// thief. The job stays owned by this service — externally it turns
+// "running" — and is requeued locally if no result is pushed back within
+// Config.StealTTL. ok is false when nothing is stealable.
+func (s *Service) StealOne(thief string) (*cluster.StolenJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil || j.state != StateQueued || j.coalesced {
+			continue
+		}
+		j.state = StateRunning // the worker pulling it off the queue skips it
+		j.started = time.Now()
+		j.stolen = true
+		j.thief = thief
+		for _, f := range j.followers {
+			if f.state == StateQueued {
+				f.state = StateRunning
+				f.started = j.started
+			}
+		}
+		j.stealTimer = time.AfterFunc(s.cfg.StealTTL, func() { s.requeueStolen(j) })
+		s.m.stolenServed.Add(1)
+		return &cluster.StolenJob{
+			ID:  j.id,
+			Key: j.key,
+			Spec: cluster.JobSpec{
+				Circuit: j.req.Circuit,
+				Format:  j.req.Format,
+				Netlist: j.req.Netlist,
+				Arch:    j.req.Arch,
+				Device:  j.req.Device,
+				Fill:    j.req.Fill,
+				// The thief must run what admission decided, not what the
+				// client asked for — a degraded job stays degraded.
+				Method:    j.method,
+				TimeoutMS: j.timeout.Milliseconds(),
+			},
+		}, true
+	}
+	return nil, false
+}
+
+// requeueStolen returns a job whose thief went quiet to the local queue.
+func (s *Service) requeueStolen(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !j.stolen || j.terminal() {
+		return
+	}
+	j.stolen = false
+	j.thief = ""
+	s.m.stealRequeued.Add(1)
+	if s.closed {
+		delete(s.inflight, j.key)
+		s.completeLocked(j, StateCanceled, nil, ErrShuttingDown)
+		return
+	}
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		// The queue refilled while the job was out; failing it honestly
+		// beats blocking the timer goroutine on a full queue.
+		delete(s.inflight, j.key)
+		s.completeLocked(j, StateFailed, nil, errors.New("service: stolen job lost and queue full"))
+	}
+}
+
+// CompleteStolen finishes a stolen job from the thief's pushed result
+// envelope (the storedResult codec). Late pushes — after cancellation,
+// the requeue TTL, or shutdown — are dropped without error.
+func (s *Service) CompleteStolen(id string, payload []byte) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("unknown job %q", id)
+	}
+	if !j.stolen || j.terminal() {
+		s.mu.Unlock()
+		return nil // stale push; the job moved on
+	}
+	h := j.h
+	s.mu.Unlock()
+
+	// Decode (and rebuild the partition) off the lock; pushes race only
+	// against the requeue timer, which the re-check below handles.
+	res, sr, err := decodeStored(payload, h)
+	if err != nil {
+		return fmt.Errorf("stolen result for %s: %w", id, err)
+	}
+	if res.Partition.Device().Name != j.device.Name {
+		return fmt.Errorf("stolen result for %s targets %s, want %s", id, res.Partition.Device().Name, j.device.Name)
+	}
+	report := quality.Analyze(res.Partition, res.M)
+	if s.cfg.Store != nil {
+		// Content-addressed, so persisting even a push that loses the
+		// race below is correct — it is the same computation.
+		if err := s.cfg.Store.Put(j.key, payload); err != nil {
+			s.m.storeFailures.Add(1)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !j.stolen || j.terminal() {
+		return nil
+	}
+	j.stolen = false
+	if j.stealTimer != nil {
+		j.stealTimer.Stop()
+	}
+	delete(s.inflight, j.key)
+	for _, e := range sr.Events {
+		j.bcast.Event(e)
+	}
+	s.cache.add(j.key, cacheEntry{res: res, report: report, events: sr.Events})
+	s.m.stolenCompleted.Add(1)
+	s.completeLocked(j, StateDone, res, nil)
+	return nil
+}
+
+// Execute runs a job stolen from a peer through this service's own
+// pipeline — budget, cache, and store included — and returns the result
+// envelope to push back (cluster.Source).
+func (s *Service) Execute(ctx context.Context, job *cluster.StolenJob) ([]byte, error) {
+	j, err := s.Submit(Request{
+		Circuit: job.Spec.Circuit,
+		Format:  job.Spec.Format,
+		Netlist: job.Spec.Netlist,
+		Arch:    job.Spec.Arch,
+		Device:  job.Spec.Device,
+		Fill:    job.Spec.Fill,
+		Method:  job.Spec.Method,
+		Timeout: time.Duration(job.Spec.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+		s.Cancel(j)
+		return nil, ctx.Err()
+	}
+	snap := s.Snapshot(j)
+	if snap.State != StateDone {
+		return nil, fmt.Errorf("stolen job ended %s: %v", snap.State, snap.Err)
+	}
+	return encodeStored(snap.Circuit, snap.Method, snap.Result, j.Events().Events())
+}
 
 // Shutdown stops admission, waits for queued and running jobs to drain,
 // and — if ctx expires first — cancels every in-flight job's context and

@@ -1,0 +1,217 @@
+#!/bin/sh
+# Record the PR8 service artifact (BENCH_SERVICE.json): end-to-end request
+# latency of one fpartd daemon under a mixed warm/cold workload, and the
+# admission-control behavior at saturation. Three phases against a daemon
+# booted with a deliberately small queue (-workers 2 -queue 8
+# -degrade-at 0.5) so the degradation ladder is actually exercised:
+#
+#   1. warm  — submit WARM_KEYS distinct fills of the builtin s9234/XC3020
+#              fpart instance and wait for each, priming the result cache;
+#   2. sample — SAMPLES sequential requests, one cold (never-seen fill)
+#              every COLD_EVERY, the rest cycling the warm keys; each
+#              sample is timed submit-to-result (cached answers return on
+#              the POST, misses are polled to completion);
+#   3. flood — FLOOD distinct fpart submissions fired without waiting, so
+#              the queue saturates and submissions degrade to a cheaper
+#              engine (counted in fpartd_degraded_total) before 429.
+#
+# The JSON carries p50/p90/p99/max latency, the cache hit rate, the
+# degradation and rejection rates at saturation, and the host CPU count.
+# Needs only curl and the go toolchain.
+#
+# Usage:
+#   scripts/bench_service.sh [-samples N] [-flood N] [-out FILE]
+set -eu
+cd "$(dirname "$0")/.."
+
+SAMPLES=100
+FLOOD=40
+OUT=BENCH_SERVICE.json
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -samples) SAMPLES=$2; shift 2 ;;
+        -flood) FLOOD=$2; shift 2 ;;
+        -out) OUT=$2; shift 2 ;;
+        *) echo "usage: scripts/bench_service.sh [-samples N] [-flood N] [-out FILE]" >&2; exit 2 ;;
+    esac
+done
+
+WARM_KEYS=6
+COLD_EVERY=5
+FLAGS="-workers 2 -queue 8 -degrade-at 0.5"
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "bench_service: FAIL: $*" >&2
+    cat "$workdir/fpartd.log" >&2 2>/dev/null || true
+    exit 1
+}
+
+go build -o "$workdir/fpartd" ./cmd/fpartd
+
+# shellcheck disable=SC2086
+"$workdir/fpartd" -addr 127.0.0.1:0 $FLAGS >"$workdir/fpartd.log" 2>&1 &
+pid=$!
+base=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/.*fpartd: listening on \([0-9.:]*\)$/\1/p' "$workdir/fpartd.log" | head -n 1)
+    [ -n "$addr" ] && { base="http://$addr"; break; }
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+[ -n "$base" ] || fail "daemon never reported its listen address"
+
+# submit FILL: POST one s9234/XC3020 fpart request; body lands in
+# $workdir/resp, the HTTP status is echoed.
+submit() {
+    curl -s -o "$workdir/resp" -w '%{http_code}' -X POST \
+        -d "{\"circuit\":\"s9234\",\"device\":\"XC3020\",\"method\":\"fpart\",\"fill\":$1}" \
+        "$base/v1/partition"
+}
+
+wait_done() {
+    for _ in $(seq 1 2000); do
+        st=$(curl -fsS "$base/v1/jobs/$1") || fail "poll $1"
+        case "$st" in
+        *'"state":"done"'*) return 0 ;;
+        *'"state":"failed"'* | *'"state":"canceled"'*) fail "job $1: $st" ;;
+        esac
+        sleep 0.02
+    done
+    fail "job $1 never completed"
+}
+
+job_of() {
+    sed -n 's/.*"id":"\(job-[0-9]*\)".*/\1/p' "$workdir/resp" | head -n 1
+}
+
+# drain: wait until the queue is empty and all workers idle.
+drain() {
+    for _ in $(seq 1 3000); do
+        m=$(curl -fsS "$base/metrics") || fail "metrics scrape"
+        if printf '%s\n' "$m" | grep -q '^fpartd_queue_depth 0$' &&
+            printf '%s\n' "$m" | grep -q '^fpartd_workers_busy 0$'; then
+            return 0
+        fi
+        sleep 0.02
+    done
+    fail "daemon never drained"
+}
+
+warm_fill() { awk -v i="$1" 'BEGIN { printf "%.4f", 0.55 + (i % 6) * 0.01 }'; }
+
+# --- 1. Warm the cache ------------------------------------------------------
+i=0
+while [ "$i" -lt "$WARM_KEYS" ]; do
+    code=$(submit "$(warm_fill "$i")")
+    [ "$code" = 200 ] || [ "$code" = 202 ] || fail "warm submit: HTTP $code"
+    case "$(cat "$workdir/resp")" in
+    *'"cached":true'*) ;;
+    *) wait_done "$(job_of)" ;;
+    esac
+    i=$((i + 1))
+done
+
+# --- 2. Timed samples: mostly warm keys, a fresh fill every COLD_EVERY ------
+: >"$workdir/samples"
+i=0
+cold=0
+while [ "$i" -lt "$SAMPLES" ]; do
+    if [ $((i % COLD_EVERY)) -eq 0 ]; then
+        fill=$(awk -v c="$cold" 'BEGIN { printf "%.4f", 0.62 + c * 0.002 }')
+        cold=$((cold + 1))
+    else
+        fill=$(warm_fill "$i")
+    fi
+    t0=$(date +%s%N)
+    code=$(submit "$fill")
+    [ "$code" = 200 ] || [ "$code" = 202 ] || fail "sample submit: HTTP $code"
+    case "$(cat "$workdir/resp")" in
+    *'"cached":true'*) kind=hit ;;
+    *)
+        kind=miss
+        wait_done "$(job_of)"
+        ;;
+    esac
+    t1=$(date +%s%N)
+    awk -v a="$t0" -v b="$t1" -v k="$kind" \
+        'BEGIN { printf "%.3f %s\n", (b - a) / 1e6, k }' >>"$workdir/samples"
+    i=$((i + 1))
+done
+
+# --- 3. Saturation flood: fire-and-forget distinct fpart submissions --------
+accepted=0 rejected=0
+i=0
+while [ "$i" -lt "$FLOOD" ]; do
+    fill=$(awk -v i="$i" 'BEGIN { printf "%.4f", 0.75 + i * 0.003 }')
+    code=$(submit "$fill")
+    case "$code" in
+    200 | 202) accepted=$((accepted + 1)) ;;
+    429) rejected=$((rejected + 1)) ;;
+    *) fail "flood submit: HTTP $code" ;;
+    esac
+    i=$((i + 1))
+done
+drain
+
+curl -fsS "$base/metrics" >"$workdir/metrics" || fail "final metrics scrape"
+kill -TERM "$pid" 2>/dev/null || true
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+pid=""
+
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+awk -v metrics_file="$workdir/metrics" -v cpus="$CPUS" \
+    -v flags="$FLAGS" -v warm="$WARM_KEYS" -v cold_every="$COLD_EVERY" \
+    -v flood="$FLOOD" -v accepted="$accepted" -v rejected="$rejected" '
+function pct(p,    idx) {
+    idx = int(p * n + 0.999999)
+    if (idx < 1) idx = 1
+    if (idx > n) idx = n
+    return lat[idx]
+}
+BEGIN {
+    while ((getline line < metrics_file) > 0) {
+        split(line, f, " ")
+        mv[f[1]] = f[2] + 0
+    }
+    close(metrics_file)
+}
+{
+    lat[++n] = $1 + 0
+    if ($2 == "hit") hits++
+}
+END {
+    # insertion sort: n is small
+    for (i = 2; i <= n; i++) {
+        t = lat[i]
+        for (j = i - 1; j >= 1 && lat[j] > t; j--) lat[j + 1] = lat[j]
+        lat[j + 1] = t
+    }
+    degraded = mv["fpartd_degraded_total"]
+    printf "{\n"
+    printf "  \"benchmark\": \"bench_service: end-to-end request latency and saturation admission control\",\n"
+    printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"daemon_flags\": \"%s\",\n", flags
+    printf "  \"workload\": {\"circuit\": \"s9234\", \"device\": \"XC3020\", \"method\": \"fpart\", \"warm_keys\": %d, \"cold_every\": %d},\n", warm, cold_every
+    printf "  \"latency_ms\": {\"samples\": %d, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n", n, pct(0.50), pct(0.90), pct(0.99), lat[n]
+    printf "  \"sample_hit_rate\": %.3f,\n", hits / n
+    printf "  \"cache\": {\"hits\": %.0f, \"misses\": %.0f, \"hit_rate\": %.3f},\n", mv["fpartd_cache_hits_total"], mv["fpartd_cache_misses_total"], mv["fpartd_cache_hit_rate"]
+    printf "  \"saturation\": {\"attempted\": %d, \"accepted\": %d, \"rejected\": %d, \"degraded\": %.0f, \"degradation_rate\": %.3f, \"rejection_rate\": %.3f},\n", flood, accepted, rejected, degraded, degraded / flood, rejected / flood
+    printf "  \"computations_total\": %.0f\n", mv["fpartd_computations_total"]
+    printf "}\n"
+}
+' "$workdir/samples" >"$OUT"
+echo "wrote $OUT"
