@@ -18,6 +18,7 @@ import (
 	"fpart/internal/device"
 	"fpart/internal/driver"
 	"fpart/internal/gen"
+	"fpart/internal/mlfpart"
 	"fpart/internal/sanchis"
 )
 
@@ -355,6 +356,43 @@ func BenchmarkScaling(b *testing.B) {
 					b.ReportMetric(float64(r.K), "devices")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkMLFpartScale measures the multilevel engine on the synthetic
+// netlists flat FPART cannot touch — the BENCH_PR9.json quantity
+// (scripts/bench_pr9.sh records the full grid up to 10⁶ cells; the
+// -short leg of verify.sh runs the 10⁴-cell row so the V-cycle path is
+// exercised on every push). The device is a synthetic CELLSxPINS part
+// so the block count stays modest as the circuit grows.
+func BenchmarkMLFpartScale(b *testing.B) {
+	dev, ok := device.Parse("3000x800")
+	if !ok {
+		b.Fatal("device.Parse(3000x800)")
+	}
+	sizes := []int{10000, 100000}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("cells%d", n), func(b *testing.B) {
+			h := gen.Synthetic(n, n/200, 1, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := mlfpart.Partition(h, dev, mlfpart.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.K), "devices")
+					if !r.Feasible {
+						b.Fatalf("mlfpart infeasible at %d cells", n)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(peakRSSKB(), "peak-rss-kb")
 		})
 	}
 }

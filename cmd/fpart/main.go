@@ -76,9 +76,9 @@ func run() error {
 		return nil
 	}
 
-	dev, ok := device.ByName(*devName)
+	dev, ok := device.Parse(*devName)
 	if !ok {
-		return fmt.Errorf("unknown device %q (valid: XC3020, XC3042, XC3090, XC2064)", *devName)
+		return fmt.Errorf("unknown device %q (valid: XC3020, XC3042, XC3090, XC2064, or synthetic CELLSxPINS like 20000x2000)", *devName)
 	}
 	if *fill != 0 {
 		dev = dev.WithFill(*fill)
@@ -148,7 +148,7 @@ func run() error {
 	}
 	p := res.Partition
 
-	fmt.Printf("result: %d devices, feasible=%v\n", res.K, res.Feasible)
+	fmt.Printf("result: %d devices, feasible=%v, cut=%d\n", res.K, res.Feasible, p.Cut())
 	if *stats {
 		quality.Analyze(p, res.M).Write(os.Stdout)
 		if res.Stats != nil {

@@ -6,9 +6,16 @@
 //	gencircuit -circuit s9234 -family XC3000 > s9234.phg
 //	gencircuit -circuit all -dir bench/        # write the whole suite
 //	gencircuit -nodes 2000 -pads 150 -seed 7 -format hgr > syn.hgr
+//	gencircuit -cells 1000000 -seed 1 > big.phg  # streamed, never in memory
+//
+// -cells is the scale mode: it streams a Rent's-rule synthetic netlist of
+// that many CLBs straight to stdout (PHG only), so a million-cell circuit
+// costs generator time but not memory. -nodes builds the same circuit in
+// memory and supports both formats; the two agree byte for byte on PHG.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,47 +28,108 @@ import (
 	"fpart/internal/netlist"
 )
 
+type options struct {
+	circuit string
+	family  string
+	format  string
+	dir     string
+	nodes   int
+	cells   int
+	pads    int
+	seed    int64
+	seq     bool
+}
+
+// validate rejects nonsensical parameter mixes outright, naming the flag —
+// failing fast beats silently ignoring a flag the user did choose.
+func (o *options) validate() error {
+	for _, b := range []struct {
+		name string
+		v    int
+	}{
+		{"-nodes", o.nodes},
+		{"-cells", o.cells},
+		{"-pads", o.pads},
+	} {
+		if b.v < 0 {
+			return fmt.Errorf("%s must not be negative (got %d)", b.name, b.v)
+		}
+	}
+	modes := 0
+	if o.circuit != "" {
+		modes++
+	}
+	if o.nodes > 0 {
+		modes++
+	}
+	if o.cells > 0 {
+		modes++
+	}
+	if modes == 0 {
+		return errors.New("nothing to do: pass -circuit, -nodes, or -cells (see -h)")
+	}
+	if modes > 1 {
+		return errors.New("-circuit, -nodes, and -cells are mutually exclusive")
+	}
+	if o.format != "phg" && o.format != "hgr" {
+		return fmt.Errorf("unknown format %q (valid: phg, hgr)", o.format)
+	}
+	if o.cells > 0 && o.format != "phg" {
+		return errors.New("-cells streams PHG only; use -nodes for hgr output")
+	}
+	if o.circuit == "all" && o.dir == "" {
+		return errors.New("-circuit all requires -dir")
+	}
+	if o.dir != "" && o.circuit != "all" {
+		return errors.New("-dir only applies to -circuit all")
+	}
+	if o.family != "XC2000" && o.family != "XC3000" {
+		return fmt.Errorf("unknown family %q (valid: XC2000, XC3000)", o.family)
+	}
+	return nil
+}
+
 func main() {
-	circuit := flag.String("circuit", "", "benchmark name from Table 1, or 'all'")
-	family := flag.String("family", "XC3000", "mapping family: XC2000 or XC3000")
-	format := flag.String("format", "phg", "output format: phg or hgr")
-	dir := flag.String("dir", "", "with -circuit all: directory to write files into")
-	nodes := flag.Int("nodes", 0, "anonymous synthetic circuit: CLB count")
-	pads := flag.Int("pads", 0, "anonymous synthetic circuit: pad count")
-	seed := flag.Int64("seed", 1, "anonymous synthetic circuit: seed")
-	seq := flag.Bool("seq", false, "anonymous synthetic circuit: add a clock net")
+	var o options
+	flag.StringVar(&o.circuit, "circuit", "", "benchmark name from Table 1, or 'all'")
+	flag.StringVar(&o.family, "family", "XC3000", "mapping family: XC2000 or XC3000")
+	flag.StringVar(&o.format, "format", "phg", "output format: phg or hgr")
+	flag.StringVar(&o.dir, "dir", "", "with -circuit all: directory to write files into")
+	flag.IntVar(&o.nodes, "nodes", 0, "anonymous synthetic circuit: CLB count (built in memory)")
+	flag.IntVar(&o.cells, "cells", 0, "scale mode: CLB count, streamed to stdout as PHG")
+	flag.IntVar(&o.pads, "pads", 0, "synthetic circuit: pad count")
+	flag.Int64Var(&o.seed, "seed", 1, "synthetic circuit: seed")
+	flag.BoolVar(&o.seq, "seq", false, "synthetic circuit: add a clock net")
 	flag.Parse()
 
+	if err := o.validate(); err != nil {
+		fail("%v", err)
+	}
+
 	fam := device.XC3000
-	switch *family {
-	case "XC2000":
+	if o.family == "XC2000" {
 		fam = device.XC2000
-	case "XC3000":
-	default:
-		fail("unknown family %q", *family)
 	}
 
 	write := func(w io.Writer, h *hypergraph.Hypergraph) error {
-		if *format == "hgr" {
+		if o.format == "hgr" {
 			return netlist.WriteHgr(w, h)
-		}
-		if *format != "phg" {
-			return fmt.Errorf("unknown format %q", *format)
 		}
 		return netlist.WritePHG(w, h)
 	}
 
 	switch {
-	case *circuit == "all":
-		if *dir == "" {
-			fail("-circuit all requires -dir")
+	case o.cells > 0:
+		if err := gen.StreamPHG(os.Stdout, o.cells, o.pads, o.seed, o.seq); err != nil {
+			fail("%v", err)
 		}
-		if err := os.MkdirAll(*dir, 0o755); err != nil {
+	case o.circuit == "all":
+		if err := os.MkdirAll(o.dir, 0o755); err != nil {
 			fail("%v", err)
 		}
 		for _, s := range gen.MCNC {
 			h := gen.Generate(s, fam)
-			path := filepath.Join(*dir, fmt.Sprintf("%s.%s.%s", s.Name, *family, *format))
+			path := filepath.Join(o.dir, fmt.Sprintf("%s.%s.%s", s.Name, o.family, o.format))
 			f, err := os.Create(path)
 			if err != nil {
 				fail("%v", err)
@@ -74,20 +142,18 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", path, h)
 		}
-	case *circuit != "":
-		s, ok := gen.ByName(*circuit)
+	case o.circuit != "":
+		s, ok := gen.ByName(o.circuit)
 		if !ok {
-			fail("unknown circuit %q", *circuit)
+			fail("unknown circuit %q", o.circuit)
 		}
 		if err := write(os.Stdout, gen.Generate(s, fam)); err != nil {
 			fail("%v", err)
 		}
-	case *nodes > 0:
-		if err := write(os.Stdout, gen.Synthetic(*nodes, *pads, *seed, *seq)); err != nil {
+	default:
+		if err := write(os.Stdout, gen.Synthetic(o.nodes, o.pads, o.seed, o.seq)); err != nil {
 			fail("%v", err)
 		}
-	default:
-		fail("nothing to do: pass -circuit or -nodes (see -h)")
 	}
 }
 

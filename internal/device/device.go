@@ -9,6 +9,8 @@ package device
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"fpart/internal/hypergraph"
 )
@@ -129,6 +131,33 @@ func ByName(name string) (Device, bool) {
 		}
 	}
 	return Device{}, false
+}
+
+// Parse resolves a device name: a Catalog entry, or a synthetic
+// "CELLSxPINS" part such as "20000x2000" — an XC3000-family device with
+// the given datasheet cell and pin counts at the family's 0.9 fill. Large
+// synthetic parts keep the block count modest on 10⁵–10⁶-cell netlists,
+// where carving a million cells into 64-cell physical devices would need
+// thousands of blocks (and the partitioner's dense per-net block rows
+// would not fit in memory).
+func Parse(name string) (Device, bool) {
+	if d, ok := ByName(name); ok {
+		return d, true
+	}
+	x := strings.IndexByte(name, 'x')
+	if x <= 0 || x == len(name)-1 {
+		return Device{}, false
+	}
+	cells, err1 := strconv.Atoi(name[:x])
+	pins, err2 := strconv.Atoi(name[x+1:])
+	if err1 != nil || err2 != nil || cells < 1 || pins < 1 {
+		return Device{}, false
+	}
+	d := Device{Name: name, Family: XC3000, DatasheetCells: cells, Pins: pins, Fill: 0.9}
+	if d.Validate() != nil {
+		return Device{}, false
+	}
+	return d, true
 }
 
 // LowerBound returns M = max(⌈S0/S_MAX⌉, ⌈|Y0|/T_MAX⌉), the theoretical

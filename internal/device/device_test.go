@@ -212,3 +212,24 @@ func TestDeviceString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestParse(t *testing.T) {
+	if d, ok := Parse("XC3042"); !ok || d != XC3042 {
+		t.Fatalf("Parse(XC3042) = %+v, %v", d, ok)
+	}
+	d, ok := Parse("20000x2000")
+	if !ok {
+		t.Fatal("Parse rejected 20000x2000")
+	}
+	if d.DatasheetCells != 20000 || d.Pins != 2000 || d.Fill != 0.9 || d.Family != XC3000 {
+		t.Fatalf("Parse(20000x2000) = %+v", d)
+	}
+	if d.SMax() != 18000 {
+		t.Fatalf("SMax = %d, want 18000", d.SMax())
+	}
+	for _, bad := range []string{"", "x", "20x", "x20", "-5x7", "0x9", "axb", "XC9999"} {
+		if _, ok := Parse(bad); ok {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fpart/internal/gen"
 	"fpart/internal/hypergraph"
 	"fpart/internal/kwayx"
+	"fpart/internal/mlfpart"
 	"fpart/internal/multilevel"
 	"fpart/internal/partition"
 )
@@ -77,6 +78,13 @@ func TestRegistryDispatchMatchesDirectCalls(t *testing.T) {
 		}},
 		{"multilevel", func() (*partition.Partition, error) {
 			r, err := multilevel.Partition(h, dev, multilevel.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Partition, nil
+		}},
+		{"mlfpart", func() (*partition.Partition, error) {
+			r, err := mlfpart.Partition(h, dev, mlfpart.Config{})
 			if err != nil {
 				return nil, err
 			}

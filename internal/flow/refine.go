@@ -1,0 +1,179 @@
+package flow
+
+import (
+	"context"
+
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// RefinePairCtx runs one flow-based refinement step on the boundary
+// between blocks a and b, in the spirit of Heuer–Sanders–Schlag's
+// network-flow refinement for multilevel partitioning: it collects the
+// corridor of interior cells within radius BFS hops of the a↔b cut, builds
+// the Yang–Wong flow transform of the corridor (nets reaching cells
+// outside the corridor are pinned to the source or sink side), and
+// reassigns corridor cells along the min cut. The reassignment is applied
+// tentatively and kept only when the global cut strictly improves and both
+// blocks stay device-feasible; otherwise every move is rolled back.
+//
+// maxCorridor bounds the corridor cell count so one max-flow stays
+// affordable; the mlfpart engine only invokes this on coarse levels. The
+// whole procedure is deterministic: corridor collection follows net/pin
+// order and Dinic's augmentation order is fixed.
+func RefinePairCtx(ctx context.Context, p *partition.Partition, a, b partition.BlockID, radius, maxCorridor int) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	h := p.Hypergraph()
+	if maxCorridor <= 0 {
+		maxCorridor = 2048
+	}
+
+	inPair := func(v hypergraph.NodeID) bool {
+		blk := p.Block(v)
+		return blk == a || blk == b
+	}
+	// pairNet reports whether every pin of e lies in a ∪ b; only such nets
+	// can change cut state when cells shuffle between a and b.
+	pairNet := func(e hypergraph.NetID) bool {
+		return p.PinCount(e, a)+p.PinCount(e, b) == h.NetDegree(e)
+	}
+
+	// Seed the corridor with the endpoints of nets currently cut strictly
+	// between a and b, then grow it by BFS over pair-internal nets. Pads
+	// never enter the corridor: their side is part of the device's pin
+	// assignment, not something flow refinement should rewrite.
+	inCorr := make([]bool, h.NumNodes())
+	var corridor []hypergraph.NodeID
+	add := func(v hypergraph.NodeID) {
+		if !inCorr[v] && len(corridor) < maxCorridor &&
+			h.KindOf(v) == hypergraph.Interior && inPair(v) {
+			inCorr[v] = true
+			corridor = append(corridor, v)
+		}
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		ne := hypergraph.NetID(e)
+		if p.PinCount(ne, a) == 0 || p.PinCount(ne, b) == 0 || !pairNet(ne) {
+			continue
+		}
+		for _, v := range h.Pins(ne) {
+			add(v)
+		}
+	}
+	frontier := corridor
+	for r := 0; r < radius && len(frontier) > 0 && len(corridor) < maxCorridor; r++ {
+		mark := len(corridor)
+		for _, v := range frontier {
+			for _, e := range h.Nets(v) {
+				if !pairNet(e) {
+					continue
+				}
+				for _, u := range h.Pins(e) {
+					add(u)
+				}
+			}
+		}
+		frontier = corridor[mark:]
+	}
+	if len(corridor) < 2 {
+		return false, nil
+	}
+
+	// Yang–Wong transform over the corridor. Each pair-internal net with a
+	// corridor pin gets a capacity-1 bridging edge; non-corridor pins pin
+	// the net to the source (block a) or sink (block b) side. A net pinned
+	// to both sides is cut no matter how the corridor falls, so it carries
+	// no bridging edge.
+	flowIdx := make([]int32, h.NumNodes())
+	for i := range flowIdx {
+		flowIdx[i] = -1
+	}
+	for i, v := range corridor {
+		flowIdx[v] = int32(i)
+	}
+	type netArc struct {
+		e1, e2  int32
+		srcPin  bool
+		sinkPin bool
+		pins    []hypergraph.NodeID
+	}
+	var arcs []netArc
+	nc := int32(len(corridor))
+	aux := nc
+	for e := 0; e < h.NumNets(); e++ {
+		ne := hypergraph.NetID(e)
+		if !pairNet(ne) {
+			continue
+		}
+		pins := h.Pins(ne)
+		hasCorr, srcPin, sinkPin := false, false, false
+		for _, v := range pins {
+			if flowIdx[v] >= 0 {
+				hasCorr = true
+			} else if p.Block(v) == a {
+				srcPin = true
+			} else {
+				sinkPin = true
+			}
+		}
+		if !hasCorr || (srcPin && sinkPin) {
+			continue
+		}
+		arcs = append(arcs, netArc{e1: aux, e2: aux + 1, srcPin: srcPin, sinkPin: sinkPin, pins: pins})
+		aux += 2
+	}
+	s, t := aux, aux+1
+	g := NewGraph(int(aux)+2, len(arcs)*6+int(nc))
+	for _, arc := range arcs {
+		g.AddEdge(arc.e1, arc.e2, 1)
+		for _, v := range arc.pins {
+			if vi := flowIdx[v]; vi >= 0 {
+				g.AddEdge(vi, arc.e1, Inf)
+				g.AddEdge(arc.e2, vi, Inf)
+			}
+		}
+		if arc.srcPin {
+			g.AddEdge(s, arc.e1, Inf)
+		}
+		if arc.sinkPin {
+			g.AddEdge(arc.e2, t, Inf)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	g.MaxFlow(s, t)
+	mark := make([]bool, int(aux)+2)
+	g.MinCutSource(s, mark)
+
+	// Tentatively reassign the corridor along the min cut, then keep the
+	// result only if the cut strictly improved with both blocks feasible.
+	oldCut := p.Cut()
+	type undo struct {
+		v    hypergraph.NodeID
+		from partition.BlockID
+	}
+	var moves []undo
+	for _, v := range corridor {
+		target := b
+		if mark[flowIdx[v]] {
+			target = a
+		}
+		if from := p.Block(v); from != target {
+			moves = append(moves, undo{v, from})
+			p.Move(v, target)
+		}
+	}
+	if len(moves) == 0 {
+		return false, nil
+	}
+	if p.Cut() < oldCut && p.Feasible(a) && p.Feasible(b) {
+		return true, nil
+	}
+	for i := len(moves) - 1; i >= 0; i-- {
+		p.Move(moves[i].v, moves[i].from)
+	}
+	return false, nil
+}

@@ -122,6 +122,42 @@ func Generate(s Spec, fam device.Family) *hypergraph.Hypergraph {
 
 // GenerateParams synthesizes with explicit parameters.
 func GenerateParams(s Spec, fam device.Family, prm Params) *hypergraph.Hypergraph {
+	var b builderEmitter
+	generate(s, fam, prm, &b)
+	return b.b.MustBuild()
+}
+
+// emitter receives the generator's output in emission order. The builder
+// implementation materializes a hypergraph; the streaming implementations
+// in stream.go count or write netlist lines without retaining anything, so
+// a million-cell circuit never has to exist in memory at once. Node IDs
+// are assigned sequentially by emission order in every implementation —
+// that equivalence is what makes StreamPHG byte-identical to
+// WritePHG(Generate(...)).
+type emitter interface {
+	AddInterior(name string, size int) hypergraph.NodeID
+	AddPad(name string) hypergraph.NodeID
+	AddNet(name string, pins ...hypergraph.NodeID)
+}
+
+// builderEmitter materializes the emitted circuit via hypergraph.Builder.
+type builderEmitter struct {
+	b hypergraph.Builder
+}
+
+func (be *builderEmitter) AddInterior(name string, size int) hypergraph.NodeID {
+	return be.b.AddInterior(name, size)
+}
+func (be *builderEmitter) AddPad(name string) hypergraph.NodeID { return be.b.AddPad(name) }
+func (be *builderEmitter) AddNet(name string, pins ...hypergraph.NodeID) {
+	be.b.AddNet(name, pins...)
+}
+
+// generate runs the synthesis recursion into em. It is deterministic in
+// (s, fam, prm): the RNG is seeded from the circuit name, so repeated
+// calls replay the identical emission sequence — the streaming writer
+// leans on this to make multiple passes over the same circuit.
+func generate(s Spec, fam device.Family, prm Params, em emitter) {
 	if prm.Rent == 0 && s.RentExp != 0 {
 		prm.Rent = s.RentExp
 	}
@@ -134,7 +170,7 @@ func GenerateParams(s Spec, fam device.Family, prm Params) *hypergraph.Hypergrap
 	fmt.Fprintf(hsh, "%s/%v", s.Name, fam)
 	r := rand.New(rand.NewSource(int64(hsh.Sum64())))
 
-	var b hypergraph.Builder
+	b := em
 	for i := 0; i < n; i++ {
 		b.AddInterior(fmt.Sprintf("clb%d", i), 1)
 	}
@@ -224,7 +260,6 @@ func GenerateParams(s Spec, fam device.Family, prm Params) *hypergraph.Hypergrap
 		anchor := hypergraph.NodeID((i * 7919) % n) // spread deterministically
 		b.AddNet("pn", p, anchor)
 	}
-	return b.MustBuild()
 }
 
 func pick(r *rand.Rand, lo, hi int) hypergraph.NodeID {

@@ -1,0 +1,115 @@
+package gen
+
+// Streaming PHG emission: a million-cell synthetic netlist is written
+// directly to an io.Writer without ever materializing the hypergraph. The
+// generator is deterministic in its spec (generate seeds its RNG from the
+// circuit name), so StreamPHG simply replays it three times — once to
+// count nets for the header, once to emit the node lines, once to emit the
+// net lines — trading ~3× generation time (cheap) for O(1) buffering. The
+// output is byte-identical to netlist.WritePHG(Synthetic(...));
+// stream_test.go pins this differentially.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+)
+
+// StreamPHG writes the Synthetic(n, pads, seed, sequential) circuit to w
+// in PHG form without building it in memory.
+func StreamPHG(w io.Writer, n, pads int, seed int64, sequential bool) error {
+	s := Spec{
+		Name:       fmt.Sprintf("syn%d-%d", n, seed),
+		IOBs:       pads,
+		CLBs2000:   n,
+		CLBs3000:   n,
+		Sequential: sequential,
+	}
+	var cnt countEmitter
+	generate(s, device.XC3000, Params{}, &cnt)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "phg")
+	fmt.Fprintf(bw, "# nodes=%d nets=%d\n", cnt.nodes, cnt.nets)
+	ne := nodeEmitter{bw: bw}
+	generate(s, device.XC3000, Params{}, &ne)
+	te := netEmitter{bw: bw, stamp: make([]int32, cnt.nodes)}
+	generate(s, device.XC3000, Params{}, &te)
+	return bw.Flush()
+}
+
+// countEmitter tallies nodes and nets for the PHG header line.
+type countEmitter struct {
+	nodes, nets int
+}
+
+func (c *countEmitter) AddInterior(string, int) hypergraph.NodeID {
+	c.nodes++
+	return hypergraph.NodeID(c.nodes - 1)
+}
+
+func (c *countEmitter) AddPad(string) hypergraph.NodeID {
+	c.nodes++
+	return hypergraph.NodeID(c.nodes - 1)
+}
+
+func (c *countEmitter) AddNet(string, ...hypergraph.NodeID) { c.nets++ }
+
+// nodeEmitter writes node and pad lines as they are emitted — emission
+// order is ID order, matching WritePHG's sequential node dump.
+type nodeEmitter struct {
+	bw   *bufio.Writer
+	next int
+}
+
+func (ne *nodeEmitter) AddInterior(name string, size int) hypergraph.NodeID {
+	fmt.Fprintf(ne.bw, "node %s %d\n", name, size)
+	ne.next++
+	return hypergraph.NodeID(ne.next - 1)
+}
+
+func (ne *nodeEmitter) AddPad(name string) hypergraph.NodeID {
+	fmt.Fprintf(ne.bw, "pad %s\n", name)
+	ne.next++
+	return hypergraph.NodeID(ne.next - 1)
+}
+
+func (ne *nodeEmitter) AddNet(string, ...hypergraph.NodeID) {}
+
+// netEmitter writes net lines, deduplicating pins with the same
+// keep-first-occurrence rule as hypergraph.Builder.AddNet so pin lists
+// match the materialized graph exactly.
+// net pre-increments per AddNet call, so the zero-valued stamp array never
+// collides with a live net id.
+type netEmitter struct {
+	bw    *bufio.Writer
+	next  int
+	stamp []int32
+	net   int32
+}
+
+func (te *netEmitter) AddInterior(string, int) hypergraph.NodeID {
+	te.next++
+	return hypergraph.NodeID(te.next - 1)
+}
+
+func (te *netEmitter) AddPad(string) hypergraph.NodeID {
+	te.next++
+	return hypergraph.NodeID(te.next - 1)
+}
+
+func (te *netEmitter) AddNet(name string, pins ...hypergraph.NodeID) {
+	te.net++
+	fmt.Fprintf(te.bw, "net %s", name)
+	for _, p := range pins {
+		if te.stamp[p] == te.net {
+			continue
+		}
+		te.stamp[p] = te.net
+		fmt.Fprintf(te.bw, " %d", p)
+	}
+	fmt.Fprintln(te.bw)
+}

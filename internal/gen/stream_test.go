@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpart/internal/netlist"
+)
+
+// The streaming writer must be byte-identical to materializing the same
+// circuit and serializing it — the two paths share one deterministic
+// generator, and any drift would silently fork the benchmark inputs.
+func TestStreamPHGMatchesWritePHG(t *testing.T) {
+	for _, tc := range []struct {
+		n, pads int
+		seed    int64
+		seq     bool
+	}{
+		{12, 4, 2, true},
+		{100, 10, 1, false},
+		{500, 40, 7, true},
+		{1000, 0, 3, true},
+	} {
+		var want, got bytes.Buffer
+		if err := netlist.WritePHG(&want, Synthetic(tc.n, tc.pads, tc.seed, tc.seq)); err != nil {
+			t.Fatal(err)
+		}
+		if err := StreamPHG(&got, tc.n, tc.pads, tc.seed, tc.seq); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			wl := strings.Split(want.String(), "\n")
+			gl := strings.Split(got.String(), "\n")
+			for i := 0; i < len(wl) || i < len(gl); i++ {
+				var w, g string
+				if i < len(wl) {
+					w = wl[i]
+				}
+				if i < len(gl) {
+					g = gl[i]
+				}
+				if w != g {
+					t.Fatalf("n=%d seed=%d: line %d differs:\nwrite:  %q\nstream: %q", tc.n, tc.seed, i+1, w, g)
+				}
+			}
+			t.Fatalf("n=%d seed=%d: outputs differ in length only", tc.n, tc.seed)
+		}
+	}
+}
+
+// Streamed output must parse back into the same graph shape.
+func TestStreamPHGRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StreamPHG(&buf, 300, 24, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	h, err := netlist.ReadPHG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Synthetic(300, 24, 5, true)
+	if h.NumNodes() != ref.NumNodes() || h.NumNets() != ref.NumNets() || h.NumPins() != ref.NumPins() {
+		t.Fatalf("round trip: %d/%d/%d nodes/nets/pins, want %d/%d/%d",
+			h.NumNodes(), h.NumNets(), h.NumPins(), ref.NumNodes(), ref.NumNets(), ref.NumPins())
+	}
+}

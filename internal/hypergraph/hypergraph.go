@@ -276,6 +276,17 @@ func (b *Builder) AddNet(name string, pins ...NodeID) NetID {
 	return id
 }
 
+// AddNetUnique appends a net whose pins the caller guarantees are already
+// pairwise distinct, skipping AddNet's dedup pass, and takes ownership of
+// the pins slice. Generators that dedup with their own scratch state (the
+// multilevel coarsener emits millions of nets per level) use it to avoid
+// one map allocation per net.
+func (b *Builder) AddNetUnique(name string, pins []NodeID) NetID {
+	id := NetID(len(b.nets))
+	b.nets = append(b.nets, Net{Name: name, Pins: pins})
+	return id
+}
+
 // Build validates the construction and returns the finished hypergraph.
 // It fails if any net references an unknown node or has fewer than one pin.
 // Single-pin nets are permitted (they can never be cut) but nets with zero

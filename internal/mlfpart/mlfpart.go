@@ -1,0 +1,265 @@
+// Package mlfpart is the multilevel-accelerated FPART engine: it coarsens
+// the input hypergraph through a hierarchy of heavy-edge contractions,
+// runs the paper's feasibility-window peeling (core.Run) on the coarsest
+// graph, and then uncoarsens level by level, projecting the block
+// assignment onto each finer graph and refining it with boundary-restricted
+// passes. Contraction only ever drops nets internal to one cluster and
+// surviving nets keep their span, so projection is exact — block sizes,
+// terminal counts, and the cut value carry over unchanged — and every
+// refinement move is feasibility-gated, so a feasible coarse solution stays
+// feasible all the way down.
+//
+// Below Config.FlatThreshold the engine delegates to core.Run verbatim and
+// is bit-identical to the flat fpart method; above it, the V-cycle turns
+// the O(large-n) peeling into an O(coarse-n) problem plus linear-time
+// refinement sweeps, which is what makes 10⁵–10⁶-cell netlists tractable.
+//
+// Determinism: coarsening, the coarse peel, pair selection, and every
+// refinement pass are deterministic, and the only parallel step (the
+// boundary-gain precompute) is a pure function of the frozen pre-pass
+// state sharded over workers — results are bit-identical for a fixed seed
+// at any GOMAXPROCS and any core.Budget capacity.
+package mlfpart
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fpart/internal/core"
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/multilevel"
+	"fpart/internal/obs"
+	"fpart/internal/partition"
+)
+
+// Config tunes the multilevel engine. The zero value selects defaults.
+type Config struct {
+	// FlatThreshold: inputs with at most this many nodes bypass the
+	// V-cycle and run flat core.Run directly (bit-identical to the fpart
+	// method). Zero selects 8192; negative forces the V-cycle on any
+	// input (tests use this).
+	FlatThreshold int
+	// CoarsestNodes stops coarsening at this node count. Zero selects
+	// max(1024, 16·M, n/128): room for M blocks, and coarse granularity
+	// that grows with the input. The n/128 term matters at the top of
+	// the scale — coarsening concentrates connectivity (pads never
+	// merge, hub clusters accumulate nets), so an over-coarsened graph
+	// can be terminal-infeasible for the peel even when the fine graph
+	// is fine; stopping earlier is both more feasible and cheaper,
+	// because refinement then starts from a better solution (measured
+	// at 10⁶ cells on a 20000x5000 part: coarsest 8000 gives 69 devices
+	// in 56s where coarsest 1024 gives 112 in 2m4s).
+	CoarsestNodes int
+	// MaxClusterFrac caps a coarse node's size as a fraction of the
+	// device S_MAX (default 0.25) so coarse nodes stay placeable.
+	MaxClusterFrac float64
+	// MaxLevels caps the hierarchy depth (default 24).
+	MaxLevels int
+	// RefinePasses is the number of greedy boundary passes per level
+	// (default 2; each pass stops early when no cell moves).
+	RefinePasses int
+	// PairFMMaxNodes: levels with at most this many nodes also run
+	// pairwise boundary-restricted Sanchis FM between the most
+	// cut-connected block pairs (default 40000).
+	PairFMMaxNodes int
+	// FlowMaxNodes: levels with at most this many nodes additionally run
+	// corridor flow refinement on the top block pairs (default 4096).
+	FlowMaxNodes int
+	// MaxPairs bounds the block pairs examined per level by pair FM and
+	// flow refinement (default 32; pairs are a greedy matching by cut-net
+	// weight, so each block appears at most once per round).
+	MaxPairs int
+	// DisableFlow turns off corridor flow refinement (ablation switch).
+	DisableFlow bool
+
+	// Sink receives structured events: CoarsenLevel/RefineLevel per
+	// hierarchy level plus the coarse peel's own stream under
+	// Label+"#coarse".
+	Sink obs.Sink
+	// Label tags this run's events (default "mlfpart").
+	Label string
+	// SpecWidth is forwarded to the coarse core.Run peel.
+	SpecWidth int
+	// Budget, when non-nil, caps the extra goroutines the refinement
+	// gain precompute (and the coarse peel's speculation) may spawn.
+	Budget *core.Budget
+}
+
+func (c Config) normalize() Config {
+	if c.FlatThreshold == 0 {
+		c.FlatThreshold = 8192
+	}
+	if c.FlatThreshold < 0 {
+		c.FlatThreshold = 0
+	}
+	if c.MaxClusterFrac <= 0 || c.MaxClusterFrac > 1 {
+		c.MaxClusterFrac = 0.25
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 24
+	}
+	if c.RefinePasses <= 0 {
+		c.RefinePasses = 2
+	}
+	if c.PairFMMaxNodes <= 0 {
+		c.PairFMMaxNodes = 40000
+	}
+	if c.FlowMaxNodes <= 0 {
+		c.FlowMaxNodes = 4096
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 32
+	}
+	if c.Label == "" {
+		c.Label = "mlfpart"
+	}
+	return c
+}
+
+// Result is the outcome of a PartitionCtx call.
+type Result struct {
+	// Partition holds the final assignment on the input graph.
+	Partition *partition.Partition
+	// K is the number of non-empty blocks; M the device lower bound.
+	K, M int
+	// Feasible reports whether every block meets the device constraints.
+	Feasible bool
+	// Levels is the hierarchy depth used (0 when the flat path ran).
+	Levels  int
+	Stats   obs.Stats
+	Elapsed time.Duration
+}
+
+// Partition runs the multilevel engine with a background context.
+func Partition(h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	return PartitionCtx(context.Background(), h, dev, cfg)
+}
+
+// PartitionCtx partitions circuit h targeting device dev through the
+// coarsen → peel → uncoarsen+refine V-cycle described in the package
+// comment. Cancellation is polled in the coarsening loop, inside the
+// coarse peel, and per refinement batch.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg Config) (*Result, error) {
+	start := time.Now()
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if h.NumNodes() == 0 {
+		return nil, errors.New("mlfpart: empty circuit")
+	}
+	for _, id := range h.InteriorIDs() {
+		if h.Node(id).Size > dev.SMax() {
+			return nil, fmt.Errorf("mlfpart: node %q larger than device (%d > %d)",
+				h.Node(id).Name, h.Node(id).Size, dev.SMax())
+		}
+	}
+	cfg = cfg.normalize()
+	m := device.LowerBound(h, dev)
+
+	if h.NumNodes() <= cfg.FlatThreshold {
+		r, err := core.Run(ctx, h, dev, core.Config{
+			Sink: cfg.Sink, Label: cfg.Label, SpecWidth: cfg.SpecWidth, Budget: cfg.Budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Partition: r.Partition, K: r.K, M: r.M, Feasible: r.Feasible,
+			Stats: r.Stats, Elapsed: time.Since(start),
+		}, nil
+	}
+
+	em := obs.NewEmitter(cfg.Sink, cfg.Label)
+	res := &Result{M: m}
+	em.Emit(obs.Event{Type: obs.RunStart, M: m})
+
+	// Coarsen. The per-level size cap keeps every coarse node well under
+	// S_MAX so the coarsest peel can always place them.
+	t0 := time.Now()
+	coarsest := cfg.CoarsestNodes
+	if coarsest <= 0 {
+		coarsest = max(1024, 16*m, h.NumNodes()/128)
+	}
+	hr, err := multilevel.BuildHierarchy(ctx, h, multilevel.HierarchyConfig{
+		CoarsestNodes:  coarsest,
+		MaxClusterSize: max(int(cfg.MaxClusterFrac*float64(dev.SMax())), 1),
+		MaxLevels:      cfg.MaxLevels,
+	})
+	if err != nil {
+		em.Emit(obs.Event{Type: obs.Cancelled})
+		return nil, err
+	}
+	res.Stats.PhaseTime[obs.PhaseCoarsen] += time.Since(t0)
+	res.Levels = hr.Depth()
+	for i := 1; i <= hr.Depth(); i++ {
+		em.Emit(obs.Event{Type: obs.CoarsenLevel, Iteration: i, Size: hr.Graph(i).NumNodes()})
+	}
+
+	// Initial partition: the paper's peel on the coarsest graph, with its
+	// own event stream so traces show both layers.
+	cr, err := core.Run(ctx, hr.Coarsest(), dev, core.Config{
+		Sink: cfg.Sink, Label: cfg.Label + "#coarse", SpecWidth: cfg.SpecWidth, Budget: cfg.Budget,
+	})
+	if err != nil {
+		em.Emit(obs.Event{Type: obs.Cancelled})
+		return nil, err
+	}
+	res.Stats.Merge(cr.Stats)
+
+	// Uncoarsen: project the assignment one level down, rebuild the
+	// partition on the finer graph (exact by the projection invariant),
+	// and refine its boundary.
+	p := cr.Partition
+	k := p.NumBlocks()
+	assign := p.Assignment(nil)
+	var fine []partition.BlockID
+	ref := newRefiner(cfg)
+	t0 = time.Now()
+	for li := hr.Depth(); li >= 1; li-- {
+		if err := ctx.Err(); err != nil {
+			em.Emit(obs.Event{Type: obs.Cancelled})
+			return nil, err
+		}
+		fine = hr.Project(li, assign, fine)
+		fh := hr.Graph(li - 1)
+		p, err = partition.FromAssignment(fh, dev, fine, k)
+		if err != nil {
+			return nil, fmt.Errorf("mlfpart: project to level %d: %w", li-1, err)
+		}
+		before := p.Cut()
+		moves, err := ref.refine(ctx, p, &res.Stats)
+		if err != nil {
+			res.Stats.PhaseTime[obs.PhaseRefine] += time.Since(t0)
+			em.Emit(obs.Event{Type: obs.Cancelled})
+			return nil, err
+		}
+		em.Emit(obs.Event{
+			Type: obs.RefineLevel, Iteration: li - 1, Size: fh.NumNodes(),
+			Moves: moves, Improved: p.Cut() < before,
+		})
+		// Swap buffers: the refined assignment becomes the next level's
+		// coarse side.
+		assign, fine = p.Assignment(fine), assign
+	}
+	res.Stats.PhaseTime[obs.PhaseRefine] += time.Since(t0)
+
+	res.Partition = p
+	res.Feasible = p.Classify() == partition.FeasibleSolution
+	for b := 0; b < p.NumBlocks(); b++ {
+		if p.Nodes(partition.BlockID(b)) > 0 {
+			res.K++
+		}
+	}
+	if res.Stats.PeakBlocks < p.NumBlocks() {
+		res.Stats.PeakBlocks = p.NumBlocks()
+	}
+	res.Elapsed = time.Since(start)
+	em.Emit(obs.Event{Type: obs.RunEnd, K: res.K, M: m, Feasible: res.Feasible})
+	return res, nil
+}

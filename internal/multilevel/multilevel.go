@@ -73,107 +73,12 @@ type level struct {
 	fineToCoarse []hypergraph.NodeID
 }
 
-// coarsen builds one coarser level via heavy-edge matching: each unmatched
-// node pairs with the neighbour sharing the largest connectivity weight
-// Σ 1/(|e|−1); pads never merge. Returns ok=false when matching stalls
-// (reduction below 10%).
+// coarsen builds one coarser level without a cancellation context; it is
+// coarsenCtx (hierarchy.go) under context.Background, kept for callers like
+// ClusterOrder that have no deadline to honour.
 func coarsen(h *hypergraph.Hypergraph, maxClusterSize int) (*level, bool) {
-	n := h.NumNodes()
-	match := make([]hypergraph.NodeID, n)
-	for i := range match {
-		match[i] = -1
-	}
-	// Visit nodes in decreasing degree for better matchings.
-	order := make([]hypergraph.NodeID, n)
-	for i := range order {
-		order[i] = hypergraph.NodeID(i)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return h.Degree(order[a]) > h.Degree(order[b])
-	})
-	matched := 0
-	weights := make(map[hypergraph.NodeID]float64)
-	for _, v := range order {
-		if match[v] != -1 || h.Node(v).Kind == hypergraph.Pad {
-			continue
-		}
-		for k := range weights {
-			delete(weights, k)
-		}
-		for _, e := range h.Nets(v) {
-			pins := h.Pins(e)
-			if len(pins) < 2 {
-				continue
-			}
-			w := 1.0 / float64(len(pins)-1)
-			for _, u := range pins {
-				if u == v || match[u] != -1 || h.Node(u).Kind == hypergraph.Pad {
-					continue
-				}
-				if h.Node(u).Size+h.Node(v).Size > maxClusterSize {
-					continue
-				}
-				weights[u] += w
-			}
-		}
-		var best hypergraph.NodeID = -1
-		bestW := 0.0
-		for u, w := range weights {
-			if w > bestW || (w == bestW && (best < 0 || u < best)) {
-				best, bestW = u, w
-			}
-		}
-		if best >= 0 {
-			match[v], match[best] = best, v
-			matched += 2
-		}
-	}
-	if matched == 0 || matched*10 < n {
-		return nil, false
-	}
-	// Build the coarse hypergraph.
-	var b hypergraph.Builder
-	f2c := make([]hypergraph.NodeID, n)
-	for i := range f2c {
-		f2c[i] = -1
-	}
-	for i := 0; i < n; i++ {
-		v := hypergraph.NodeID(i)
-		if f2c[v] != -1 {
-			continue
-		}
-		nd := h.Node(v)
-		if m := match[v]; m != -1 {
-			mn := h.Node(m)
-			id := b.AddNode(nd.Name, nd.Kind, nd.Size+mn.Size)
-			b.SetAux(id, nd.Aux+mn.Aux)
-			f2c[v], f2c[m] = id, id
-		} else {
-			id := b.AddNode(nd.Name, nd.Kind, nd.Size)
-			b.SetAux(id, nd.Aux)
-			f2c[v] = id
-		}
-	}
-	for e := 0; e < h.NumNets(); e++ {
-		pins := h.Pins(hypergraph.NetID(e))
-		coarse := make([]hypergraph.NodeID, 0, len(pins))
-		seen := map[hypergraph.NodeID]bool{}
-		for _, p := range pins {
-			c := f2c[p]
-			if !seen[c] {
-				seen[c] = true
-				coarse = append(coarse, c)
-			}
-		}
-		if len(coarse) >= 2 {
-			b.AddNet(h.Net(hypergraph.NetID(e)).Name, coarse...)
-		}
-	}
-	ch, err := b.Build()
-	if err != nil {
-		panic(fmt.Sprintf("multilevel: coarse graph invalid: %v", err))
-	}
-	return &level{h: ch, fineToCoarse: f2c}, true
+	lv, ok, _ := coarsenCtx(context.Background(), h, maxClusterSize)
+	return lv, ok
 }
 
 // vCycleSplit selects a node set of the remainder whose projection targets
@@ -196,7 +101,13 @@ func vCycleSplit(ctx context.Context, p *partition.Partition, rem partition.Bloc
 		if err := ctx.Err(); err != nil {
 			return nil, len(levels), false, err
 		}
-		lv, ok := coarsen(levels[len(levels)-1].h, maxCluster)
+		// coarsenCtx polls ctx inside its matching loop too, so one huge
+		// level cannot blow past a deadline before the between-level check
+		// above runs again.
+		lv, ok, err := coarsenCtx(ctx, levels[len(levels)-1].h, maxCluster)
+		if err != nil {
+			return nil, len(levels), false, err
+		}
 		if !ok {
 			break
 		}

@@ -70,6 +70,14 @@ const (
 	// SpecLoss reports a candidate whose speculative peel was discarded
 	// (carries Iteration, Candidate, Label).
 	SpecLoss
+	// CoarsenLevel reports one heavy-edge coarsening level of a multilevel
+	// V-cycle (carries Iteration — the level index — and Size — the coarse
+	// node count).
+	CoarsenLevel
+	// RefineLevel reports one uncoarsening/refinement level of a multilevel
+	// V-cycle (carries Iteration — the level index — Size — the fine node
+	// count — Moves, and Improved).
+	RefineLevel
 
 	numEventTypes
 )
@@ -78,7 +86,7 @@ var eventNames = [numEventTypes]string{
 	"run-start", "run-end", "bipartition-start", "bipartition-end",
 	"improve-pass", "stack-restart", "solution-accepted",
 	"solution-rejected", "repair", "absorb", "cancelled",
-	"spec-win", "spec-loss",
+	"spec-win", "spec-loss", "coarsen-level", "refine-level",
 }
 
 // String names the event type as used in the text and JSON renderings.

@@ -18,12 +18,17 @@ const (
 	PhaseRepair
 	// PhaseAbsorb is the endgame absorption pass.
 	PhaseAbsorb
+	// PhaseCoarsen is the hierarchy construction of a multilevel V-cycle.
+	PhaseCoarsen
+	// PhaseRefine is the uncoarsening/refinement sweep of a multilevel
+	// V-cycle (projection + boundary FM + flow refinement).
+	PhaseRefine
 
 	// NumPhases sizes PhaseTime.
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"seed", "improve", "repair", "absorb"}
+var phaseNames = [NumPhases]string{"seed", "improve", "repair", "absorb", "coarsen", "refine"}
 
 // String names the phase.
 func (p Phase) String() string {

@@ -243,6 +243,18 @@ func (p *Partition) AddBlock() BlockID {
 // Block returns the block node v is assigned to.
 func (p *Partition) Block(v hypergraph.NodeID) BlockID { return p.assign[v] }
 
+// Assignment copies the full node→block assignment into dst (reused when
+// it has capacity) and returns it. It is the cheap export half of the
+// multilevel projection cycle — FromAssignment is the import half.
+func (p *Partition) Assignment(dst []BlockID) []BlockID {
+	if cap(dst) < len(p.assign) {
+		dst = make([]BlockID, len(p.assign))
+	}
+	dst = dst[:len(p.assign)]
+	copy(dst, p.assign)
+	return dst
+}
+
 // Size returns S_i, the total interior size of block b.
 func (p *Partition) Size(b BlockID) int { return p.blockSize[b] }
 

@@ -155,6 +155,13 @@ type Engine struct {
 	remainder partition.BlockID
 	m         int
 	allowOver bool
+	// subset, when non-nil, restricts each pass's candidate cells to this
+	// list (ImproveSubsetCtx) instead of scanning every node of the graph.
+	// inSubset is its membership mask: the delta-update kernels must treat
+	// excluded cells like locked ones, because they were never seeded into
+	// the gain buckets.
+	subset   []hypergraph.NodeID
+	inSubset []bool
 
 	// §3.5 window limits as integers, fixed per Improve call (prepare):
 	// a destination may not grow past winUpInt, a source may not shrink
@@ -608,9 +615,21 @@ func (e *Engine) initPass() {
 	}
 
 	e.activeV = e.activeV[:0]
-	for v := 0; v < n; v++ {
-		if e.blkIdx[e.p.Block(hypergraph.NodeID(v))] >= 0 {
-			e.activeV = append(e.activeV, int32(v))
+	if e.subset != nil {
+		// Boundary-restricted pass: only the caller's candidate cells are
+		// seeded into the buckets. Cells that left the active blocks since
+		// the list was built are filtered here, per pass, so the list stays
+		// valid across a whole Improve call.
+		for _, v := range e.subset {
+			if e.blkIdx[e.p.Block(v)] >= 0 {
+				e.activeV = append(e.activeV, int32(v))
+			}
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			if e.blkIdx[e.p.Block(hypergraph.NodeID(v))] >= 0 {
+				e.activeV = append(e.activeV, int32(v))
+			}
 		}
 	}
 	slots := e.nb() - 1
@@ -1165,6 +1184,14 @@ func (e *Engine) applyMove(c candidate) {
 	e.deltaUpdate(v, c.from, c.to)
 }
 
+// subsetExcluded reports whether u lies outside the restricted move set of
+// an ImproveSubsetCtx call. Excluded cells are absent from the gain
+// buckets, so every update path must skip them exactly as it skips locked
+// cells. Always false for whole-graph improves.
+func (e *Engine) subsetExcluded(u hypergraph.NodeID) bool {
+	return e.subset != nil && !e.inSubset[u]
+}
+
 // lockNets records v's pins as locked in active block index ti on every net
 // of v. Locked cells never move again within the pass, so counting at lock
 // time keeps netLock exact: netLock[net*nb+bi] equals the number of locked
@@ -1189,7 +1216,7 @@ func (e *Engine) applyMoveRecompute(c candidate) {
 	e.epoch++
 	for _, net := range e.h.Nets(v) {
 		for _, u := range e.h.Pins(net) {
-			if u == v || e.locked[u] || e.stamp[u] == e.epoch {
+			if u == v || e.locked[u] || e.subsetExcluded(u) || e.stamp[u] == e.epoch {
 				continue
 			}
 			e.stamp[u] = e.epoch
@@ -1252,7 +1279,7 @@ func (e *Engine) deltaUpdate(v hypergraph.NodeID, from, to partition.BlockID) {
 			// goes stale (pin counts and v's lock changed on this net):
 			// stamp the pins so the flush loop bumps their revision.
 			for _, u := range e.h.Pins(net) {
-				if u == v || e.locked[u] {
+				if u == v || e.locked[u] || e.subsetExcluded(u) {
 					continue
 				}
 				if e.stamp[u] != e.epoch {
@@ -1263,7 +1290,7 @@ func (e *Engine) deltaUpdate(v hypergraph.NodeID, from, to partition.BlockID) {
 			continue
 		}
 		for _, u := range e.h.Pins(net) {
-			if u == v || e.locked[u] {
+			if u == v || e.locked[u] || e.subsetExcluded(u) {
 				continue
 			}
 			if e.stamp[u] != e.epoch {
@@ -1430,7 +1457,7 @@ func (e *Engine) deltaUpdateSharded(v hypergraph.NodeID, from, to partition.Bloc
 	for i, net := range nets {
 		e.netIdx[net] = int32(i)
 		for _, u := range e.h.Pins(net) {
-			if u == v || e.locked[u] {
+			if u == v || e.locked[u] || e.subsetExcluded(u) {
 				continue
 			}
 			if e.stamp[u] != e.epoch {
@@ -1815,6 +1842,37 @@ func (e *Engine) prepare(blocks []partition.BlockID, remainder partition.BlockID
 			e.netIdx[i] = -1
 		}
 	}
+}
+
+// ImproveSubsetCtx is ImproveCtx restricted to a candidate cell set: only
+// the listed cells (those currently in an active block — the filter is
+// re-applied every pass) are seeded into the gain buckets, instead of every
+// cell of every active block. Multilevel refinement uses it to run bounded
+// FM passes over boundary cells only, where activating a full million-node
+// level per block pair would be quadratic. cells must be sorted by ID and
+// duplicate-free — bucket seeding order is part of the deterministic
+// trajectory contract. The restriction clears when the call returns.
+//
+// Moves remain exact: gain maintenance, windows, and rollback all operate
+// on the real partition; restricting the candidate set only narrows which
+// cells may move.
+func (e *Engine) ImproveSubsetCtx(ctx context.Context, blocks []partition.BlockID, remainder partition.BlockID, m int, cells []hypergraph.NodeID) (Stats, error) {
+	e.subset = cells
+	n := e.h.NumNodes()
+	if cap(e.inSubset) < n {
+		e.inSubset = make([]bool, n)
+	}
+	e.inSubset = e.inSubset[:n]
+	for _, v := range cells {
+		e.inSubset[v] = true
+	}
+	defer func() {
+		for _, v := range cells {
+			e.inSubset[v] = false
+		}
+		e.subset = nil
+	}()
+	return e.ImproveCtx(ctx, blocks, remainder, m)
 }
 
 // ImproveCtx is Improve with cancellation: the pass loop polls ctx and

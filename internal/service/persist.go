@@ -72,7 +72,7 @@ func decodeStored(payload []byte, h *hypergraph.Hypergraph) (*driver.Result, *st
 	if err := json.Unmarshal(payload, &sr); err != nil {
 		return nil, nil, fmt.Errorf("stored result: %w", err)
 	}
-	dev, ok := device.ByName(sr.Device)
+	dev, ok := device.Parse(sr.Device)
 	if !ok {
 		return nil, nil, fmt.Errorf("stored result names unknown device %q", sr.Device)
 	}

@@ -330,7 +330,7 @@ type prepared struct {
 // queue. The HTTP layer uses the returned fingerprint to route the
 // submission across the cluster before committing to local admission.
 func (s *Service) prepare(req Request) (*prepared, error) {
-	dev, ok := device.ByName(req.Device)
+	dev, ok := device.Parse(req.Device)
 	if !ok {
 		return nil, fmt.Errorf("unknown device %q", req.Device)
 	}

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Record the PR9 scale artifact (BENCH_PR9.json): the mlfpart V-cycle vs
+# flat FPART on streamed Rent's-rule synthetic netlists at 10^4, 10^5,
+# and 10^6 cells. Per (cells, method) row the JSON carries wall-clock
+# seconds, the engine's own elapsed time, device count, feasibility, and
+# cut nets, plus the host CPU count. The device scales with the circuit
+# (CELLSxPINS synthetic parts, see device.Parse) so the block count stays
+# modest; each size keeps one fixed device so the two methods are
+# directly comparable.
+#
+# Flat FPART is only run up to -flat-max cells (default 10^4): its flat
+# FM passes are superlinear-in-practice and a 10^5-cell flat run already
+# takes hours where mlfpart takes seconds — which is the point of the
+# artifact. Skipped flat rows are recorded explicitly as skipped rather
+# than silently dropped.
+#
+# Usage:
+#   scripts/bench_pr9.sh [-out FILE] [-flat-max N] [-max-cells N]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_PR9.json
+FLATMAX=10000
+MAXCELLS=1000000
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -out) OUT=$2; shift 2 ;;
+        -flat-max) FLATMAX=$2; shift 2 ;;
+        -max-cells) MAXCELLS=$2; shift 2 ;;
+        *) echo "usage: scripts/bench_pr9.sh [-out FILE] [-flat-max N] [-max-cells N]" >&2; exit 2 ;;
+    esac
+done
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/gencircuit" ./cmd/gencircuit
+go build -o "$workdir/fpart" ./cmd/fpart
+
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+# grid: cells device  (pads = cells/200, seed 1 throughout)
+grid="10000 3000x800
+100000 3000x800
+1000000 20000x5000"
+
+rows=$workdir/rows
+: > "$rows"
+
+run_one() { # cells device method
+    cells=$1; dev=$2; method=$3
+    phg=$workdir/c$cells.phg
+    [ -f "$phg" ] || "$workdir/gencircuit" -cells "$cells" -pads $((cells / 200)) -seed 1 > "$phg"
+    echo "bench_pr9: $method @ $cells cells ($dev)..." >&2
+    t0=$(date +%s)
+    out=$("$workdir/fpart" -method "$method" -device "$dev" -format phg -timeout 60m "$phg")
+    t1=$(date +%s)
+    echo "$out" | awk -v cells="$cells" -v dev="$dev" -v method="$method" -v wall=$((t1 - t0)) '
+        /^FPART:/ { elapsed = $NF }
+        /^result:/ {
+            k = $2
+            feas = ($4 == "feasible=true,") ? "true" : "false"
+            cut = $5; sub(/^cut=/, "", cut)
+            printf "    {\"cells\": %d, \"device\": \"%s\", \"method\": \"%s\", \"wall_seconds\": %d, \"engine_elapsed\": \"%s\", \"devices\": %d, \"feasible\": %s, \"cut\": %d}\n", \
+                cells, dev, method, wall, elapsed, k, feas, cut
+        }' >> "$rows"
+}
+
+skip_one() { # cells device method reason
+    printf '    {"cells": %d, "device": "%s", "method": "%s", "skipped": "%s"}\n' \
+        "$1" "$2" "$3" "$4" >> "$rows"
+}
+
+echo "$grid" | while read -r cells dev; do
+    [ "$cells" -le "$MAXCELLS" ] || continue
+    run_one "$cells" "$dev" mlfpart
+    if [ "$cells" -le "$FLATMAX" ]; then
+        run_one "$cells" "$dev" fpart
+    else
+        skip_one "$cells" "$dev" fpart "flat FM intractable at this size (raise -flat-max to force)"
+    fi
+done
+
+{
+    printf '{\n'
+    printf '  "benchmark": "mlfpart scale grid (scripts/bench_pr9.sh)",\n'
+    printf '  "generator": "gencircuit -cells N -pads N/200 -seed 1",\n'
+    printf '  "host_cpus": %d,\n' "$CPUS"
+    printf '  "rows": [\n'
+    # join rows with commas
+    awk '{ lines[NR] = $0 } END { for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "") }' "$rows"
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
+echo "wrote $OUT"

@@ -46,7 +46,7 @@ curl -fsS "$base/healthz" >/dev/null || fail "healthz"
 # Method discovery must list the engine registry, paper's algorithm first.
 methods=$(curl -fsS "$base/methods") || fail "methods"
 case "$methods" in
-*'"name":"fpart"'*'"name":"kwayx"'*'"name":"multilevel"'*) ;;
+*'"name":"fpart"'*'"name":"kwayx"'*'"name":"multilevel"'*'"name":"mlfpart"'*) ;;
 *) fail "method discovery missing registry entries: $methods" ;;
 esac
 case "$methods" in
