@@ -8,6 +8,7 @@ package fpart_test
 // (Table 6's subject).
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"syscall"
@@ -19,6 +20,7 @@ import (
 	"fpart/internal/driver"
 	"fpart/internal/gen"
 	"fpart/internal/mlfpart"
+	"fpart/internal/netlist"
 	"fpart/internal/sanchis"
 )
 
@@ -119,7 +121,7 @@ func BenchmarkTable6CPUTime(b *testing.B) {
 	devs := []device.Device{device.XC3020, device.XC3042, device.XC3090, device.XC2064}
 	for _, name := range benchOrder(bench.CircuitOrder) {
 		for _, dev := range devs {
-			if dev == device.XC2064 && bench.Table6Published[name][3] == 0 {
+			if dev.Name == device.XC2064.Name && bench.Table6Published[name][3] == 0 {
 				continue // the paper reports "-" for s-circuits on XC2064
 			}
 			b.Run(name+"/"+dev.Name, func(b *testing.B) {
@@ -145,6 +147,53 @@ func BenchmarkTable6CPUTime(b *testing.B) {
 	}
 }
 
+// BenchmarkTable6ResourceVector is the R>1 companion to Table6CPUTime: a
+// Rent-style synthetic circuit with deterministic DSP/BRAM stamps (the
+// gencircuit -resources path) peeled onto a vector device whose resource
+// caps actually bind, so the per-resource windows and packed
+// dominant-resource bound sit on the measured path. Table6CPUTime's rows
+// stay R=1 and guard the scalar fast path; this one guards the vector
+// generalization.
+func BenchmarkTable6ResourceVector(b *testing.B) {
+	sizes := []int{1000, 4000}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	vdev, err := device.XC3042.WithResources([]device.Resource{
+		{Name: "DSP", Cap: 8}, {Name: "BRAM", Cap: 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("cells%d", n), func(b *testing.B) {
+			var buf bytes.Buffer
+			stamps := []gen.ResStamp{{Name: "DSP", Period: 16}, {Name: "BRAM", Period: 64}}
+			if err := gen.StreamPHG(&buf, n, n/12, 42, true, stamps); err != nil {
+				b.Fatal(err)
+			}
+			h, err := netlist.ReadPHG(&buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := core.Partition(h, vdev, core.Default())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.K), "devices")
+					if !r.Feasible {
+						b.Fatalf("vector run infeasible at %d cells", n)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable6Speculative races four §3.5 window variants per peel step
 // (speculation width 4) under worker budgets of 1 and 4 over the Table 6
 // grid. The candidate set is fixed by the width — the budget only bounds
@@ -159,7 +208,7 @@ func BenchmarkTable6Speculative(b *testing.B) {
 	devs := []device.Device{device.XC3020, device.XC3042, device.XC3090, device.XC2064}
 	for _, name := range benchOrder(bench.CircuitOrder) {
 		for _, dev := range devs {
-			if dev == device.XC2064 && bench.Table6Published[name][3] == 0 {
+			if dev.Name == device.XC2064.Name && bench.Table6Published[name][3] == 0 {
 				continue // the paper reports "-" for s-circuits on XC2064
 			}
 			for _, par := range []int{1, 4} {

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"fpart/internal/board"
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/driver"
@@ -50,7 +51,8 @@ func main() {
 // survives error exits — a bare os.Exit in the middle of main would skip
 // it and truncate the CPU profile.
 func run() error {
-	devName := flag.String("device", "XC3020", "target device: XC3020, XC3042, XC3090, XC2064")
+	devName := flag.String("device", "XC3020", "target device: a catalog name (XC3020, XC3042, XC3090, XC2064), synthetic CELLSxPINS, or a resource vector like 'LUT:1500,FF:3000,DSP:12/200'")
+	boardSpec := flag.String("board", "", "gate the result on a multi-FPGA board: crossbar:N, chain:N[:wires=W], or mesh:CxR[:wires=W]")
 	format := flag.String("format", "phg", "input format: phg, hgr, blif")
 	arch := flag.String("arch", "", "CLB architecture for BLIF mapping: XC2000 or XC3000 (default: the device's family)")
 	method := flag.String("method", "fpart", "partitioner: "+engine.UsageString()+" (see -list-methods)")
@@ -76,12 +78,20 @@ func run() error {
 		return nil
 	}
 
-	dev, ok := device.Parse(*devName)
-	if !ok {
-		return fmt.Errorf("unknown device %q (valid: XC3020, XC3042, XC3090, XC2064, or synthetic CELLSxPINS like 20000x2000)", *devName)
+	dev, err := device.ParseSpec(*devName)
+	if err != nil {
+		return err
 	}
 	if *fill != 0 {
 		dev = dev.WithFill(*fill)
+	}
+	var brd *board.Board
+	if *boardSpec != "" {
+		b, err := board.ParseSpec(*boardSpec)
+		if err != nil {
+			return err
+		}
+		brd = &b
 	}
 
 	c, err := driver.Load(driver.Source{
@@ -105,6 +115,16 @@ func run() error {
 	m := device.LowerBound(h, dev)
 	fmt.Printf("circuit %s: %d CLBs, %d pads, %d nets\n", c.Name, st.Interior, st.Pads, st.Nets)
 	fmt.Printf("device %s: S_MAX=%d T_MAX=%d, lower bound M=%d\n", dev.Name, dev.SMax(), dev.TMax(), m)
+	for _, r := range dev.Resources {
+		fmt.Printf("  resource %s: cap %d per device, circuit total %d\n", r.Name, r.Cap, h.TotalResource(r.Name))
+	}
+	if brd != nil {
+		fmt.Printf("board %s: %d slots", brd.Topology, brd.Slots)
+		if brd.WiresPerLink > 0 {
+			fmt.Printf(", %d wires/link", brd.WiresPerLink)
+		}
+		fmt.Println()
+	}
 
 	var sink obs.Sink
 	switch *traceFormat {
@@ -135,6 +155,7 @@ func run() error {
 		Sink:      sink,
 		SpecWidth: *spec,
 		Budget:    core.NewBudget(driver.ClampParallel(*parallel)),
+		Board:     brd,
 	})
 	if errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("timed out after %v (raise -timeout or relax the instance)", *timeout)
@@ -149,6 +170,14 @@ func run() error {
 	p := res.Partition
 
 	fmt.Printf("result: %d devices, feasible=%v, cut=%d\n", res.K, res.Feasible, p.Cut())
+	if brd != nil {
+		if res.Board == nil {
+			fmt.Printf("board: UNPLACEABLE (%d blocks on %d slots)\n", res.K, brd.Slots)
+		} else {
+			fmt.Printf("board: %d inter-FPGA nets, %d hops, max link load %d, routable=%v\n",
+				res.Board.InterNets, res.Board.TotalHops, res.Board.MaxLinkLoad, res.Board.Routable)
+		}
+	}
 	if *stats {
 		quality.Analyze(p, res.M).Write(os.Stdout)
 		if res.Stats != nil {
@@ -164,8 +193,12 @@ func run() error {
 			if !p.Feasible(id) {
 				status = "VIOLATES"
 			}
-			fmt.Printf("  block %2d: size %4d/%d  terminals %4d/%d  pads %3d  [%s]\n",
-				b, p.Size(id), dev.SMax(), p.Terminals(id), dev.TMax(), p.Pads(id), status)
+			resCols := ""
+			for r := 0; r < p.NumRes(); r++ {
+				resCols += fmt.Sprintf("  %s %d/%d", dev.Resources[r].Name, p.Res(id, r), p.ResCap(r))
+			}
+			fmt.Printf("  block %2d: size %4d/%d  terminals %4d/%d  pads %3d%s  [%s]\n",
+				b, p.Size(id), dev.SMax(), p.Terminals(id), dev.TMax(), p.Pads(id), resCols, status)
 		}
 	}
 	if *plot {

@@ -29,15 +29,17 @@ import (
 )
 
 type options struct {
-	circuit string
-	family  string
-	format  string
-	dir     string
-	nodes   int
-	cells   int
-	pads    int
-	seed    int64
-	seq     bool
+	circuit   string
+	family    string
+	format    string
+	dir       string
+	nodes     int
+	cells     int
+	pads      int
+	seed      int64
+	seq       bool
+	resources string
+	stamps    []gen.ResStamp
 }
 
 // validate rejects nonsensical parameter mixes outright, naming the flag —
@@ -86,6 +88,16 @@ func (o *options) validate() error {
 	if o.family != "XC2000" && o.family != "XC3000" {
 		return fmt.Errorf("unknown family %q (valid: XC2000, XC3000)", o.family)
 	}
+	if o.resources != "" {
+		if o.cells == 0 {
+			return errors.New("-resources only applies to -cells (streamed scale mode)")
+		}
+		stamps, err := gen.ParseStamps(o.resources)
+		if err != nil {
+			return err
+		}
+		o.stamps = stamps
+	}
 	return nil
 }
 
@@ -100,6 +112,7 @@ func main() {
 	flag.IntVar(&o.pads, "pads", 0, "synthetic circuit: pad count")
 	flag.Int64Var(&o.seed, "seed", 1, "synthetic circuit: seed")
 	flag.BoolVar(&o.seq, "seq", false, "synthetic circuit: add a clock net")
+	flag.StringVar(&o.resources, "resources", "", "with -cells: stamp deterministic per-cell resource demands, NAME:PERIOD pairs like 'DSP:16,BRAM:64' (one cell in PERIOD demands one unit)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -120,7 +133,7 @@ func main() {
 
 	switch {
 	case o.cells > 0:
-		if err := gen.StreamPHG(os.Stdout, o.cells, o.pads, o.seed, o.seq); err != nil {
+		if err := gen.StreamPHG(os.Stdout, o.cells, o.pads, o.seed, o.seq, o.stamps); err != nil {
 			fail("%v", err)
 		}
 	case o.circuit == "all":

@@ -358,7 +358,7 @@ func WriteTable6(w io.Writer) error {
 		pub := Table6Published[name]
 		fmt.Fprintf(w, "%-8s", name)
 		for di, d := range devs {
-			if d == device.XC2064 && pub[di] == 0 {
+			if d.Name == device.XC2064.Name && pub[di] == 0 {
 				fmt.Fprintf(w, " %10s %10s", "-", "-")
 				continue
 			}

@@ -18,6 +18,8 @@ package board
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"fpart/internal/hypergraph"
 	"fpart/internal/partition"
@@ -213,57 +215,8 @@ func Place(p *partition.Partition, b Board) (*Placement, error) {
 // shortest paths (X-then-Y on meshes); link loads accumulate per adjacent
 // slot pair.
 func (pl *Placement) Evaluate(p *partition.Partition) Report {
-	b := pl.Board
 	h := p.Hypergraph()
 	linkLoad := map[[2]int]int{}
-	addPath := func(from, to int) int {
-		hops := 0
-		switch b.Topology {
-		case Crossbar:
-			if from != to {
-				hops = 1
-				key := [2]int{min(from, to), max(from, to)}
-				linkLoad[key]++
-			}
-		case Chain:
-			step := 1
-			if to < from {
-				step = -1
-			}
-			for s := from; s != to; s += step {
-				key := [2]int{min(s, s+step), max(s, s+step)}
-				linkLoad[key]++
-				hops++
-			}
-		case Mesh:
-			fx, fy := b.coord(from)
-			tx, ty := b.coord(to)
-			x, y := fx, fy
-			for x != tx {
-				step := 1
-				if tx < x {
-					step = -1
-				}
-				a := y*b.Cols + x
-				c := y*b.Cols + x + step
-				linkLoad[[2]int{min(a, c), max(a, c)}]++
-				x += step
-				hops++
-			}
-			for y != ty {
-				step := 1
-				if ty < y {
-					step = -1
-				}
-				a := y*b.Cols + x
-				c := (y+step)*b.Cols + x
-				linkLoad[[2]int{min(a, c), max(a, c)}]++
-				y += step
-				hops++
-			}
-		}
-		return hops
-	}
 
 	var rep Report
 	for e := 0; e < h.NumNets(); e++ {
@@ -288,7 +241,7 @@ func (pl *Placement) Evaluate(p *partition.Partition) Report {
 		sort.Ints(ordered)
 		root := ordered[0]
 		for _, s := range ordered[1:] {
-			rep.TotalHops += addPath(root, s)
+			rep.TotalHops += pl.routePath(root, s, linkLoad)
 		}
 	}
 	rep.Routable = true
@@ -297,10 +250,152 @@ func (pl *Placement) Evaluate(p *partition.Partition) Report {
 			rep.MaxLinkLoad = load
 		}
 	}
-	if b.WiresPerLink > 0 && rep.MaxLinkLoad > b.WiresPerLink {
+	if pl.Board.WiresPerLink > 0 && rep.MaxLinkLoad > pl.Board.WiresPerLink {
 		rep.Routable = false
 	}
 	return rep
+}
+
+// routePath routes one signal from slot `from` to slot `to`, incrementing
+// linkLoad for every adjacent slot pair traversed, and returns the hop
+// count (always the shortest-path distance).
+func (pl *Placement) routePath(from, to int, linkLoad map[[2]int]int) int {
+	b := pl.Board
+	hops := 0
+	switch b.Topology {
+	case Crossbar:
+		if from != to {
+			hops = 1
+			key := [2]int{min(from, to), max(from, to)}
+			linkLoad[key]++
+		}
+	case Chain:
+		step := 1
+		if to < from {
+			step = -1
+		}
+		for s := from; s != to; s += step {
+			key := [2]int{min(s, s+step), max(s, s+step)}
+			linkLoad[key]++
+			hops++
+		}
+	case Mesh:
+		fx, fy := b.coord(from)
+		tx, ty := b.coord(to)
+		x, y := fx, fy
+		stepX := func() {
+			for x != tx {
+				step := 1
+				if tx < x {
+					step = -1
+				}
+				a := y*b.Cols + x
+				c := y*b.Cols + x + step
+				linkLoad[[2]int{min(a, c), max(a, c)}]++
+				x += step
+				hops++
+			}
+		}
+		stepY := func() {
+			for y != ty {
+				step := 1
+				if ty < y {
+					step = -1
+				}
+				a := y*b.Cols + x
+				c := (y+step)*b.Cols + x
+				linkLoad[[2]int{min(a, c), max(a, c)}]++
+				y += step
+				hops++
+			}
+		}
+		// X-then-Y, unless the X-leg would run past the end of a ragged
+		// last row (Cols ∤ Slots): slot fy*Cols+tx must exist for every
+		// intermediate of the X-leg to exist. In the ragged case route
+		// Y-first — the Y-leg moves along the source column through full
+		// rows only (the source slot itself exists), and the X-leg then
+		// runs in the target's row, which contains the target column by
+		// definition. At most one of the two orders can be ragged-blocked,
+		// so this stays deterministic.
+		if fy*b.Cols+tx < b.Slots {
+			stepX()
+			stepY()
+		} else {
+			stepY()
+			stepX()
+		}
+	}
+	return hops
+}
+
+// Route is the post-peel board feasibility gate: it places the partition
+// onto the board and routes the cut nets, returning the placement and the
+// routing report. An error means the partition cannot even be placed
+// (more non-empty blocks than slots, or a degenerate board).
+func Route(p *partition.Partition, b Board) (*Placement, Report, error) {
+	pl, err := Place(p, b)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return pl, pl.Evaluate(p), nil
+}
+
+// ParseSpec parses a board description of the form
+//
+//	crossbar:N | chain:N[:wires=W] | mesh:CxR[:wires=W]
+//
+// e.g. "mesh:4x4:wires=64" is a 16-slot 4-wide mesh with 64 wires per
+// adjacent link. A wires clause of 0 (or its absence) means unlimited.
+func ParseSpec(spec string) (Board, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return Board{}, fmt.Errorf("board: malformed spec %q (want crossbar:N, chain:N[:wires=W], or mesh:CxR[:wires=W])", spec)
+	}
+	var b Board
+	switch parts[0] {
+	case "crossbar":
+		b.Topology = Crossbar
+	case "chain":
+		b.Topology = Chain
+	case "mesh":
+		b.Topology = Mesh
+	default:
+		return Board{}, fmt.Errorf("board: unknown topology %q in spec %q (want crossbar, chain, or mesh)", parts[0], spec)
+	}
+	if b.Topology == Mesh {
+		cs, rs, ok := strings.Cut(parts[1], "x")
+		if !ok {
+			return Board{}, fmt.Errorf("board: mesh size %q is not of the form CxR", parts[1])
+		}
+		cols, err1 := strconv.Atoi(cs)
+		rows, err2 := strconv.Atoi(rs)
+		if err1 != nil || err2 != nil || cols < 1 || rows < 1 {
+			return Board{}, fmt.Errorf("board: mesh size %q must be positive COLSxROWS", parts[1])
+		}
+		b.Cols = cols
+		b.Slots = cols * rows
+	} else {
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 1 {
+			return Board{}, fmt.Errorf("board: slot count %q must be a positive integer", parts[1])
+		}
+		b.Slots = n
+	}
+	for _, opt := range parts[2:] {
+		val, ok := strings.CutPrefix(opt, "wires=")
+		if !ok {
+			return Board{}, fmt.Errorf("board: unknown option %q in spec %q (want wires=W)", opt, spec)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return Board{}, fmt.Errorf("board: wires in %q must be a non-negative integer", opt)
+		}
+		if b.Topology == Crossbar && w > 0 {
+			return Board{}, fmt.Errorf("board: wires=W does not apply to crossbar boards")
+		}
+		b.WiresPerLink = w
+	}
+	return b, b.Validate()
 }
 
 func min(a, b int) int {

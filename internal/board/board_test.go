@@ -189,6 +189,82 @@ func TestEndToEndWithFPART(t *testing.T) {
 	}
 }
 
+// TestMeshRaggedLastRow pins routing on a mesh whose Cols does not divide
+// Slots: a 4-wide, 6-slot mesh has a ragged last row of width 2 (slots 4,
+// 5). Routing from slot 4 (x=0,y=1) to slot 3 (x=3,y=0) X-first would walk
+// the ragged row through phantom slots 5, 6, 7; the router must fall back
+// to Y-first and every traversed link must join two real slots.
+func TestMeshRaggedLastRow(t *testing.T) {
+	b := Board{Slots: 6, Topology: Mesh, Cols: 4}
+	pl := &Placement{Board: b}
+	for _, tc := range []struct{ from, to int }{
+		{4, 3}, // ragged source row, target column past ragged width
+		{3, 4}, // reverse: X-first lands on (0,0) then descends — fine
+		{5, 3}, // ragged source, 3 hops
+		{4, 5}, // within the ragged row
+	} {
+		load := map[[2]int]int{}
+		hops := pl.routePath(tc.from, tc.to, load)
+		if want := b.distance(tc.from, tc.to); hops != want {
+			t.Errorf("route %d->%d: hops = %d, want Manhattan %d", tc.from, tc.to, hops, want)
+		}
+		for link := range load {
+			for _, s := range link {
+				if s < 0 || s >= b.Slots {
+					t.Errorf("route %d->%d traverses phantom slot %d (link %v)", tc.from, tc.to, s, link)
+				}
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := []struct {
+		spec string
+		want Board
+	}{
+		{"crossbar:4", Board{Slots: 4, Topology: Crossbar}},
+		{"chain:8", Board{Slots: 8, Topology: Chain}},
+		{"chain:8:wires=16", Board{Slots: 8, Topology: Chain, WiresPerLink: 16}},
+		{"mesh:4x4:wires=64", Board{Slots: 16, Topology: Mesh, Cols: 4, WiresPerLink: 64}},
+		{"mesh:3x2", Board{Slots: 6, Topology: Mesh, Cols: 3}},
+	}
+	for _, tc := range good {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	bad := []string{
+		"", "mesh", "torus:4", "mesh:4", "mesh:0x4", "mesh:4xfour",
+		"chain:0", "chain:-2", "chain:4:wires=-1", "chain:4:fibers=9",
+		"crossbar:4:wires=2",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	p := fourBlocks(t)
+	pl, rep, err := Route(p, Board{Slots: 4, Topology: Chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl == nil || rep.InterNets != 3 || !rep.Routable {
+		t.Errorf("Route: report %+v", rep)
+	}
+	if _, _, err := Route(p, Board{Slots: 2, Topology: Chain}); err == nil {
+		t.Error("Route accepted 4 blocks on 2 slots")
+	}
+}
+
 func TestTopologyString(t *testing.T) {
 	for _, tp := range []Topology{Crossbar, Chain, Mesh, Topology(9)} {
 		if tp.String() == "" {

@@ -30,6 +30,8 @@ type JobSpec struct {
 	Netlist   string  `json:"netlist,omitempty"`
 	Arch      string  `json:"arch,omitempty"`
 	Device    string  `json:"device"`
+	Resources string  `json:"resources,omitempty"`
+	Board     string  `json:"board,omitempty"`
 	Fill      float64 `json:"fill,omitempty"`
 	Method    string  `json:"method,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`

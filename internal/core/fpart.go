@@ -163,14 +163,28 @@ func Run(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, cfg C
 	if h.NumNodes() == 0 {
 		return nil, errors.New("core: empty circuit")
 	}
+	resCols := make([][]int32, len(dev.Resources))
+	for ri, r := range dev.Resources {
+		resCols[ri] = h.ResourceColumn(r.Name)
+	}
+	// Columnar accessors, not h.Node(id): the full Node is only needed on
+	// the (cold) error paths, and materializing the 64-byte struct per
+	// cell makes this scan the dominant cost of trivially-feasible runs.
+	smax := dev.SMax()
 	for _, id := range h.InteriorIDs() {
-		if h.Node(id).Size > dev.SMax() {
+		if h.SizeOf(id) > smax {
 			return nil, fmt.Errorf("%w: node %q has size %d > S_MAX %d",
-				ErrUnsplittable, h.Node(id).Name, h.Node(id).Size, dev.SMax())
+				ErrUnsplittable, h.Node(id).Name, h.SizeOf(id), smax)
 		}
-		if dev.AuxCap > 0 && h.Node(id).Aux > dev.AuxCap {
+		if dev.AuxCap > 0 && h.AuxOf(id) > dev.AuxCap {
 			return nil, fmt.Errorf("%w: node %q needs %d secondary resources > cap %d",
-				ErrUnsplittable, h.Node(id).Name, h.Node(id).Aux, dev.AuxCap)
+				ErrUnsplittable, h.Node(id).Name, h.AuxOf(id), dev.AuxCap)
+		}
+		for ri, r := range dev.Resources {
+			if resCols[ri] != nil && int(resCols[ri][id]) > r.Cap {
+				return nil, fmt.Errorf("%w: node %q needs %d %s > cap %d",
+					ErrUnsplittable, h.Node(id).Name, resCols[ri][id], r.Name, r.Cap)
+			}
 		}
 	}
 	cfg = cfg.normalize()
@@ -697,6 +711,18 @@ func worstCell(p *partition.Partition, b partition.BlockID) hypergraph.NodeID {
 	dev := p.Device()
 	sizeViolated := p.Size(b) > dev.SMax()
 	auxViolated := dev.AuxCap > 0 && p.Aux(b) > dev.AuxCap
+	// For R>1 devices, prefer shedding cells that demand an overflowing
+	// resource axis — moving DSP-free cells out of a DSP-overfull block
+	// can never repair it.
+	var resViolated []bool
+	for r := 0; r < p.NumRes(); r++ {
+		if p.Res(b, r) > p.ResCap(r) {
+			if resViolated == nil {
+				resViolated = make([]bool, p.NumRes())
+			}
+			resViolated[r] = true
+		}
+	}
 	var best hypergraph.NodeID = -1
 	bestScore := 0
 	for _, v := range p.NodesIn(b) {
@@ -712,6 +738,11 @@ func worstCell(p *partition.Partition, b partition.BlockID) hypergraph.NodeID {
 		}
 		if auxViolated {
 			score += h.Node(v).Aux * 8
+		}
+		for r := range resViolated {
+			if resViolated[r] {
+				score += p.ResDemandOf(v, r) * 8
+			}
 		}
 		if best < 0 || score > bestScore {
 			best, bestScore = v, score

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/hypergraph"
+	"fpart/internal/partition"
+)
+
+// dspChain builds n chained unit-size cells, each demanding one DSP.
+func dspChain(t *testing.T, n int) *hypergraph.Hypergraph {
+	t.Helper()
+	var b hypergraph.Builder
+	var set []hypergraph.NodeID
+	for i := 0; i < n; i++ {
+		id := b.AddInterior("v", 1)
+		b.SetResource(id, "DSP", 1)
+		set = append(set, id)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddNet("e", set[i], set[i+1])
+	}
+	return b.MustBuild()
+}
+
+// TestResourceUnsplittable: a single node whose DSP demand exceeds the
+// device's DSP cap can never be placed, and the error must name the
+// offending node and resource.
+func TestResourceUnsplittable(t *testing.T) {
+	var b hypergraph.Builder
+	v := b.AddInterior("dsp-hog", 1)
+	w := b.AddInterior("w", 1)
+	b.SetResource(v, "DSP", 9)
+	b.AddNet("n", v, w)
+	h := b.MustBuild()
+
+	dev := device.Device{Name: "d", DatasheetCells: 50, Pins: 64, Fill: 1.0,
+		Resources: []device.Resource{{Name: "DSP", Cap: 4}}}
+	_, err := Run(context.Background(), h, dev, Default())
+	if !errors.Is(err, ErrUnsplittable) {
+		t.Fatalf("err = %v, want ErrUnsplittable", err)
+	}
+	for _, want := range []string{"dsp-hog", "DSP"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should name %q: %v", want, err)
+		}
+	}
+}
+
+// TestResourceCapsForceMoreBlocks is the DSP-tight acceptance case: a
+// 40-cell chain is scalar-feasible on one 50-cell device, but with each
+// cell demanding a DSP and the device capping DSPs at 10, the flat engine
+// must peel at least ⌈40/10⌉ = 4 blocks, every one within the DSP cap.
+func TestResourceCapsForceMoreBlocks(t *testing.T) {
+	h := dspChain(t, 40)
+	scalar := device.Device{Name: "big", DatasheetCells: 50, Pins: 64, Fill: 1.0}
+	rs, err := Run(context.Background(), h, scalar, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Feasible || rs.K != 1 {
+		t.Fatalf("scalar run: K=%d feasible=%v, want one feasible block", rs.K, rs.Feasible)
+	}
+
+	vdev := scalar
+	vdev.Resources = []device.Resource{{Name: "DSP", Cap: 10}}
+	rv, err := Run(context.Background(), h, vdev, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Feasible {
+		t.Fatalf("vector run infeasible: K=%d M=%d", rv.K, rv.M)
+	}
+	if rv.M != 4 {
+		t.Errorf("M = %d, want 4 (LowerBound must count the DSP axis)", rv.M)
+	}
+	if rv.K < 4 {
+		t.Errorf("K = %d, want >= 4 (DSP cap 10 over 40 demands)", rv.K)
+	}
+	p := rv.Partition
+	if p.NumRes() != 1 {
+		t.Fatalf("NumRes = %d, want 1", p.NumRes())
+	}
+	for b := 0; b < p.NumBlocks(); b++ {
+		id := partition.BlockID(b)
+		if p.Nodes(id) == 0 {
+			continue
+		}
+		if got := p.Res(id, 0); got > 10 {
+			t.Errorf("block %d holds %d DSPs > cap 10", b, got)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

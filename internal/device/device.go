@@ -40,6 +40,15 @@ func (f Family) String() string {
 	}
 }
 
+// Resource is one named capacity axis beyond the primary logic-cell size:
+// FF, DSP, BRAM on modern parts. §2 notes such secondary constraints are
+// "handled like the size constraint" — each is a pure upper bound on the
+// per-block demand total.
+type Resource struct {
+	Name string
+	Cap  int
+}
+
 // Device describes one FPGA part.
 type Device struct {
 	Name string
@@ -57,6 +66,12 @@ type Device struct {
 	// constraint). Zero means unconstrained — the paper's experiments
 	// never hit these limits.
 	AuxCap int
+	// Resources lists the extra capacity axes beyond the primary size axis.
+	// Empty for scalar parts: every scalar device is the R=1 special case
+	// of the resource-vector model, and all pre-vector code paths treat it
+	// identically by construction. Demands are matched to netlist resource
+	// columns by name; a circuit with no column for an axis demands zero.
+	Resources []Resource
 }
 
 // SMax returns S_MAX = floor(S_ds · δ), the usable logic capacity.
@@ -92,6 +107,21 @@ func (d Device) Validate() error {
 	if d.SMax() < 1 {
 		return fmt.Errorf("device %s: effective S_MAX is zero after fill derating", d.Name)
 	}
+	// Quadratic duplicate scan: R stays single-digit, and Validate runs
+	// once per core.Run — a map here would cost an allocation per run.
+	for i, r := range d.Resources {
+		if r.Name == "" {
+			return fmt.Errorf("device %s: resource with empty name", d.Name)
+		}
+		for _, prev := range d.Resources[:i] {
+			if prev.Name == r.Name {
+				return fmt.Errorf("device %s: duplicate resource name %q", d.Name, r.Name)
+			}
+		}
+		if r.Cap <= 0 {
+			return fmt.Errorf("device %s: resource %s cap %d must be positive", d.Name, r.Name, r.Cap)
+		}
+	}
 	return nil
 }
 
@@ -109,6 +139,19 @@ func (d Device) FitsFull(size, terminals, aux int) bool {
 		return false
 	}
 	return d.AuxCap == 0 || aux <= d.AuxCap
+}
+
+// FitsRes checks a vector of extra-resource demands against Resources,
+// componentwise, positionally. Demands beyond len(Resources) are ignored;
+// missing trailing demands count as zero — so a scalar block (nil demands)
+// fits any resource vector and the R=1 device admits everything here.
+func (d Device) FitsRes(demands []int) bool {
+	for i, r := range d.Resources {
+		if i < len(demands) && demands[i] > r.Cap {
+			return false
+		}
+	}
+	return true
 }
 
 // The experimental devices of the paper (§4), with the fill ratios used
@@ -141,6 +184,10 @@ func ByName(name string) (Device, bool) {
 // thousands of blocks (and the partitioner's dense per-net block rows
 // would not fit in memory).
 func Parse(name string) (Device, bool) {
+	if strings.IndexByte(name, ':') >= 0 {
+		d, err := ParseSpec(name)
+		return d, err == nil
+	}
 	if d, ok := ByName(name); ok {
 		return d, true
 	}
@@ -160,6 +207,119 @@ func Parse(name string) (Device, bool) {
 	return d, true
 }
 
+// DefaultVectorPins is the T_MAX assumed for resource-vector specs that
+// omit the "/T_MAX" suffix. Vector parts model modern dies whose pin
+// budget rarely binds before a resource axis does, so the default is
+// generous rather than paper-scale.
+const DefaultVectorPins = 256
+
+// ParseSpec resolves an extended device spec string. Accepted forms:
+//
+//	XC3020                        a Catalog part
+//	20000x2000                    a synthetic CELLSxPINS part (Parse)
+//	LUT:1500,FF:3000,DSP:12/120   a resource-vector part
+//
+// In the vector form the first NAME:CAP token is the primary size axis
+// (S_MAX = CAP at fill 1.0, checked against node sizes, exactly like a
+// scalar part), later tokens become extra Resources matched to netlist
+// resource columns by name, and the optional "/T_MAX" suffix sets the pin
+// budget (DefaultVectorPins when omitted). A single-token vector spec is
+// therefore an R=1 device whose code paths are identical to a scalar part.
+//
+// Unlike Parse, malformed specs return an error naming the offending
+// token: duplicate resource names, zero or negative caps, and tokens that
+// are not NAME:CAP are all rejected.
+func ParseSpec(spec string) (Device, error) {
+	if strings.IndexByte(spec, ':') < 0 {
+		d, ok := Parse(spec)
+		if !ok {
+			return Device{}, fmt.Errorf("unknown device %q (valid: a catalog name, CELLSxPINS, or NAME:CAP,NAME:CAP,.../T_MAX)", spec)
+		}
+		return d, nil
+	}
+	body, pinsStr, hasPins := strings.Cut(spec, "/")
+	pins := DefaultVectorPins
+	if hasPins {
+		v, err := strconv.Atoi(pinsStr)
+		if err != nil || v < 1 {
+			return Device{}, fmt.Errorf("device %q: T_MAX suffix %q must be a positive integer", spec, pinsStr)
+		}
+		pins = v
+	}
+	d := Device{Name: spec, Family: XC3000, Pins: pins, Fill: 1.0}
+	seen := map[string]bool{}
+	for i, tok := range strings.Split(body, ",") {
+		name, capStr, ok := strings.Cut(tok, ":")
+		if !ok || name == "" || capStr == "" {
+			return Device{}, fmt.Errorf("device %q: malformed resource token %q (want NAME:CAP)", spec, tok)
+		}
+		c, err := strconv.Atoi(capStr)
+		if err != nil {
+			return Device{}, fmt.Errorf("device %q: resource cap in token %q is not an integer", spec, tok)
+		}
+		if c <= 0 {
+			return Device{}, fmt.Errorf("device %q: resource cap must be positive in token %q (got %d)", spec, tok, c)
+		}
+		if seen[name] {
+			return Device{}, fmt.Errorf("device %q: duplicate resource name in token %q", spec, tok)
+		}
+		seen[name] = true
+		if i == 0 {
+			d.DatasheetCells = c
+		} else {
+			d.Resources = append(d.Resources, Resource{Name: name, Cap: c})
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return Device{}, err
+	}
+	return d, nil
+}
+
+// WithResources returns a copy of the device with extra resource axes
+// appended (the fpartd job schema composes catalog parts with a separate
+// "resources" field this way). The combined device must validate.
+func (d Device) WithResources(extra []Resource) (Device, error) {
+	if len(extra) == 0 {
+		return d, nil
+	}
+	d.Resources = append(append([]Resource(nil), d.Resources...), extra...)
+	if err := d.Validate(); err != nil {
+		return Device{}, err
+	}
+	return d, nil
+}
+
+// ParseResources parses a bare extra-resource list "NAME:CAP,NAME:CAP"
+// (no primary axis, no pin suffix) — the fpartd job schema's "resources"
+// field, which augments a named device. Rejections mirror ParseSpec.
+func ParseResources(spec string) ([]Resource, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Resource
+	seen := map[string]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		name, capStr, ok := strings.Cut(tok, ":")
+		if !ok || name == "" || capStr == "" {
+			return nil, fmt.Errorf("resources %q: malformed token %q (want NAME:CAP)", spec, tok)
+		}
+		c, err := strconv.Atoi(capStr)
+		if err != nil {
+			return nil, fmt.Errorf("resources %q: cap in token %q is not an integer", spec, tok)
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("resources %q: cap must be positive in token %q (got %d)", spec, tok, c)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("resources %q: duplicate resource name in token %q", spec, tok)
+		}
+		seen[name] = true
+		out = append(out, Resource{Name: name, Cap: c})
+	}
+	return out, nil
+}
+
 // LowerBound returns M = max(⌈S0/S_MAX⌉, ⌈|Y0|/T_MAX⌉), the theoretical
 // minimum number of devices required to implement the circuit (§2).
 //
@@ -177,6 +337,13 @@ func LowerBound(h *hypergraph.Hypergraph, d Device) int {
 	if d.AuxCap > 0 {
 		if aux := ceilDiv(h.TotalAux(), d.AuxCap); aux > m {
 			m = aux
+		}
+	}
+	// Each extra resource axis bounds M the same way the size axis does:
+	// a circuit demanding 40 DSPs on a 12-DSP part needs ≥ ⌈40/12⌉ devices.
+	for _, r := range d.Resources {
+		if v := ceilDiv(h.TotalResource(r.Name), r.Cap); v > m {
+			m = v
 		}
 	}
 	if m < 1 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fpart/internal/hypergraph"
+	"strings"
 )
 
 func TestPaperDeviceCapacities(t *testing.T) {
@@ -214,7 +215,7 @@ func TestDeviceString(t *testing.T) {
 }
 
 func TestParse(t *testing.T) {
-	if d, ok := Parse("XC3042"); !ok || d != XC3042 {
+	if d, ok := Parse("XC3042"); !ok || d.Name != XC3042.Name || d.DatasheetCells != XC3042.DatasheetCells {
 		t.Fatalf("Parse(XC3042) = %+v, %v", d, ok)
 	}
 	d, ok := Parse("20000x2000")
@@ -231,5 +232,133 @@ func TestParse(t *testing.T) {
 		if _, ok := Parse(bad); ok {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseSpecVector covers the extended part syntax
+// NAME:CAP,NAME:CAP,.../T_MAX: the first token is the primary cell axis,
+// later tokens become extra resource axes, the suffix sets T_MAX.
+func TestParseSpecVector(t *testing.T) {
+	d, err := ParseSpec("LUT:1500,FF:3000,DSP:12/200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DatasheetCells != 1500 || d.Pins != 200 || d.Fill != 1.0 {
+		t.Errorf("primary axis: %+v", d)
+	}
+	want := []Resource{{Name: "FF", Cap: 3000}, {Name: "DSP", Cap: 12}}
+	if len(d.Resources) != len(want) {
+		t.Fatalf("Resources = %+v, want %+v", d.Resources, want)
+	}
+	for i, r := range want {
+		if d.Resources[i] != r {
+			t.Errorf("Resources[%d] = %+v, want %+v", i, d.Resources[i], r)
+		}
+	}
+
+	// No pin suffix: the default vector pin budget applies.
+	d2, err := ParseSpec("LUT:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Pins != DefaultVectorPins || len(d2.Resources) != 0 {
+		t.Errorf("suffix-free spec: %+v", d2)
+	}
+
+	// Catalog and CELLSxPINS forms still resolve through ParseSpec.
+	if d3, err := ParseSpec("XC3020"); err != nil || d3.Name != "XC3020" {
+		t.Errorf("catalog name through ParseSpec: %+v, %v", d3, err)
+	}
+}
+
+// TestParseSpecRejections pins the error contract of satellite 1: each
+// malformed spec is rejected with a message naming the offending token.
+func TestParseSpecRejections(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring the error must carry
+	}{
+		{"not-a-part", "unknown device"},
+		{"LUT:100,LUT:50", `duplicate resource name in token "LUT:50"`},
+		{"LUT:100,DSP:0", `must be positive in token "DSP:0"`},
+		{"LUT:100,DSP:-3", `must be positive in token "DSP:-3"`},
+		{"LUT:100,DSP:many", `token "DSP:many" is not an integer`},
+		{"LUT:100,DSP", `malformed resource token "DSP"`},
+		{"LUT:100,:5", `malformed resource token ":5"`},
+		{"LUT:", `malformed resource token "LUT:"`},
+		{"LUT:100/zero", "T_MAX suffix"},
+		{"LUT:100/-4", "T_MAX suffix"},
+		{"LUT:0", `must be positive in token "LUT:0"`},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) error %q, want it to contain %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestParseResources(t *testing.T) {
+	rs, err := ParseResources("FF:3000,DSP:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0] != (Resource{Name: "FF", Cap: 3000}) || rs[1] != (Resource{Name: "DSP", Cap: 12}) {
+		t.Errorf("ParseResources = %+v", rs)
+	}
+	if rs, err := ParseResources(""); err != nil || rs != nil {
+		t.Errorf("empty spec: %v, %v", rs, err)
+	}
+	for _, bad := range []string{"FF", "FF:0", "FF:x", "FF:1,FF:2", ":3"} {
+		if _, err := ParseResources(bad); err == nil {
+			t.Errorf("ParseResources(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWithResources(t *testing.T) {
+	d, err := XC3020.WithResources([]Resource{{Name: "DSP", Cap: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Resources) != 1 || len(XC3020.Resources) != 0 {
+		t.Errorf("WithResources must copy, not mutate: %+v / %+v", d.Resources, XC3020.Resources)
+	}
+	if _, err := d.WithResources([]Resource{{Name: "DSP", Cap: 9}}); err == nil {
+		t.Error("duplicate axis across base and extra accepted")
+	}
+	if _, err := XC3020.WithResources([]Resource{{Name: "FF", Cap: 0}}); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if same, err := XC3020.WithResources(nil); err != nil || len(same.Resources) != 0 {
+		t.Errorf("nil extras: %+v, %v", same, err)
+	}
+}
+
+func TestFitsRes(t *testing.T) {
+	d := Device{Name: "d", DatasheetCells: 10, Pins: 10, Fill: 1.0,
+		Resources: []Resource{{Name: "FF", Cap: 5}, {Name: "DSP", Cap: 2}}}
+	cases := []struct {
+		demands []int
+		want    bool
+	}{
+		{nil, true},
+		{[]int{5}, true},
+		{[]int{5, 2}, true},
+		{[]int{6, 0}, false},
+		{[]int{0, 3}, false},
+		{[]int{5, 2, 999}, true}, // beyond the declared axes: ignored
+	}
+	for _, tc := range cases {
+		if got := d.FitsRes(tc.demands); got != tc.want {
+			t.Errorf("FitsRes(%v) = %v, want %v", tc.demands, got, tc.want)
+		}
+	}
+	if !(Device{}).FitsRes([]int{7}) {
+		t.Error("scalar device must admit any demand vector")
 	}
 }

@@ -109,6 +109,34 @@ func TestRegistryDispatchMatchesDirectCalls(t *testing.T) {
 			}
 		})
 	}
+
+	// R=1 equivalence: the same device with extra resource axes whose caps
+	// can never bind (the circuit stamps no demands, so every block total
+	// is 0) must reproduce the scalar trajectory bit-identically for every
+	// method. This is the resource-vector refactor's differential guard:
+	// the scalar path is the R=1 special case by construction, not by
+	// accident.
+	vdev := dev
+	vdev.Resources = []device.Resource{{Name: "DSP", Cap: 1 << 30}, {Name: "LUT", Cap: 1 << 30}}
+	for _, method := range Methods() {
+		t.Run(method+"/vector-r1", func(t *testing.T) {
+			scalar, err := RunOpts(ctx, method, h, dev, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vector, err := RunOpts(ctx, method, h, vdev, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if solutionKey(scalar.Partition) != solutionKey(vector.Partition) {
+				t.Errorf("%s: non-binding resource axes changed the trajectory", method)
+			}
+			if scalar.K != vector.K || scalar.Feasible != vector.Feasible {
+				t.Errorf("%s: K/Feasible drifted: scalar K=%d/%v vector K=%d/%v",
+					method, scalar.K, scalar.Feasible, vector.K, vector.Feasible)
+			}
+		})
+	}
 }
 
 // TestRunOptsErrorPaths covers the dispatch failure contract, table-driven

@@ -189,13 +189,14 @@ func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev devic
 // oversubscribe the machine. An unknown method is rejected (quoting the
 // registry) before any token is taken.
 func RunOpts(ctx context.Context, method string, h *hypergraph.Hypergraph, dev device.Device, opts Options) (*Result, error) {
-	eng, ok := engine.Lookup(method)
-	if !ok {
+	if _, ok := engine.Lookup(method); !ok {
 		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, Methods())
 	}
 	if err := opts.Budget.Acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer opts.Budget.Release()
-	return eng.Run(ctx, h, dev, opts)
+	// Dispatch through engine.Run, not the engine directly: the board
+	// feasibility gate (Options.Board) is applied there.
+	return engine.Run(ctx, method, h, dev, opts)
 }

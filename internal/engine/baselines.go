@@ -22,6 +22,7 @@ func (kwayxEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		BoardAware:   true,
 		Cost:         1,
 		Summary:      "k-way.x recursive bipartitioning baseline (Kuznar-Brglez-Kozminski)",
 	}
@@ -46,6 +47,7 @@ func (flowEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		BoardAware:   true,
 		Cost:         3,
 		Summary:      "FBB-MW flow-based peeling baseline (Liu-Wong max-flow min-cut)",
 	}
@@ -71,6 +73,7 @@ func (multilevelEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		BoardAware:   true,
 		Cost:         2,
 		Summary:      "multilevel coarsen/split/refine baseline (hMETIS-style V-cycles)",
 	}

@@ -20,6 +20,7 @@ func (fpartEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		BoardAware:   true,
 		Budgeted:     true,
 		Cost:         4,
 		Summary:      "guided iterative improvement of Krupnova & Saucier (the paper's algorithm)",
@@ -52,6 +53,7 @@ func (portfolioEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		BoardAware:   true,
 		Budgeted:     true,
 		Cost:         5,
 		Summary:      "races the core.DefaultPortfolio configuration mix, first K=M win cancels the rest",

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"fpart/internal/board"
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
@@ -51,6 +52,12 @@ type Capabilities struct {
 	// Budgeted engines draw extra concurrency tokens from Options.Budget
 	// (speculation, portfolio members) beyond the one the caller holds.
 	Budgeted bool
+	// BoardAware engines accept Options.Board: after the run the dispatch
+	// layer places the partition on the board and routes the cut nets
+	// (board.Route), demoting Result.Feasible when placement or routing
+	// fails. The gate is generic post-processing, so every registered
+	// engine sets it; a custom Engine that bypasses Run/Race does not.
+	BoardAware bool
 	// Cost ranks the engine's relative compute expense (1 = cheapest).
 	// It is the static prior of the fpartd degradation ladder: under
 	// load, admission control falls back from an expensive engine to a
@@ -94,6 +101,9 @@ func (c Capabilities) Flags() string {
 	if c.Budgeted {
 		out = append(out, "budgeted")
 	}
+	if c.BoardAware {
+		out = append(out, "board-aware")
+	}
 	if len(out) == 0 {
 		return "-"
 	}
@@ -115,6 +125,12 @@ type Options struct {
 	// engines draw extra tokens from. The caller is expected to hold one
 	// token for the run itself (driver.RunOpts acquires it).
 	Budget *core.Budget
+	// Board, when non-nil, turns the dispatch into a board-aware run: after
+	// the engine finishes, the partition is placed on the board and the cut
+	// nets are routed (board.Route). An unplaceable (more blocks than
+	// slots) or unroutable (a link over WiresPerLink) outcome demotes
+	// Result.Feasible; the routing report lands in Result.Board.
+	Board *board.Board
 }
 
 // Result is the outcome of one engine dispatch.
@@ -130,6 +146,10 @@ type Result struct {
 	Stats *obs.Stats
 	// Elapsed is the wall time of the run, measured by the engine itself.
 	Elapsed time.Duration
+	// Board is the board routing report of a board-aware run (Options.Board
+	// set); nil otherwise, and nil when the partition could not even be
+	// placed (Feasible is false in that case).
+	Board *board.Report
 }
 
 // Engine is one partitioning method behind the common contract described
@@ -254,5 +274,32 @@ func Run(ctx context.Context, method string, h *hypergraph.Hypergraph, dev devic
 	if !ok {
 		return nil, fmt.Errorf("unknown method %q (valid: %v)", method, Names())
 	}
-	return eng.Run(ctx, h, dev, opts)
+	if opts.Board != nil && !eng.Caps().BoardAware {
+		return nil, fmt.Errorf("method %q is not board-aware", method)
+	}
+	res, err := eng.Run(ctx, h, dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	gateBoard(res, opts.Board)
+	return res, nil
+}
+
+// gateBoard applies the post-peel board feasibility gate: place the result
+// on b and route the cut nets, demoting Feasible when the partition does
+// not fit the board's slots or its link capacities. A nil board is a no-op
+// (the plain flat-engine path).
+func gateBoard(res *Result, b *board.Board) {
+	if res == nil || b == nil || res.Partition == nil {
+		return
+	}
+	_, rep, err := board.Route(res.Partition, *b)
+	if err != nil {
+		res.Feasible = false
+		return
+	}
+	res.Board = &rep
+	if !rep.Routable {
+		res.Feasible = false
+	}
 }

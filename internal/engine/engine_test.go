@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"fpart/internal/board"
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
 )
@@ -73,9 +74,66 @@ func TestCapabilitiesFlags(t *testing.T) {
 	if got := (Capabilities{}).Flags(); got != "-" {
 		t.Errorf("empty caps: %q", got)
 	}
-	all := Capabilities{Cancellable: true, Instrumented: true, Budgeted: true}
-	if got := all.Flags(); got != "cancellable,instrumented,budgeted" {
+	all := Capabilities{Cancellable: true, Instrumented: true, Budgeted: true, BoardAware: true}
+	if got := all.Flags(); got != "cancellable,instrumented,budgeted,board-aware" {
 		t.Errorf("full caps: %q", got)
+	}
+}
+
+// TestBoardGating pins the post-peel board feasibility gate: the same
+// partition that is feasible on a crossbar (routing always succeeds) must
+// be rejected on a chain board whose per-link wire budget the routed cut
+// cannot meet, and on a board with fewer slots than blocks.
+func TestBoardGating(t *testing.T) {
+	h := ring(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+
+	xb := board.Board{Slots: 16, Topology: board.Crossbar}
+	res, err := Run(context.Background(), "fpart", h, dev, Options{Board: &xb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("crossbar-gated run infeasible: K=%d M=%d", res.K, res.M)
+	}
+	if res.Board == nil || !res.Board.Routable || res.Board.InterNets == 0 {
+		t.Fatalf("crossbar report: %+v", res.Board)
+	}
+
+	// The identical device constraints on a chain with one wire per link:
+	// the ring's cut nets overload the middle links, so the gate must
+	// demote the crossbar-feasible assignment.
+	ch := board.Board{Slots: 16, Topology: board.Chain, WiresPerLink: 1}
+	res2, err := Run(context.Background(), "fpart", h, dev, Options{Board: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Feasible {
+		t.Errorf("1-wire chain reported feasible (max link load %d)", res2.Board.MaxLinkLoad)
+	}
+	if res2.Board == nil || res2.Board.Routable || res2.Board.MaxLinkLoad < 2 {
+		t.Errorf("chain report: %+v", res2.Board)
+	}
+
+	// Unplaceable: more blocks than slots. No report, not feasible.
+	tiny := board.Board{Slots: 1, Topology: board.Chain}
+	res3, err := Run(context.Background(), "fpart", h, dev, Options{Board: &tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Feasible || res3.Board != nil {
+		t.Errorf("unplaceable run: feasible=%v report=%+v", res3.Feasible, res3.Board)
+	}
+}
+
+func TestRunRejectsBoardOnNonBoardAware(t *testing.T) {
+	registerFakes()
+	h := ring(t, 2, 4, 2)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	b := board.Board{Slots: 4, Topology: board.Crossbar}
+	_, err := Run(context.Background(), "test-fake-0", h, dev, Options{Board: &b})
+	if err == nil || !strings.Contains(err.Error(), "board-aware") {
+		t.Errorf("non-board-aware method with a board: %v", err)
 	}
 }
 

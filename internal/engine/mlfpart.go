@@ -20,6 +20,7 @@ func (mlfpartEngine) Caps() Capabilities {
 	return Capabilities{
 		Cancellable:  true,
 		Instrumented: true,
+		BoardAware:   true,
 		Budgeted:     true,
 		Cost:         2,
 		Summary:      "multilevel-accelerated FPART (coarsen, peel coarsest, refine down)",

@@ -52,6 +52,9 @@ func Race(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, memb
 		if !ok {
 			return nil, fmt.Errorf("unknown method %q (valid: %v)", m.Method, Names())
 		}
+		if m.Options.Board != nil && !eng.Caps().BoardAware {
+			return nil, fmt.Errorf("method %q is not board-aware", m.Method)
+		}
 		engines[i] = eng
 	}
 	runCtx, cancel := context.WithCancel(ctx)
@@ -75,6 +78,13 @@ func Race(ctx context.Context, h *hypergraph.Hypergraph, dev device.Device, memb
 	out := make([]slot, len(members))
 	runOne := func(i int) {
 		res, err := engines[i].Run(runCtx, h, dev, opts[i])
+		if err == nil {
+			// Board-aware members are gated here, not only in Run dispatch:
+			// runOne calls the engine directly, and the K=M early cancel
+			// below must see the post-gate feasibility, or a board-infeasible
+			// member could cancel members that would have routed.
+			gateBoard(res, opts[i].Board)
+		}
 		out[i] = slot{res, err}
 		if err == nil && res.Feasible && res.K == res.M {
 			cancel() // provably optimal: stop the losing members

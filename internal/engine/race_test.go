@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"fpart/internal/board"
 	"fpart/internal/core"
 	"fpart/internal/device"
 	"fpart/internal/hypergraph"
@@ -125,6 +126,43 @@ func TestRaceCancelsLosers(t *testing.T) {
 	}
 	if got := cancelled.Load(); got != 3 {
 		t.Fatalf("want all 3 losing members cancelled, got %d", got)
+	}
+}
+
+// TestRaceBoardAwareMembers races the same method under two board gates:
+// the member on the over-constrained chain is demoted to infeasible inside
+// runOne, so the crossbar member must win even though both produce the
+// same partition.
+func TestRaceBoardAwareMembers(t *testing.T) {
+	h := ring(t, 4, 10, 4)
+	dev := device.Device{Name: "d", DatasheetCells: 13, Pins: 30, Fill: 1.0}
+	budget := core.NewBudget(2)
+	if !budget.TryAcquire() {
+		t.Fatal("fresh budget refused a token")
+	}
+	defer budget.Release()
+
+	ch := board.Board{Slots: 16, Topology: board.Chain, WiresPerLink: 1}
+	xb := board.Board{Slots: 16, Topology: board.Crossbar}
+	members := []Member{
+		{Method: "fpart", Options: Options{Board: &ch}},
+		{Method: "fpart", Options: Options{Board: &xb}},
+	}
+	res, err := Race(context.Background(), h, dev, members, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("crossbar member should have won feasible")
+	}
+	if res.Board == nil || !res.Board.Routable {
+		t.Fatalf("winner's board report: %+v", res.Board)
+	}
+
+	registerFakes()
+	badMembers := []Member{{Method: "test-fake-0", Options: Options{Board: &xb}}}
+	if _, err := Race(context.Background(), h, dev, badMembers, budget); err == nil || !strings.Contains(err.Error(), "board-aware") {
+		t.Errorf("non-board-aware member with a board: %v", err)
 	}
 }
 

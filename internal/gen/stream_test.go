@@ -26,7 +26,7 @@ func TestStreamPHGMatchesWritePHG(t *testing.T) {
 		if err := netlist.WritePHG(&want, Synthetic(tc.n, tc.pads, tc.seed, tc.seq)); err != nil {
 			t.Fatal(err)
 		}
-		if err := StreamPHG(&got, tc.n, tc.pads, tc.seed, tc.seq); err != nil {
+		if err := StreamPHG(&got, tc.n, tc.pads, tc.seed, tc.seq, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(want.Bytes(), got.Bytes()) {
@@ -49,10 +49,79 @@ func TestStreamPHGMatchesWritePHG(t *testing.T) {
 	}
 }
 
+// TestStreamPHGResourceStamps pins the -resources contract: stamping is
+// deterministic (two runs agree byte for byte), the demand totals land
+// near 1/Period of the cells, and the annotated output parses back with
+// the resource columns intact.
+func TestStreamPHGResourceStamps(t *testing.T) {
+	stamps := []ResStamp{{Name: "DSP", Period: 16}, {Name: "BRAM", Period: 64}}
+	var a, b bytes.Buffer
+	if err := StreamPHG(&a, 1000, 40, 3, false, stamps); err != nil {
+		t.Fatal(err)
+	}
+	if err := StreamPHG(&b, 1000, 40, 3, false, stamps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resource stamping is not deterministic")
+	}
+	h, err := netlist.ReadPHG(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := h.NumInterior()
+	for _, st := range stamps {
+		got := h.TotalResource(st.Name)
+		want := cells / st.Period
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s: %d demands over %d cells, want about %d (period %d)",
+				st.Name, got, cells, want, st.Period)
+		}
+	}
+	// Unstamped output is byte-identical to the nil-stamps stream: the
+	// flag must not perturb the topology.
+	var plain, empty bytes.Buffer
+	if err := StreamPHG(&plain, 200, 10, 3, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := StreamPHG(&empty, 200, 10, 3, false, []ResStamp{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), empty.Bytes()) {
+		t.Fatal("empty stamp list changed the output")
+	}
+}
+
+func TestParseStamps(t *testing.T) {
+	stamps, err := ParseStamps("DSP:16,BRAM:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 2 || stamps[0] != (ResStamp{"DSP", 16}) || stamps[1] != (ResStamp{"BRAM", 64}) {
+		t.Fatalf("parsed %+v", stamps)
+	}
+	if s, err := ParseStamps(""); err != nil || s != nil {
+		t.Errorf("empty spec: %v %v", s, err)
+	}
+	for spec, wantSub := range map[string]string{
+		"DSP":            `malformed resource token "DSP"`,
+		"DSP:16,DSP:8":   `duplicate resource name in token "DSP:8"`,
+		"DSP:many":       `not an integer`,
+		"DSP:0":          `must be positive in token "DSP:0"`,
+		"DSP:16,:4":      "malformed resource token",
+		"DSP:16,BRAM:-2": `must be positive in token "BRAM:-2"`,
+	} {
+		_, err := ParseStamps(spec)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("ParseStamps(%q) = %v, want error containing %q", spec, err, wantSub)
+		}
+	}
+}
+
 // Streamed output must parse back into the same graph shape.
 func TestStreamPHGRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := StreamPHG(&buf, 300, 24, 5, true); err != nil {
+	if err := StreamPHG(&buf, 300, 24, 5, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	h, err := netlist.ReadPHG(&buf)

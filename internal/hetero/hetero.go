@@ -96,7 +96,7 @@ func Partition(h *hypergraph.Hypergraph, menu []Priced, cfg core.Config) (*Resul
 		if !r.Feasible {
 			continue
 		}
-		cand := rightsize(r.Partition, anchor, byPrice)
+		cand := Rightsize(r.Partition, anchor, byPrice)
 		if best == nil || cand.TotalCost < best.TotalCost {
 			best = cand
 		}
@@ -108,9 +108,48 @@ func Partition(h *hypergraph.Hypergraph, menu []Priced, cfg core.Config) (*Resul
 	return best, nil
 }
 
-// rightsize assigns each non-empty block the cheapest fitting device.
-func rightsize(p *partition.Partition, anchor Priced, byPrice []Priced) *Result {
+// Rightsize assigns each non-empty block of p the cheapest device of the
+// menu that fits it. A candidate fits when the block's size, terminal, and
+// aux totals meet the scalar datasheet constraints AND every resource axis
+// the candidate declares a cap for (vector-priced menus: a block that fits
+// device A's LUT budget but exceeds its DSP cap must not rightsize into
+// A). Resources a candidate does not declare are unconstrained on it,
+// mirroring device.FitsRes. byPrice must be sorted cheapest-first;
+// Partition prepares it that way.
+func Rightsize(p *partition.Partition, anchor Priced, byPrice []Priced) *Result {
 	res := &Result{Partition: p, Anchor: anchor, Feasible: true}
+	// Per-block demand totals for every resource name any menu device
+	// caps, accumulated in one pass per named column over the hypergraph
+	// (the partition itself only tracks the anchor device's axes).
+	h := p.Hypergraph()
+	demand := map[string][]int{}
+	for _, d := range byPrice {
+		for _, r := range d.Resources {
+			if _, done := demand[r.Name]; done {
+				continue
+			}
+			col := h.ResourceColumn(r.Name)
+			tot := make([]int, p.NumBlocks())
+			if col != nil {
+				for v, dem := range col {
+					if dem > 0 {
+						if b := p.Block(hypergraph.NodeID(v)); b >= 0 {
+							tot[b] += int(dem)
+						}
+					}
+				}
+			}
+			demand[r.Name] = tot
+		}
+	}
+	resFits := func(d Priced, b partition.BlockID) bool {
+		for _, r := range d.Resources {
+			if demand[r.Name][b] > r.Cap {
+				return false
+			}
+		}
+		return true
+	}
 	for b := 0; b < p.NumBlocks(); b++ {
 		id := partition.BlockID(b)
 		if p.Nodes(id) == 0 {
@@ -119,7 +158,7 @@ func rightsize(p *partition.Partition, anchor Priced, byPrice []Priced) *Result 
 		res.K++
 		assigned := false
 		for _, d := range byPrice {
-			if d.FitsFull(p.Size(id), p.Terminals(id), p.Aux(id)) {
+			if d.FitsFull(p.Size(id), p.Terminals(id), p.Aux(id)) && resFits(d, id) {
 				res.Blocks = append(res.Blocks, BlockAssignment{
 					Block: id, Device: d, Size: p.Size(id), Terminals: p.Terminals(id),
 				})

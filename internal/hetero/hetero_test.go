@@ -56,6 +56,64 @@ func TestRightsizingPicksCheapest(t *testing.T) {
 	}
 }
 
+// TestRightsizeRespectsResourceVectors pins the vector-menu rule: a block
+// whose LUT demand fits the cheap device A but whose DSP demand exceeds
+// A's cap must rightsize into the pricier B, even though every scalar
+// constraint of A is met.
+func TestRightsizeRespectsResourceVectors(t *testing.T) {
+	var b hypergraph.Builder
+	var set []hypergraph.NodeID
+	for i := 0; i < 4; i++ {
+		set = append(set, b.AddInterior("v", 1))
+	}
+	for i := 0; i+1 < 4; i++ {
+		b.AddNet("e", set[i], set[i+1])
+	}
+	b.SetResource(set[0], "LUT", 2)
+	b.SetResource(set[1], "DSP", 3) // block total: 3 DSP > A's cap of 2
+	h := b.MustBuild()
+
+	devA := device.Device{Name: "A", Family: device.XC3000, DatasheetCells: 50, Pins: 64, Fill: 1.0,
+		Resources: []device.Resource{{Name: "DSP", Cap: 2}, {Name: "LUT", Cap: 10}}}
+	devB := device.Device{Name: "B", Family: device.XC3000, DatasheetCells: 50, Pins: 64, Fill: 1.0,
+		Resources: []device.Resource{{Name: "DSP", Cap: 8}, {Name: "LUT", Cap: 10}}}
+	menu := []Priced{{Device: devA, Cost: 1.0}, {Device: devB, Cost: 3.0}}
+
+	r, err := Partition(h, menu, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.K != 1 {
+		t.Fatalf("want one feasible block, got K=%d feasible=%v", r.K, r.Feasible)
+	}
+	if got := r.Blocks[0].Device.Name; got != "B" {
+		t.Errorf("rightsized into %s, want B (A's DSP cap is 2 < demand 3)", got)
+	}
+	if r.TotalCost != 3.0 {
+		t.Errorf("TotalCost = %v, want 3.0", r.TotalCost)
+	}
+
+	// Control: drop the DSP demand below A's cap and A must win again.
+	var b2 hypergraph.Builder
+	var set2 []hypergraph.NodeID
+	for i := 0; i < 4; i++ {
+		set2 = append(set2, b2.AddInterior("v", 1))
+	}
+	for i := 0; i+1 < 4; i++ {
+		b2.AddNet("e", set2[i], set2[i+1])
+	}
+	b2.SetResource(set2[0], "LUT", 2)
+	b2.SetResource(set2[1], "DSP", 2)
+	h2 := b2.MustBuild()
+	r2, err := Partition(h2, menu, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Blocks[0].Device.Name; got != "A" {
+		t.Errorf("control rightsized into %s, want A", got)
+	}
+}
+
 func TestMenuValidation(t *testing.T) {
 	var b hypergraph.Builder
 	v0 := b.AddInterior("a", 1)

@@ -93,6 +93,16 @@ type Hypergraph struct {
 	nodeAux  []int32
 	nodeKind []NodeKind
 
+	// Named resource-demand columns (LUT/FF/DSP/...): resCols[i] is a
+	// packed per-node demand array for the resource named resNames[i],
+	// laid out like nodeSize. Columns exist only when the netlist declares
+	// demands; circuits without them (every paper benchmark) carry none,
+	// so the scalar R=1 paths never touch this memory. Names are sorted,
+	// so column order is deterministic regardless of insertion order.
+	resNames  []string
+	resCols   [][]int32
+	resTotals []int
+
 	totalSize int
 	totalAux  int
 	numPads   int
@@ -167,6 +177,42 @@ func (h *Hypergraph) AuxOf(v NodeID) int { return int(h.nodeAux[v]) }
 // the hot-path equivalent of Node(v).Kind.
 func (h *Hypergraph) KindOf(v NodeID) NodeKind { return h.nodeKind[v] }
 
+// ResourceNames lists the resource-demand columns present in the netlist,
+// sorted. The slice must not be modified.
+func (h *Hypergraph) ResourceNames() []string { return h.resNames }
+
+// ResourceColumn returns the packed per-node demand array for the named
+// resource, or nil when the netlist declares no such column (every node
+// demands zero). The slice must not be modified.
+func (h *Hypergraph) ResourceColumn(name string) []int32 {
+	for i, n := range h.resNames {
+		if n == name {
+			return h.resCols[i]
+		}
+	}
+	return nil
+}
+
+// TotalResource returns the summed demand for the named resource over all
+// nodes (zero for unknown columns).
+func (h *Hypergraph) TotalResource(name string) int {
+	for i, n := range h.resNames {
+		if n == name {
+			return h.resTotals[i]
+		}
+	}
+	return 0
+}
+
+// ResourceOf returns node v's demand for the named resource (zero when no
+// such column exists). Hot paths bind ResourceColumn once instead.
+func (h *Hypergraph) ResourceOf(v NodeID, name string) int {
+	if col := h.ResourceColumn(name); col != nil {
+		return int(col[v])
+	}
+	return 0
+}
+
 // NodeIDs returns all node IDs in increasing order.
 func (h *Hypergraph) NodeIDs() []NodeID {
 	ids := make([]NodeID, len(h.nodes))
@@ -210,6 +256,9 @@ type Builder struct {
 	nodes  []Node
 	nets   []Net
 	byName map[string]NodeID
+	// res holds sparse per-resource demands until Build packs them into
+	// dense columns; most circuits never touch it.
+	res map[string]map[NodeID]int32
 }
 
 // AddNode appends a node and returns its ID. Pads are forced to size zero;
@@ -249,6 +298,24 @@ func (b *Builder) SetAux(id NodeID, aux int) {
 		aux = 0
 	}
 	b.nodes[id].Aux = aux
+}
+
+// SetResource records node id's demand for a named resource axis (DSP,
+// BRAM, ...). Non-positive demands are dropped — absent means zero. The
+// column comes into existence with its first positive demand.
+func (b *Builder) SetResource(id NodeID, name string, demand int) {
+	if demand <= 0 || name == "" {
+		return
+	}
+	if b.res == nil {
+		b.res = make(map[string]map[NodeID]int32)
+	}
+	col := b.res[name]
+	if col == nil {
+		col = make(map[NodeID]int32)
+		b.res[name] = col
+	}
+	col[id] = int32(demand)
 }
 
 // NodeByName returns the ID of the first node added with the given name.
@@ -358,6 +425,31 @@ func (b *Builder) Build() (*Hypergraph, error) {
 		h.totalAux += nd.Aux
 		if d := len(nd.Nets); d > h.maxDegree {
 			h.maxDegree = d
+		}
+	}
+
+	// Pack sparse builder demands into dense per-resource columns, in
+	// sorted name order for a canonical layout.
+	if len(b.res) > 0 {
+		h.resNames = make([]string, 0, len(b.res))
+		for name := range b.res {
+			h.resNames = append(h.resNames, name)
+		}
+		sort.Strings(h.resNames)
+		h.resCols = make([][]int32, len(h.resNames))
+		h.resTotals = make([]int, len(h.resNames))
+		for i, name := range h.resNames {
+			col := make([]int32, n)
+			total := 0
+			for id, d := range b.res[name] {
+				if int(id) >= n {
+					return nil, fmt.Errorf("hypergraph: resource %s demand on unknown node %d", name, id)
+				}
+				col[id] = d
+				total += int(d)
+			}
+			h.resCols[i] = col
+			h.resTotals[i] = total
 		}
 	}
 	return h, nil
@@ -493,6 +585,11 @@ func (h *Hypergraph) Induced(nodes []NodeID) (*Hypergraph, []NodeID) {
 		n := &h.nodes[v]
 		id := b.AddNode(n.Name, n.Kind, n.Size)
 		b.SetAux(id, n.Aux)
+		for ri, name := range h.resNames {
+			if d := h.resCols[ri][v]; d > 0 {
+				b.SetResource(id, name, int(d))
+			}
+		}
 		newID[v] = id
 		back = append(back, v)
 	}

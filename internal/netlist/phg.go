@@ -23,22 +23,36 @@ import (
 // WritePHG serializes the hypergraph in PHG form:
 //
 //	phg
-//	node <name> <size>
+//	node <name> <size> [RES:DEMAND...]
 //	pad <name>
 //	net <name> <node-index>...
 //
 // Nodes are referenced by zero-based index to keep files compact and to
 // avoid requiring unique names. Lines beginning with '#' are comments.
+// The optional trailing NAME:DEMAND tokens on a node line declare the
+// node's demand on named resource axes (DSP, BRAM, ...); absent tokens
+// mean zero, so scalar netlists are written and parsed exactly as before.
 func WritePHG(w io.Writer, h *hypergraph.Hypergraph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "phg")
 	fmt.Fprintf(bw, "# nodes=%d nets=%d\n", h.NumNodes(), h.NumNets())
+	resNames := h.ResourceNames()
+	resCols := make([][]int32, len(resNames))
+	for i, name := range resNames {
+		resCols[i] = h.ResourceColumn(name)
+	}
 	for i := 0; i < h.NumNodes(); i++ {
 		n := h.Node(hypergraph.NodeID(i))
 		if n.Kind == hypergraph.Pad {
 			fmt.Fprintf(bw, "pad %s\n", sanitizeName(n.Name, i))
 		} else {
-			fmt.Fprintf(bw, "node %s %d\n", sanitizeName(n.Name, i), n.Size)
+			fmt.Fprintf(bw, "node %s %d", sanitizeName(n.Name, i), n.Size)
+			for ri, col := range resCols {
+				if d := col[i]; d > 0 {
+					fmt.Fprintf(bw, " %s:%d", resNames[ri], d)
+				}
+			}
+			fmt.Fprintln(bw)
 		}
 	}
 	for e := 0; e < h.NumNets(); e++ {
@@ -92,7 +106,7 @@ func ReadPHGLimits(r io.Reader, lim Limits) (*hypergraph.Hypergraph, error) {
 		case "phg":
 			sawHeader = true
 		case "node":
-			if len(fields) != 3 {
+			if len(fields) < 3 {
 				return nil, fmt.Errorf("phg line %d: node wants 2 args", lineNo)
 			}
 			size, err := strconv.Atoi(fields[2])
@@ -102,7 +116,19 @@ func ReadPHGLimits(r io.Reader, lim Limits) (*hypergraph.Hypergraph, error) {
 			if b.NumNodes() >= lim.MaxNodes {
 				return nil, &LimitError{Format: "phg", Quantity: "nodes", Limit: lim.MaxNodes}
 			}
-			b.AddInterior(fields[1], size)
+			id := b.AddInterior(fields[1], size)
+			// Optional trailing NAME:DEMAND resource tokens.
+			for _, tok := range fields[3:] {
+				name, demStr, ok := strings.Cut(tok, ":")
+				if !ok || name == "" {
+					return nil, fmt.Errorf("phg line %d: bad resource token %q (want NAME:DEMAND)", lineNo, tok)
+				}
+				dem, err := strconv.Atoi(demStr)
+				if err != nil || dem < 0 {
+					return nil, fmt.Errorf("phg line %d: bad resource demand %q", lineNo, tok)
+				}
+				b.SetResource(id, name, dem)
+			}
 		case "pad":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("phg line %d: pad wants 1 arg", lineNo)

@@ -76,6 +76,16 @@ type Partition struct {
 	// the partition's lifetime): SMax() redoes float arithmetic on every
 	// call, too slow for the per-move aggregate update.
 	smax, tmax, auxCap int
+
+	// Resource-vector state, active only when the device declares extra
+	// resource axes (nres > 0). Scalar devices keep nres == 0 and every
+	// pre-vector code path — Move, aggUpdate, Feasible, Distance — runs
+	// exactly as before: the R=1 fast path is one predicate test per call.
+	nres     int       // extra resource axes beyond the primary size axis
+	resCaps  []int     // per-axis cap, from dev.Resources
+	resOf    [][]int32 // per-axis packed node demand column (nil = all-zero)
+	blockRes []int     // per-block demand totals, nres-stride rows: [b*nres+r]
+	resOver  []int     // Σ_b max(0, blockRes[b][r] − cap_r), per axis
 }
 
 func max0(x int) int {
@@ -175,6 +185,22 @@ func (p *Partition) Reset(h *hypergraph.Hypergraph, dev device.Device) {
 	p.cut = 0
 	p.moves = 0
 	p.ebM, p.ebNum = 0, 0
+
+	// Bind the device's extra resource axes to the netlist's demand
+	// columns by name; a missing column means every node demands zero.
+	p.nres = len(dev.Resources)
+	p.resCaps = p.resCaps[:0]
+	p.resOf = p.resOf[:0]
+	p.blockRes = p.blockRes[:0]
+	p.resOver = p.resOver[:0]
+	for _, r := range dev.Resources {
+		p.resCaps = append(p.resCaps, r.Cap)
+		p.resOf = append(p.resOf, h.ResourceColumn(r.Name))
+		total := h.TotalResource(r.Name)
+		p.blockRes = append(p.blockRes, total)
+		p.resOver = append(p.resOver, max0(total-r.Cap))
+	}
+
 	p.feasCount = 0
 	p.termSum = p.Terminals(0)
 	p.sizeOver = max0(p.blockSize[0] - p.smax)
@@ -203,6 +229,11 @@ func (p *Partition) CopyFrom(src *Partition) {
 	p.blockPins = append(p.blockPins[:0], src.blockPins...)
 	p.spans = append(p.spans[:0], src.spans...)
 	p.netTouch = append(p.netTouch[:0], src.netTouch...)
+	p.nres = src.nres
+	p.resCaps = append(p.resCaps[:0], src.resCaps...)
+	p.resOf = append(p.resOf[:0], src.resOf...)
+	p.blockRes = append(p.blockRes[:0], src.blockRes...)
+	p.resOver = append(p.resOver[:0], src.resOver...)
 	p.cut = src.cut
 	p.moves = src.moves
 	p.feasCount = src.feasCount
@@ -233,6 +264,9 @@ func (p *Partition) AddBlock() BlockID {
 	p.blockCutInc = append(p.blockCutInc, 0)
 	p.blockPads = append(p.blockPads, 0)
 	p.blockNodes = append(p.blockNodes, 0)
+	for r := 0; r < p.nres; r++ {
+		p.blockRes = append(p.blockRes, 0)
+	}
 	p.feasCount++ // an empty block always meets the constraints
 	if p.ebM > 0 {
 		p.ebNum += p.h.NumPads() // max(0, |Y0| − m·0)
@@ -260,6 +294,31 @@ func (p *Partition) Size(b BlockID) int { return p.blockSize[b] }
 
 // Aux returns the secondary-resource demand of block b.
 func (p *Partition) Aux(b BlockID) int { return p.blockAux[b] }
+
+// NumRes returns the number of extra resource axes (beyond the primary
+// size axis) the bound device declares; zero for scalar parts.
+func (p *Partition) NumRes() int { return p.nres }
+
+// ResCap returns the capacity of extra resource axis r.
+func (p *Partition) ResCap(r int) int { return p.resCaps[r] }
+
+// Res returns block b's demand total on extra resource axis r.
+func (p *Partition) Res(b BlockID, r int) int { return p.blockRes[int(b)*p.nres+r] }
+
+// ResDemandOf returns node v's demand on extra resource axis r.
+func (p *Partition) ResDemandOf(v hypergraph.NodeID, r int) int {
+	if col := p.resOf[r]; col != nil {
+		return int(col[v])
+	}
+	return 0
+}
+
+// BlockResources appends block b's extra-resource demand totals to dst in
+// device.Resources order and returns it — the shape device.FitsRes wants.
+func (p *Partition) BlockResources(b BlockID, dst []int) []int {
+	row := int(b) * p.nres
+	return append(dst, p.blockRes[row:row+p.nres]...)
+}
 
 // Terminals returns T_i = cut-incident nets + pads of block b.
 func (p *Partition) Terminals(b BlockID) int { return p.blockCutInc[b] + p.blockPads[b] }
@@ -384,12 +443,32 @@ func (p *Partition) MoveTrace(v hypergraph.NodeID, to BlockID, buf []NetDelta) [
 	size, aux := p.h.SizeOf(v), p.h.AuxOf(v)
 	oldFromS, oldFromT, oldFromAux := p.blockSize[from], p.Terminals(from), p.blockAux[from]
 	oldToS, oldToT, oldToAux := p.blockSize[to], p.Terminals(to), p.blockAux[to]
+	oldFromResOK, oldToResOK := true, true
 	p.blockSize[from] -= size
 	p.blockSize[to] += size
 	p.blockAux[from] -= aux
 	p.blockAux[to] += aux
 	p.blockNodes[from]--
 	p.blockNodes[to]++
+	if p.nres > 0 {
+		oldFromResOK, oldToResOK = p.resOK(from), p.resOK(to)
+		fr, tr := int(from)*p.nres, int(to)*p.nres
+		for r := 0; r < p.nres; r++ {
+			col := p.resOf[r]
+			if col == nil {
+				continue
+			}
+			d := int(col[v])
+			if d == 0 {
+				continue
+			}
+			c := p.resCaps[r]
+			oldF, oldT := p.blockRes[fr+r], p.blockRes[tr+r]
+			p.blockRes[fr+r] = oldF - d
+			p.blockRes[tr+r] = oldT + d
+			p.resOver[r] += max0(oldF-d-c) - max0(oldF-c) + max0(oldT+d-c) - max0(oldT-c)
+		}
+	}
 	if p.h.KindOf(v) == hypergraph.Pad {
 		if p.ebM > 0 {
 			pads, m := p.h.NumPads(), p.ebM
@@ -449,21 +528,24 @@ func (p *Partition) MoveTrace(v hypergraph.NodeID, to BlockID, buf []NetDelta) [
 		}
 	}
 
-	p.aggUpdate(from, oldFromS, oldFromT, oldFromAux)
-	p.aggUpdate(to, oldToS, oldToT, oldToAux)
+	p.aggUpdate(from, oldFromS, oldFromT, oldFromAux, oldFromResOK)
+	p.aggUpdate(to, oldToS, oldToT, oldToAux, oldToResOK)
 	return buf
 }
 
 // aggUpdate folds one block's state change into the incremental cost
-// aggregates, given its pre-move size, terminals, and aux demand.
-func (p *Partition) aggUpdate(b BlockID, oldS, oldT, oldAux int) {
+// aggregates, given its pre-move size, terminals, aux demand, and (for
+// R>1 devices) whether its resource vector fit before the move. Scalar
+// devices always pass oldResOK=true and resOK() is a constant-true test,
+// so the R=1 behavior is unchanged.
+func (p *Partition) aggUpdate(b BlockID, oldS, oldT, oldAux int, oldResOK bool) {
 	newS, newT, newAux := p.blockSize[b], p.Terminals(b), p.blockAux[b]
 	smax, tmax := p.smax, p.tmax
 	p.sizeOver += max0(newS-smax) - max0(oldS-smax)
 	p.termOver += max0(newT-tmax) - max0(oldT-tmax)
 	p.termSum += newT - oldT
-	wasFeas := p.fitsFull(oldS, oldT, oldAux)
-	isFeas := p.fitsFull(newS, newT, newAux)
+	wasFeas := oldResOK && p.fitsFull(oldS, oldT, oldAux)
+	isFeas := p.resOK(b) && p.fitsFull(newS, newT, newAux)
 	if wasFeas != isFeas {
 		if isFeas {
 			p.feasCount++
@@ -520,9 +602,25 @@ func (p *Partition) Restore(s Snapshot) {
 }
 
 // Feasible reports whether block b meets the device constraints (P ⊨ D),
-// including the secondary-resource bound when the device declares one.
+// including the secondary-resource bound when the device declares one and
+// every extra resource axis for R>1 devices.
 func (p *Partition) Feasible(b BlockID) bool {
-	return p.fitsFull(p.blockSize[b], p.Terminals(b), p.blockAux[b])
+	return p.resOK(b) && p.fitsFull(p.blockSize[b], p.Terminals(b), p.blockAux[b])
+}
+
+// resOK reports whether block b's extra-resource totals fit the device's
+// resource vector, componentwise. Constant true for scalar devices.
+func (p *Partition) resOK(b BlockID) bool {
+	if p.nres == 0 {
+		return true
+	}
+	row := int(b) * p.nres
+	for r := 0; r < p.nres; r++ {
+		if p.blockRes[row+r] > p.resCaps[r] {
+			return false
+		}
+	}
+	return true
 }
 
 // fitsFull is device.FitsFull against the cached capacities.
@@ -598,6 +696,13 @@ func (p *Partition) BlockDistance(b BlockID, cp CostParams) float64 {
 	if tc := p.Terminals(b); tc > tmax {
 		d += cp.LambdaT * float64(tc-tmax) / float64(tmax)
 	}
+	// §3.3 generalizes componentwise: each extra resource axis contributes
+	// a size-style relative-overflow term, weighted like the size axis.
+	for r := 0; r < p.nres; r++ {
+		if over := p.blockRes[int(b)*p.nres+r] - p.resCaps[r]; over > 0 {
+			d += cp.LambdaS * float64(over) / float64(p.resCaps[r])
+		}
+	}
 	return d
 }
 
@@ -616,6 +721,13 @@ func (p *Partition) Distance(cp CostParams, remainder BlockID, m int) float64 {
 	}
 	if p.termOver > 0 {
 		d += cp.LambdaT * float64(p.termOver) / float64(p.tmax)
+	}
+	// Componentwise per-resource overflow terms; resOver is maintained
+	// incrementally by Move so this stays O(R) per query (R=0 for scalar).
+	for r := 0; r < p.nres; r++ {
+		if ov := p.resOver[r]; ov > 0 {
+			d += cp.LambdaS * float64(ov) / float64(p.resCaps[r])
+		}
 	}
 	if remainder != NoBlock {
 		d += cp.LambdaR * p.SizeDeviation(remainder, m)
@@ -806,6 +918,24 @@ func (p *Partition) Validate() error {
 		}
 		if n != p.ebNum {
 			return fmt.Errorf("external-balance numerator %d (m=%d), recomputed %d", p.ebNum, p.ebM, n)
+		}
+	}
+	for r := 0; r < p.nres; r++ {
+		want := make([]int, p.k)
+		if col := p.resOf[r]; col != nil {
+			for v := 0; v < p.h.NumNodes(); v++ {
+				want[p.assign[v]] += int(col[v])
+			}
+		}
+		over := 0
+		for b := 0; b < p.k; b++ {
+			if want[b] != p.blockRes[b*p.nres+r] {
+				return fmt.Errorf("block %d resource %d: total %d, recomputed %d", b, r, p.blockRes[b*p.nres+r], want[b])
+			}
+			over += max0(want[b] - p.resCaps[r])
+		}
+		if over != p.resOver[r] {
+			return fmt.Errorf("resource %d overflow %d, recomputed %d", r, p.resOver[r], over)
 		}
 	}
 	return nil

@@ -518,3 +518,85 @@ func BenchmarkMove(b *testing.B) {
 		p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(8)))
 	}
 }
+
+// Property: with R>1 resource axes, incremental per-block resource totals
+// and the overflow sums match a from-scratch recomputation after any random
+// move sequence, and snapshots round-trip the vector state exactly.
+func TestQuickResourceVectorsMatchRecompute(t *testing.T) {
+	vdev := device.Device{Name: "V", DatasheetCells: 10, Pins: 4, Fill: 1.0,
+		Resources: []device.Resource{{Name: "FF", Cap: 7}, {Name: "DSP", Cap: 3}}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b hypergraph.Builder
+		n := 4 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			if r.Intn(6) == 0 {
+				b.AddPad("p")
+			} else {
+				id := b.AddInterior("v", 1+r.Intn(3))
+				if r.Intn(2) == 0 {
+					b.SetResource(id, "FF", 1+r.Intn(3))
+				}
+				if r.Intn(3) == 0 {
+					b.SetResource(id, "DSP", 1+r.Intn(2))
+				}
+			}
+		}
+		for e := 0; e < 2+r.Intn(40); e++ {
+			deg := 2 + r.Intn(4)
+			pins := make([]hypergraph.NodeID, deg)
+			for i := range pins {
+				pins[i] = hypergraph.NodeID(r.Intn(n))
+			}
+			b.AddNet("e", pins...)
+		}
+		h := b.MustBuild()
+		p := New(h, vdev)
+		if p.NumRes() != 2 {
+			t.Fatalf("NumRes = %d, want 2", p.NumRes())
+		}
+		k := 2 + r.Intn(5)
+		for i := 1; i < k; i++ {
+			p.AddBlock()
+		}
+		for m := 0; m < 60; m++ {
+			p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(k)))
+			if r.Intn(10) == 0 {
+				if err := p.Validate(); err != nil {
+					t.Logf("seed %d move %d: %v", seed, m, err)
+					return false
+				}
+			}
+		}
+		// Feasible must agree with an explicit componentwise check.
+		for blk := 0; blk < k; blk++ {
+			id := BlockID(blk)
+			want := p.Size(id) <= 10 && p.Terminals(id) <= 4 &&
+				p.Res(id, 0) <= 7 && p.Res(id, 1) <= 3
+			if got := p.Feasible(id); got != want {
+				t.Logf("seed %d block %d: Feasible=%v, componentwise=%v", seed, blk, got, want)
+				return false
+			}
+		}
+		// Snapshot must round-trip the vector totals via move replay.
+		snap := p.Snapshot()
+		before := make([]int, 0, 2*k)
+		for blk := 0; blk < k; blk++ {
+			before = append(before, p.Res(BlockID(blk), 0), p.Res(BlockID(blk), 1))
+		}
+		for m := 0; m < 30; m++ {
+			p.Move(hypergraph.NodeID(r.Intn(n)), BlockID(r.Intn(k)))
+		}
+		p.Restore(snap)
+		for blk := 0; blk < k; blk++ {
+			if p.Res(BlockID(blk), 0) != before[2*blk] || p.Res(BlockID(blk), 1) != before[2*blk+1] {
+				t.Logf("seed %d: restore drifted block %d resources", seed, blk)
+				return false
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

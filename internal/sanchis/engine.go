@@ -172,6 +172,26 @@ type Engine struct {
 	// admissibility test of the selection loop.
 	szOf []int32
 
+	// Resource-vector window state (nres > 0 only; all empty for scalar
+	// devices, whose selection loop pays exactly one nres==0 test per
+	// candidate). The §3.5 upper window generalizes componentwise: a move
+	// into non-remainder block T is admissible only if T's demand total
+	// stays within resUpInt[r] on every axis r. To keep the per-candidate
+	// test O(1) instead of O(R), each cell carries a packed
+	// dominant-resource bound resPack[v] = max_r ⌈demand_r(v)·SCALE/C_r⌉
+	// and each direction a packed headroom packHead = min_r
+	// ⌊headroom_r·SCALE/C_r⌋. The cache keys stay integers, and the packed
+	// accept is exact-sound by the same argument as winLowInt:
+	// ⌈a·SCALE/C⌉ ≤ ⌊b·SCALE/C⌋ implies a·SCALE/C ≤ b·SCALE/C implies
+	// a ≤ b (SCALE/C > 0), so a packed accept never admits an overflowing
+	// move. A packed reject can be spurious (demand and headroom may
+	// dominate on different axes), so it falls back to the exact
+	// componentwise test — outcomes are identical to the slow path.
+	nres      int
+	resUpInt  []int   // per-axis integer upper limit (cap, relaxed ×Upper while allowOver)
+	resMinDem []int   // per-axis minimum demand over all nodes (retirement test)
+	resPack   []int32 // per-node packed dominant-resource demand bound
+
 	// buckets[d] points into slab, which backs every direction's gain
 	// bucket with one shared allocation family (cache-adjacent, one Clear
 	// pass per initPass instead of per-bucket rebuilds).
@@ -483,6 +503,16 @@ func (e *Engine) gain2(v hypergraph.NodeID, f, t partition.BlockID) int {
 // scan of the direction (sizes only change when a move is applied).
 type dirWindow struct {
 	szMax int
+	// Resource-vector fields, meaningful only when the engine's nres > 0:
+	// packHead is the destination's packed dominant-resource headroom (see
+	// the resPack field comment for the exactness argument), t the
+	// destination block for the exact fallback test, and closed marks a
+	// retired direction — some resource axis has zero headroom while every
+	// candidate cell demands at least one unit of it, so no candidate can
+	// be admissible and the selection loop skips the bucket entirely.
+	packHead int32
+	t        partition.BlockID
+	closed   bool
 }
 
 // dirWindowFor freezes the §3.5 bounds for moves from F to T, reduced to
@@ -493,12 +523,31 @@ type dirWindow struct {
 // block sizes are exactly representable, so the reduction cannot flip a
 // borderline decision.
 func (e *Engine) dirWindowFor(f, t partition.BlockID) dirWindow {
-	w := dirWindow{szMax: math.MaxInt}
+	w := dirWindow{szMax: math.MaxInt, packHead: math.MaxInt32, t: t}
 	if e.cfg.DisableWindows {
 		return w
 	}
 	if t != e.remainder {
 		w.szMax = e.winUpInt - e.p.Size(t)
+		if e.nres > 0 {
+			// Componentwise §3.5 upper windows for the extra resource
+			// axes. The remainder destination stays exempt, mirroring the
+			// scalar size window.
+			head := int32(math.MaxInt32)
+			for r := 0; r < e.nres; r++ {
+				hr := e.resUpInt[r] - e.p.Res(t, r)
+				if hr <= 0 {
+					hr = 0
+					if e.resMinDem[r] > 0 {
+						w.closed = true // this axis's window closed for every candidate
+					}
+				}
+				if ph := int32(int64(hr) * packScale / int64(e.p.ResCap(r))); ph < head {
+					head = ph
+				}
+			}
+			w.packHead = head
+		}
 	}
 	if f != e.remainder {
 		if v := e.p.Size(f) - e.winLowInt; v < w.szMax {
@@ -511,6 +560,50 @@ func (e *Engine) dirWindowFor(f, t partition.BlockID) dirWindow {
 // admits reports whether moving a cell of the given size stays inside the
 // window.
 func (w dirWindow) admits(sz int) bool { return sz <= w.szMax }
+
+// packScale is the fixed-point scale of the packed dominant-resource
+// bound. Demands and caps are int32-sized, so demand·packScale fits int64
+// with room to spare; resPack saturates at MaxInt32 only for demands over
+// 2000× the axis cap, far past anything a feasible run can see (and such a
+// cell is rejected upstream as unsplittable).
+const packScale = 1 << 20
+
+// admitsCell applies the full move region to cell v: the scalar size
+// window first (the only test scalar devices ever run), then the packed
+// dominant-resource bound, falling back to the exact componentwise check
+// on a packed reject so the packing never changes an outcome.
+//
+// The selection loops inline this by hand as
+// win.admits(int(e.szOf[vi])) && (e.nres == 0 || e.admitsRes(win, vi))
+// — as one function the inlined resAdmits fallback pushes it past the
+// inlining budget, and the scalar hot path cannot afford a call per
+// scanned candidate. admitsCell stays as the one-line spelling for the
+// cold call sites and as documentation of the contract.
+func (e *Engine) admitsCell(win dirWindow, vi int32) bool {
+	return win.admits(int(e.szOf[vi])) && (e.nres == 0 || e.admitsRes(win, vi))
+}
+
+// admitsRes is the resource-vector half of admitsCell: the packed
+// dominant-resource accept, then the exact componentwise fallback. Only
+// meaningful (and only called) when e.nres > 0.
+func (e *Engine) admitsRes(win dirWindow, vi int32) bool {
+	if e.resPack[vi] <= win.packHead {
+		return true
+	}
+	return e.resAdmits(hypergraph.NodeID(vi), win.t)
+}
+
+// resAdmits is the exact componentwise resource window test for moving
+// cell v into block t.
+func (e *Engine) resAdmits(v hypergraph.NodeID, t partition.BlockID) bool {
+	for r := 0; r < e.nres; r++ {
+		d := e.p.ResDemandOf(v, r)
+		if d != 0 && e.p.Res(t, r)+d > e.resUpInt[r] {
+			return false
+		}
+	}
+	return true
+}
 
 // windowLimits derives the integer §3.5 limits from the current Improve
 // context (allowOver, the active block set). prepare caches the result in
@@ -528,6 +621,50 @@ func (e *Engine) windowLimits() (upInt, lowInt int) {
 		lower = e.cfg.Windows.Lower2
 	}
 	return int(math.Floor(up)), int(math.Ceil(lower * smax))
+}
+
+// prepareRes freezes the per-axis integer resource limits and the packed
+// per-cell demand bounds for one Improve call. Scalar devices only reset
+// nres to zero; the O(n·R) packing runs for resource-vector devices alone.
+func (e *Engine) prepareRes() {
+	e.nres = e.p.NumRes()
+	if e.nres == 0 {
+		return
+	}
+	e.resUpInt = e.resUpInt[:0]
+	e.resMinDem = e.resMinDem[:0]
+	for r := 0; r < e.nres; r++ {
+		up := float64(e.p.ResCap(r))
+		if e.allowOver {
+			up *= e.cfg.Windows.Upper
+		}
+		// ⌊up⌋ is exact for the same reason as winUpInt: demand totals are
+		// integers, so total > up iff total > ⌊up⌋.
+		e.resUpInt = append(e.resUpInt, int(math.Floor(up)))
+		e.resMinDem = append(e.resMinDem, math.MaxInt)
+	}
+	n := e.h.NumNodes()
+	if cap(e.resPack) < n {
+		e.resPack = make([]int32, n)
+	}
+	e.resPack = e.resPack[:n]
+	for v := 0; v < n; v++ {
+		pack := int64(0)
+		for r := 0; r < e.nres; r++ {
+			d := e.p.ResDemandOf(hypergraph.NodeID(v), r)
+			if d < e.resMinDem[r] {
+				e.resMinDem[r] = d
+			}
+			c := int64(e.p.ResCap(r))
+			if p := (int64(d)*packScale + c - 1) / c; p > pack {
+				pack = p
+			}
+		}
+		if pack > math.MaxInt32 {
+			pack = math.MaxInt32
+		}
+		e.resPack[v] = int32(pack)
+	}
 }
 
 // sizeAdmissible applies the feasible move region of §3.5 to moving a cell
@@ -871,6 +1008,9 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			f, t := e.blocks[fi], e.blocks[ti]
 			bal := e.p.Size(f) - e.p.Size(t)
 			win := e.dirWindowFor(f, t)
+			if win.closed {
+				continue // retired: a resource window closed for every candidate
+			}
 			// Examine the top gain list first (bounded), then descend
 			// until one admissible cell is found.
 			scratch = scratch[:0]
@@ -879,7 +1019,7 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 			for _, vi := range scratch {
 				v := hypergraph.NodeID(vi)
 				e.st.MovesEvaluated++
-				if !win.admits(int(e.szOf[v])) {
+				if !win.admits(int(e.szOf[vi])) || (e.nres > 0 && !e.admitsRes(win, vi)) {
 					e.st.MovesGated++
 					continue
 				}
@@ -934,7 +1074,7 @@ func (e *Engine) selectBest(scratch []int32) (candidate, bool) {
 					}
 					v := hypergraph.NodeID(vi)
 					e.st.MovesEvaluated++
-					if !win.admits(int(e.szOf[v])) {
+					if !win.admits(int(e.szOf[vi])) || (e.nres > 0 && !e.admitsRes(win, vi)) {
 						e.st.MovesGated++
 						return true
 					}
@@ -1032,11 +1172,14 @@ func (e *Engine) computeDirCand(d, fi, ti int, scratch []int32) []int32 {
 	f, t := e.blocks[fi], e.blocks[ti]
 	bal := int32(e.p.Size(f) - e.p.Size(t))
 	win := e.dirWindowFor(f, t)
+	if win.closed {
+		return scratch // retired: the direction contributes nothing
+	}
 	scratch = scratch[:0]
 	scratch = bk.TopN(e.cfg.TieWidth, scratch)
 	for _, vi := range scratch {
 		e.st.MovesEvaluated++
-		if !win.admits(int(e.szOf[vi])) {
+		if !win.admits(int(e.szOf[vi])) || (e.nres > 0 && !e.admitsRes(win, vi)) {
 			e.st.MovesGated++
 			continue
 		}
@@ -1063,7 +1206,7 @@ func (e *Engine) computeDirCand(d, fi, ti int, scratch []int32) []int32 {
 			return false
 		}
 		e.st.MovesEvaluated++
-		if !win.admits(int(e.szOf[vi])) {
+		if !win.admits(int(e.szOf[vi])) || (e.nres > 0 && !e.admitsRes(win, vi)) {
 			e.st.MovesGated++
 			return true
 		}
@@ -1776,6 +1919,7 @@ func (e *Engine) prepare(blocks []partition.BlockID, remainder partition.BlockID
 	e.m = m
 	e.allowOver = e.p.NumBlocks() <= m
 	e.winUpInt, e.winLowInt = e.windowLimits()
+	e.prepareRes()
 	if cap(e.blkIdx) < e.p.NumBlocks() {
 		e.blkIdx = make([]int, e.p.NumBlocks())
 	}

@@ -50,7 +50,8 @@ type tracker struct {
 	term   int
 	pads   int
 	nodes  int
-	intCut int // nets split between the cluster and the rest of the remainder
+	intCut int   // nets split between the cluster and the rest of the remainder
+	res    []int // per-extra-resource demand totals (empty for scalar devices)
 }
 
 func newTracker(p *partition.Partition, rem partition.BlockID) *tracker {
@@ -69,6 +70,12 @@ func (t *tracker) reset(p *partition.Partition, rem partition.BlockID) {
 	t.pinsIn = resizeInt32s(t.pinsIn, h.NumNets(), 0)
 	t.remPin = resizeInt32s(t.remPin, h.NumNets(), -1)
 	t.size, t.aux, t.term, t.pads, t.nodes, t.intCut = 0, 0, 0, 0, 0, 0
+	if nr := p.NumRes(); cap(t.res) < nr {
+		t.res = make([]int, nr)
+	} else {
+		t.res = t.res[:nr]
+		clear(t.res)
+	}
 }
 
 // resizeBools returns a false-filled n-slice, reusing b's storage when it
@@ -153,6 +160,9 @@ func (t *tracker) Add(v hypergraph.NodeID) {
 	n := t.h.Node(v)
 	t.size += n.Size
 	t.aux += n.Aux
+	for r := range t.res {
+		t.res[r] += t.p.ResDemandOf(v, r)
+	}
 	t.term = term
 	if n.Kind == hypergraph.Pad {
 		t.pads++
@@ -172,6 +182,30 @@ func (t *tracker) Add(v hypergraph.NodeID) {
 		}
 		t.pinsIn[e] = int32(after)
 	}
+}
+
+// resFits reports whether adding v keeps every extra resource axis of the
+// bound device within its cap; trivially true for scalar devices, whose
+// trackers carry no res totals. Mirrors the size/aux saturation tests of
+// the §3.2 growth loops.
+func (t *tracker) resFits(v hypergraph.NodeID) bool {
+	for r := range t.res {
+		if t.res[r]+t.p.ResDemandOf(v, r) > t.p.ResCap(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// resWithin reports whether the cluster's accumulated extra-resource
+// demand totals all sit within the bound device's caps.
+func (t *tracker) resWithin() bool {
+	for r := range t.res {
+		if t.res[r] > t.p.ResCap(r) {
+			return false
+		}
+	}
+	return true
 }
 
 // Contains reports whether v is already in the cluster.
@@ -305,6 +339,9 @@ func GreedyConeMerge(p *partition.Partition, rem partition.BlockID, dev device.D
 				return
 			}
 			if dev.AuxCap > 0 && g.t.aux+h.Node(v).Aux > dev.AuxCap {
+				return
+			}
+			if !g.t.resFits(v) {
 				return
 			}
 			// Brasen/Saucier cost: size per terminal of the merged
@@ -604,7 +641,7 @@ func sweepFrom(p *partition.Partition, rem partition.BlockID, dev device.Device,
 		r := float64(t.intCut) / (float64(s1) * float64(s2))
 		// Require at least one feasible side. The second side's terminal
 		// count is not tracked; the cluster side must be the feasible one.
-		if dev.Fits(s1, t1) && r < best {
+		if dev.Fits(s1, t1) && t.resWithin() && r < best {
 			best = r
 			bestLen = len(members)
 		}
@@ -640,6 +677,9 @@ func Grow(p *partition.Partition, rem partition.BlockID, dev device.Device, init
 				return
 			}
 			if dev.AuxCap > 0 && g.t.aux+h.Node(v).Aux > dev.AuxCap {
+				return
+			}
+			if !g.t.resFits(v) {
 				return
 			}
 			cost := float64(s) / float64(t+1)

@@ -16,13 +16,21 @@ import (
 
 // Fingerprint computes the content-addressed cache key of one query: a
 // SHA-256 over the canonicalized hypergraph structure (node kinds, sizes,
-// aux demands; net pin lists in declaration order), the resolved device
-// parameters, and the method. Node and net *names* are deliberately
-// excluded — two uploads of the same structure under different signal
-// names are the same computation.
-func Fingerprint(h *hypergraph.Hypergraph, dev device.Device, method string) string {
+// aux demands, per-resource demand columns; net pin lists in declaration
+// order), the resolved device parameters including its resource caps, the
+// method, and the board spec the result is gated on ("" for none). Node
+// and net *names* are deliberately excluded — two uploads of the same
+// structure under different signal names are the same computation.
+// Resource *names* are included: a DSP demand and a BRAM demand of the
+// same magnitude bind against different device caps.
+func Fingerprint(h *hypergraph.Hypergraph, dev device.Device, method, boardSpec string) string {
 	hash := sha256.New()
-	fmt.Fprintf(hash, "method=%s|device=%+v|", method, dev)
+	// dev's %v is its String(), which renders name, S_MAX, T_MAX, and δ but
+	// not the resource vector — hash the caps explicitly.
+	fmt.Fprintf(hash, "method=%s|device=%v|board=%s|", method, dev, boardSpec)
+	for _, r := range dev.Resources {
+		fmt.Fprintf(hash, "cap:%s=%d|", r.Name, r.Cap)
+	}
 
 	buf := make([]byte, 0, 64)
 	flush := func() {
@@ -51,6 +59,13 @@ func Fingerprint(h *hypergraph.Hypergraph, dev device.Device, method string) str
 		}
 	}
 	flush()
+	for _, name := range h.ResourceNames() {
+		fmt.Fprintf(hash, "res=%s|", name)
+		for _, d := range h.ResourceColumn(name) {
+			putInt(int(d))
+		}
+		flush()
+	}
 	return hex.EncodeToString(hash.Sum(nil))
 }
 

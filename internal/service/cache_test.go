@@ -24,23 +24,23 @@ func TestFingerprintRenameStability(t *testing.T) {
 		}
 		return c.Hypergraph
 	}
-	base := Fingerprint(load(tinyPHG), dev, "fpart")
+	base := Fingerprint(load(tinyPHG), dev, "fpart", "")
 
 	netsRenamed := strings.NewReplacer("net n1", "net alpha", "net n2", "net beta",
 		"net n3", "net gamma", "net n4", "net delta").Replace(tinyPHG)
-	if Fingerprint(load(netsRenamed), dev, "fpart") != base {
+	if Fingerprint(load(netsRenamed), dev, "fpart", "") != base {
 		t.Fatal("net names must not affect the fingerprint")
 	}
 
 	nodesRenamed := strings.NewReplacer("node a", "node u0", "node b", "node u1",
 		"node c", "node u2", "node d", "node u3", "pad p", "pad io0", "pad q", "pad io1").Replace(tinyPHG)
-	if Fingerprint(load(nodesRenamed), dev, "fpart") != base {
+	if Fingerprint(load(nodesRenamed), dev, "fpart", "") != base {
 		t.Fatal("node and pad names must not affect the fingerprint")
 	}
 
 	// A one-pin structural edit moves it.
 	edited := strings.Replace(tinyPHG, "net n2 1 2", "net n2 1 3", 1)
-	if Fingerprint(load(edited), dev, "fpart") == base {
+	if Fingerprint(load(edited), dev, "fpart", "") == base {
 		t.Fatal("pin edits must move the fingerprint")
 	}
 }

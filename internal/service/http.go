@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"fpart/internal/board"
 	"fpart/internal/cluster"
 	"fpart/internal/engine"
 	"fpart/internal/hypergraph"
@@ -27,6 +28,12 @@ type apiRequest struct {
 	Device  string  `json:"device"`
 	Fill    float64 `json:"fill,omitempty"`
 	Method  string  `json:"method,omitempty"`
+	// Resources appends extra resource caps to the device, e.g.
+	// "DSP:12,BRAM:4".
+	Resources string `json:"resources,omitempty"`
+	// Board gates the result on a multi-FPGA board topology, e.g.
+	// "mesh:4x4:wires=64".
+	Board string `json:"board,omitempty"`
 	// TimeoutMS bounds the run in milliseconds (0 = service default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -34,14 +41,16 @@ type apiRequest struct {
 // toRequest maps the wire form onto the service submission type.
 func (a apiRequest) toRequest() Request {
 	return Request{
-		Circuit: a.Circuit,
-		Format:  a.Format,
-		Netlist: a.Netlist,
-		Arch:    a.Arch,
-		Device:  a.Device,
-		Fill:    a.Fill,
-		Method:  a.Method,
-		Timeout: time.Duration(a.TimeoutMS) * time.Millisecond,
+		Circuit:   a.Circuit,
+		Format:    a.Format,
+		Netlist:   a.Netlist,
+		Arch:      a.Arch,
+		Device:    a.Device,
+		Resources: a.Resources,
+		Board:     a.Board,
+		Fill:      a.Fill,
+		Method:    a.Method,
+		Timeout:   time.Duration(a.TimeoutMS) * time.Millisecond,
 	}
 }
 
@@ -77,12 +86,15 @@ type JobView struct {
 	Error string `json:"error,omitempty"`
 
 	// Result fields, present once State is "done".
-	K          int             `json:"k,omitempty"`
-	M          int             `json:"m,omitempty"`
-	Feasible   bool            `json:"feasible,omitempty"`
-	Quality    *quality.Report `json:"quality,omitempty"`
-	Stats      *obs.Stats      `json:"stats,omitempty"`
-	Assignment []int           `json:"assignment,omitempty"`
+	K        int             `json:"k,omitempty"`
+	M        int             `json:"m,omitempty"`
+	Feasible bool            `json:"feasible,omitempty"`
+	Quality  *quality.Report `json:"quality,omitempty"`
+	Stats    *obs.Stats      `json:"stats,omitempty"`
+	// Board is the routing report when the job was board-gated and the
+	// blocks fit the slots (absent otherwise).
+	Board      *board.Report `json:"board,omitempty"`
+	Assignment []int         `json:"assignment,omitempty"`
 }
 
 func viewOf(snap Snapshot, withAssignment bool) JobView {
@@ -116,6 +128,7 @@ func viewOf(snap Snapshot, withAssignment bool) JobView {
 		v.Feasible = snap.Result.Feasible
 		v.Quality = snap.Report
 		v.Stats = snap.Result.Stats
+		v.Board = snap.Result.Board
 		if withAssignment {
 			p := snap.Result.Partition
 			h := p.Hypergraph()
@@ -135,7 +148,10 @@ type MethodView struct {
 	Cancellable  bool   `json:"cancellable"`
 	Instrumented bool   `json:"instrumented"`
 	Budgeted     bool   `json:"budgeted"`
-	Summary      string `json:"summary"`
+	// BoardAware reports that jobs on this engine accept the "board"
+	// request field (multi-FPGA feasibility gating).
+	BoardAware bool   `json:"board_aware"`
+	Summary    string `json:"summary"`
 }
 
 // Handler returns the service's HTTP API:
@@ -190,6 +206,7 @@ func handleMethods(w http.ResponseWriter, r *http.Request) {
 			Cancellable:  info.Caps.Cancellable,
 			Instrumented: info.Caps.Instrumented,
 			Budgeted:     info.Caps.Budgeted,
+			BoardAware:   info.Caps.BoardAware,
 			Summary:      info.Caps.Summary,
 		}
 	}

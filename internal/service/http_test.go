@@ -410,6 +410,9 @@ func TestHTTPMethods(t *testing.T) {
 		if !m.Cancellable || !m.Instrumented || m.Summary == "" {
 			t.Fatalf("method %s should advertise cancellable+instrumented and a summary: %+v", m.Name, m)
 		}
+		if !m.BoardAware {
+			t.Fatalf("method %s should advertise board_aware (every registered engine accepts the board gate)", m.Name)
+		}
 	}
 
 	// Discovery is honest: every advertised method is accepted at submit.

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fpart/internal/device"
+	"fpart/internal/driver"
+	"fpart/internal/hypergraph"
+)
+
+// dspPHG is scalar-tiny (total size 5) but stamps a 9-DSP demand on one
+// node, so it is unsplittable on any device whose DSP cap is below 9.
+const dspPHG = `phg
+node hog 1 DSP:9
+node a 1
+node b 1
+node c 1
+node d 1
+pad p
+net n1 0 1 5
+net n2 1 2
+net n3 2 3
+net n4 3 4
+`
+
+// TestServiceResourceVectorEndToEnd is the fpartd half of the DSP-tight
+// acceptance case: the same upload succeeds on a scalar device (undeclared
+// resource axes never bind) and fails on a vector device whose DSP cap the
+// hog node exceeds — with the failure naming the node and the resource.
+func TestServiceResourceVectorEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdownClean(t, s)
+
+	scalar, err := s.Submit(Request{Format: "phg", Netlist: dspPHG, Device: "LUT:50/64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, scalar)
+	if snap := s.Snapshot(scalar); snap.State != StateDone || !snap.Result.Feasible {
+		t.Fatalf("scalar job ended %s (%v), want feasible done", snap.State, snap.Err)
+	}
+
+	vector, err := s.Submit(Request{Format: "phg", Netlist: dspPHG, Device: "LUT:50/64", Resources: "DSP:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, vector)
+	snap := s.Snapshot(vector)
+	if snap.State != StateFailed || snap.Err == nil {
+		t.Fatalf("vector job ended %s (%v), want failed (DSP 9 > cap 4)", snap.State, snap.Err)
+	}
+	for _, want := range []string{"hog", "DSP"} {
+		if !strings.Contains(snap.Err.Error(), want) {
+			t.Errorf("failure should name %q: %v", want, snap.Err)
+		}
+	}
+
+	// The two submissions must not share a cache key: the resource caps
+	// are part of the fingerprint via the device parameters.
+	if scalar.Key() == vector.Key() {
+		t.Error("scalar and vector jobs coalesced onto one fingerprint")
+	}
+
+	// Bad specs are rejected at admission, naming the offending token.
+	for _, req := range []Request{
+		{Format: "phg", Netlist: dspPHG, Device: "LUT:0/64"},
+		{Format: "phg", Netlist: dspPHG, Device: "LUT:50/64", Resources: "DSP:many"},
+		{Format: "phg", Netlist: dspPHG, Device: "LUT:50/64", Resources: "DSP:4,DSP:8"},
+		{Format: "phg", Netlist: dspPHG, Device: "LUT:50,DSP:2/64", Resources: "DSP:4"},
+	} {
+		if _, err := s.Submit(req); err == nil {
+			t.Errorf("request %+v should have been rejected", req)
+		}
+	}
+}
+
+// TestServiceBoardGating submits the same circuit against a permissive
+// crossbar and a wire-starved chain: the partition is identical, but the
+// board gate flips feasibility and the job view carries the routing report.
+func TestServiceBoardGating(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdownClean(t, s)
+
+	submit := func(boardSpec string) Snapshot {
+		t.Helper()
+		j, err := s.Submit(Request{Circuit: "c3540", Device: "XC3020", Board: boardSpec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		snap := s.Snapshot(j)
+		if snap.State != StateDone {
+			t.Fatalf("board=%q job ended %s (%v)", boardSpec, snap.State, snap.Err)
+		}
+		return snap
+	}
+
+	open := submit("crossbar:16")
+	if !open.Result.Feasible || open.Result.Board == nil || !open.Result.Board.Routable {
+		t.Fatalf("crossbar run should be routable: %+v", open.Result.Board)
+	}
+	tight := submit("chain:16:wires=1")
+	if tight.Result.Feasible {
+		t.Fatal("one wire per chain link should not route a multi-block cut")
+	}
+	if open.Key == tight.Key {
+		t.Error("different boards coalesced onto one fingerprint")
+	}
+
+	if _, err := s.Submit(Request{Circuit: "c3540", Device: "XC3020", Board: "torus:4"}); err == nil {
+		t.Error("unknown board topology accepted")
+	}
+}
+
+// TestHTTPBoardAndResources drives the new request fields through the wire
+// format: the JSON body carries resources/board, and a gated job's view
+// exposes the routing report.
+func TestHTTPBoardAndResources(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdownClean(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/partition", apiRequest{
+		Circuit: "c3540", Device: "XC3020", Board: "crossbar:16",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: want 202, got %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	final := pollDone(t, ts, v.ID)
+	if final.State != StateDone || !final.Feasible {
+		t.Fatalf("gated job ended %s feasible=%v (%s)", final.State, final.Feasible, final.Error)
+	}
+	if final.Board == nil || !final.Board.Routable || final.Board.InterNets < 1 {
+		t.Fatalf("job view should carry the routing report: %+v", final.Board)
+	}
+
+	// A DSP-starved vector submission fails end to end over HTTP too.
+	resp, body = postJSON(t, ts, "/v1/partition", apiRequest{
+		Netlist: dspPHG, Format: "phg", Device: "LUT:50/64", Resources: "DSP:4",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("vector submit: want 202, got %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	final = pollDone(t, ts, v.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "DSP") {
+		t.Fatalf("vector job should fail naming DSP, got %s: %q", final.State, final.Error)
+	}
+
+	// Bad specs map to 400 with the offending token in the message.
+	resp, body = postJSON(t, ts, "/v1/partition", apiRequest{
+		Circuit: "c3540", Device: "XC3020", Board: "mesh:4xfour",
+	})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "4xfour") {
+		t.Fatalf("bad board spec: want 400 naming the token, got %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestFingerprintResourceColumns pins the cache-key rule for resource
+// demands: two structurally identical uploads that differ only in a node's
+// resource stamp are different computations, and the resource *name*
+// matters (a DSP demand is not a BRAM demand).
+func TestFingerprintResourceColumns(t *testing.T) {
+	base := `phg
+node a 1 DSP:2
+node b 1
+net n1 0 1
+`
+	variants := []string{
+		strings.Replace(base, "DSP:2", "DSP:3", 1),
+		strings.Replace(base, "DSP:2", "BRAM:2", 1),
+		strings.Replace(base, "node a 1 DSP:2", "node a 1", 1),
+	}
+	dev, _ := device.ByName("XC3020")
+	load := func(body string) *hypergraph.Hypergraph {
+		c, err := driver.Load(driver.Source{Reader: strings.NewReader(body), Format: "phg"}, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Hypergraph
+	}
+	ref := Fingerprint(load(base), dev, "fpart", "")
+	for i, v := range variants {
+		if Fingerprint(load(v), dev, "fpart", "") == ref {
+			t.Errorf("variant %d: resource-demand change did not change the fingerprint", i)
+		}
+	}
+	if Fingerprint(load(base), dev, "fpart", "chain:4") == ref {
+		t.Error("board spec did not change the fingerprint")
+	}
+	if Fingerprint(load(base), dev, "fpart", "") != ref {
+		t.Error("fingerprint is not deterministic")
+	}
+}

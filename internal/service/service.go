@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fpart/internal/board"
 	"fpart/internal/cluster"
 	"fpart/internal/core"
 	"fpart/internal/device"
@@ -149,8 +150,16 @@ type Request struct {
 	Netlist string
 	// Arch is the BLIF CLB architecture ("" = device family default).
 	Arch string
-	// Device names the target FPGA (required).
+	// Device names the target FPGA (required): a catalog name, synthetic
+	// CELLSxPINS, or a resource-vector spec like "LUT:1500,FF:3000/200".
 	Device string
+	// Resources appends extra resource caps ("DSP:12,BRAM:4") to the
+	// device, whatever form Device took.
+	Resources string
+	// Board, when non-empty, gates the result on a multi-FPGA board
+	// topology ("crossbar:N", "chain:N[:wires=W]", "mesh:CxR[:wires=W]"):
+	// an unplaceable or unroutable solution reports Feasible=false.
+	Board string
 	// Fill overrides the device filling ratio δ (0 keeps the published
 	// value).
 	Fill float64
@@ -167,6 +176,7 @@ type Job struct {
 	key     string
 	method  string
 	device  device.Device
+	board   *board.Board
 	circuit string
 
 	h *hypergraph.Hypergraph
@@ -318,6 +328,7 @@ func (s *Service) Cluster() *cluster.Node { return s.clusterNode }
 type prepared struct {
 	req     Request
 	dev     device.Device
+	board   *board.Board
 	method  string
 	circuit *driver.Circuit
 	timeout time.Duration
@@ -330,9 +341,26 @@ type prepared struct {
 // queue. The HTTP layer uses the returned fingerprint to route the
 // submission across the cluster before committing to local admission.
 func (s *Service) prepare(req Request) (*prepared, error) {
-	dev, ok := device.Parse(req.Device)
-	if !ok {
-		return nil, fmt.Errorf("unknown device %q", req.Device)
+	dev, err := device.ParseSpec(req.Device)
+	if err != nil {
+		return nil, err
+	}
+	if req.Resources != "" {
+		extra, err := device.ParseResources(req.Resources)
+		if err != nil {
+			return nil, err
+		}
+		if dev, err = dev.WithResources(extra); err != nil {
+			return nil, err
+		}
+	}
+	var brd *board.Board
+	if req.Board != "" {
+		b, err := board.ParseSpec(req.Board)
+		if err != nil {
+			return nil, err
+		}
+		brd = &b
 	}
 	if req.Fill != 0 {
 		if req.Fill < 0 || req.Fill > 1 {
@@ -367,10 +395,11 @@ func (s *Service) prepare(req Request) (*prepared, error) {
 	return &prepared{
 		req:     req,
 		dev:     dev,
+		board:   brd,
 		method:  method,
 		circuit: c,
 		timeout: timeout,
-		key:     Fingerprint(c.Hypergraph, dev, method),
+		key:     Fingerprint(c.Hypergraph, dev, method, req.Board),
 	}, nil
 }
 
@@ -402,6 +431,7 @@ func (s *Service) submitPrepared(prep *prepared) (*Job, error) {
 	job := &Job{
 		id:        "job-" + strconv.FormatInt(s.nextID.Add(1), 10),
 		device:    prep.dev,
+		board:     prep.board,
 		circuit:   prep.circuit.Name,
 		h:         prep.circuit.Hypergraph,
 		req:       prep.req,
@@ -450,7 +480,7 @@ func (s *Service) submitPrepared(prep *prepared) (*Job, error) {
 			if alt, ok := s.cheaperEngineLocked(method); ok {
 				job.degradedFrom = method
 				method = alt
-				key = Fingerprint(prep.circuit.Hypergraph, prep.dev, alt)
+				key = Fingerprint(prep.circuit.Hypergraph, prep.dev, alt, prep.req.Board)
 				s.m.degraded.Add(1)
 				continue
 			}
@@ -711,6 +741,7 @@ func (s *Service) runJob(job *Job) {
 		Sink:      job.bcast,
 		SpecWidth: s.cfg.SpecWidth,
 		Budget:    s.budget,
+		Board:     job.board,
 	})
 	s.m.busy.Add(-1)
 	s.m.computations.Add(1)
@@ -840,12 +871,14 @@ func (s *Service) StealOne(thief string) (*cluster.StolenJob, bool) {
 			ID:  j.id,
 			Key: j.key,
 			Spec: cluster.JobSpec{
-				Circuit: j.req.Circuit,
-				Format:  j.req.Format,
-				Netlist: j.req.Netlist,
-				Arch:    j.req.Arch,
-				Device:  j.req.Device,
-				Fill:    j.req.Fill,
+				Circuit:   j.req.Circuit,
+				Format:    j.req.Format,
+				Netlist:   j.req.Netlist,
+				Arch:      j.req.Arch,
+				Device:    j.req.Device,
+				Resources: j.req.Resources,
+				Board:     j.req.Board,
+				Fill:      j.req.Fill,
 				// The thief must run what admission decided, not what the
 				// client asked for — a degraded job stays degraded.
 				Method:    j.method,
@@ -941,14 +974,16 @@ func (s *Service) CompleteStolen(id string, payload []byte) error {
 // envelope to push back (cluster.Source).
 func (s *Service) Execute(ctx context.Context, job *cluster.StolenJob) ([]byte, error) {
 	j, err := s.Submit(Request{
-		Circuit: job.Spec.Circuit,
-		Format:  job.Spec.Format,
-		Netlist: job.Spec.Netlist,
-		Arch:    job.Spec.Arch,
-		Device:  job.Spec.Device,
-		Fill:    job.Spec.Fill,
-		Method:  job.Spec.Method,
-		Timeout: time.Duration(job.Spec.TimeoutMS) * time.Millisecond,
+		Circuit:   job.Spec.Circuit,
+		Format:    job.Spec.Format,
+		Netlist:   job.Spec.Netlist,
+		Arch:      job.Spec.Arch,
+		Device:    job.Spec.Device,
+		Resources: job.Spec.Resources,
+		Board:     job.Spec.Board,
+		Fill:      job.Spec.Fill,
+		Method:    job.Spec.Method,
+		Timeout:   time.Duration(job.Spec.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err

@@ -394,26 +394,26 @@ func TestFingerprintSemantics(t *testing.T) {
 	}
 	a := load(tinyPHG)
 	b := load(tinyPHG)
-	if Fingerprint(a, dev, "fpart") != Fingerprint(b, dev, "fpart") {
+	if Fingerprint(a, dev, "fpart", "") != Fingerprint(b, dev, "fpart", "") {
 		t.Fatal("identical content must fingerprint identically")
 	}
 	// Renamed nodes, same structure: still identical (content addressing).
 	renamed := "phg\nnode x 2\nnode y 2\nnode z 2\nnode w 2\npad r\npad s\nnet m1 0 1 4\nnet m2 1 2\nnet m3 2 3 5\nnet m4 0 3\n"
-	if Fingerprint(load(renamed), dev, "fpart") != Fingerprint(a, dev, "fpart") {
+	if Fingerprint(load(renamed), dev, "fpart", "") != Fingerprint(a, dev, "fpart", "") {
 		t.Fatal("names must not affect the fingerprint")
 	}
-	if Fingerprint(a, dev, "kwayx") == Fingerprint(a, dev, "fpart") {
+	if Fingerprint(a, dev, "kwayx", "") == Fingerprint(a, dev, "fpart", "") {
 		t.Fatal("method must affect the fingerprint")
 	}
 	dev2, _ := device.ByName("XC3042")
-	if Fingerprint(a, dev2, "fpart") == Fingerprint(a, dev, "fpart") {
+	if Fingerprint(a, dev2, "fpart", "") == Fingerprint(a, dev, "fpart", "") {
 		t.Fatal("device must affect the fingerprint")
 	}
-	if Fingerprint(a, dev.WithFill(0.5), "fpart") == Fingerprint(a, dev, "fpart") {
+	if Fingerprint(a, dev.WithFill(0.5), "fpart", "") == Fingerprint(a, dev, "fpart", "") {
 		t.Fatal("fill override must affect the fingerprint")
 	}
 	structDiff := "phg\nnode a 1\nnode b 2\nnode c 2\nnode d 2\npad p\npad q\nnet n1 0 1 4\nnet n2 1 2\nnet n3 2 3 5\nnet n4 0 3\n"
-	if Fingerprint(load(structDiff), dev, "fpart") == Fingerprint(a, dev, "fpart") {
+	if Fingerprint(load(structDiff), dev, "fpart", "") == Fingerprint(a, dev, "fpart", "") {
 		t.Fatal("structure must affect the fingerprint")
 	}
 }

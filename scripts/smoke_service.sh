@@ -53,6 +53,10 @@ case "$methods" in
 *'"cancellable":true'*) ;;
 *) fail "method discovery missing capability flags: $methods" ;;
 esac
+case "$methods" in
+*'"board_aware":true'*) ;;
+*) fail "method discovery missing the board-aware capability: $methods" ;;
+esac
 
 # Unknown methods are rejected at submit with the registry quoted.
 code=$(curl -sS -o "$workdir/badmethod.json" -w '%{http_code}' -X POST \
@@ -113,6 +117,40 @@ case "$metrics" in
 *'fpartd_cache_hits_total 1'*) ;;
 *) fail "expected one cache hit in metrics" ;;
 esac
+
+# A vector-device, board-gated job: extra resource caps ride the
+# "resources" field, the "board" field gates the result on a crossbar, and
+# the finished view must carry a routable board report.
+vbody='{"circuit":"s9234","device":"XC3020","resources":"DSP:4000,BRAM:2000","board":"crossbar:64"}'
+vresp=$(curl -fsS -X POST -d "$vbody" "$base/v1/partition") || fail "vector submit"
+vid=$(printf '%s' "$vresp" | sed -n 's/.*"id":"\(job-[0-9]*\)".*/\1/p')
+[ -n "$vid" ] || fail "vector submit returned no job id: $vresp"
+vstate=""
+for _ in $(seq 1 300); do
+    vstatus=$(curl -fsS "$base/v1/jobs/$vid") || fail "vector poll"
+    vstate=$(printf '%s' "$vstatus" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    case "$vstate" in
+    done) break ;;
+    failed | canceled) fail "vector job ended $vstate: $vstatus" ;;
+    esac
+    sleep 0.1
+done
+[ "$vstate" = "done" ] || fail "vector job never completed (last state: $vstate)"
+case "$vstatus" in
+*'"feasible":true'*) ;;
+*) fail "vector job done but not feasible: $vstatus" ;;
+esac
+case "$vstatus" in
+*'"Routable":true'*) ;;
+*) fail "board-gated job missing a routable board report: $vstatus" ;;
+esac
+
+# Malformed board specs are rejected at admission, naming the token.
+code=$(curl -sS -o "$workdir/badboard.json" -w '%{http_code}' -X POST \
+    -d '{"circuit":"s9234","device":"XC3020","board":"mesh:4xfour"}' \
+    "$base/v1/partition") || fail "bad-board submit"
+[ "$code" = "400" ] || fail "bad board spec: want HTTP 400, got $code"
+grep -q '4xfour' "$workdir/badboard.json" || fail "400 body should name the bad board token"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
